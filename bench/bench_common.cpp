@@ -1,0 +1,129 @@
+#include "bench_common.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/dataset.h"
+#include "util/logging.h"
+
+namespace dtsnn::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      options.scale = std::atof(next("--scale"));
+    } else if (arg == "--epochs") {
+      options.epochs_override = static_cast<std::size_t>(std::atoi(next("--epochs")));
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = next("--cache-dir");
+    } else if (arg == "--csv-dir") {
+      options.csv_dir = next("--csv-dir");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--scale F] [--epochs N] [--no-cache] [--cache-dir D] "
+          "[--csv-dir D]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+core::Experiment run(core::ExperimentSpec spec, const BenchOptions& options) {
+  spec.data_scale *= options.scale;
+  if (options.epochs_override) spec.epochs = options.epochs_override;
+  return core::train_or_load(spec, options.use_cache ? options.cache_dir : "");
+}
+
+double mean_hidden_activity(core::Experiment& experiment) {
+  // Probe with a test batch at the experiment's timestep budget.
+  const std::size_t probe = std::min<std::size_t>(64, experiment.bundle.test->size());
+  std::vector<std::size_t> indices(probe);
+  for (std::size_t i = 0; i < probe; ++i) indices[i] = i;
+  auto batch = data::materialize_batch(*experiment.bundle.test, indices,
+                                       experiment.spec.timesteps);
+  experiment.net.forward(batch.x, experiment.spec.timesteps, /*train=*/false);
+  const auto rates = experiment.net.lif_spike_rates();
+  if (rates.empty()) return 0.15;
+  double acc = 0.0;
+  for (const double r : rates) acc += r;
+  return acc / static_cast<double>(rates.size());
+}
+
+imc::EnergyModel measured_energy_model(core::Experiment& experiment,
+                                       const imc::ImcConfig& config) {
+  const double activity = mean_hidden_activity(experiment);
+  auto spec = imc::spec_from_network(experiment.net, experiment.spec.model);
+  imc::set_uniform_activity(spec, activity, /*first_layer_activity=*/1.0);
+  return imc::EnergyModel(imc::map_network(spec, config));
+}
+
+imc::EnergyModel paper_scale_energy_model(const std::string& model_preset,
+                                          double activity,
+                                          const imc::ImcConfig& config) {
+  imc::NetworkSpec spec = model_preset.find("resnet") != std::string::npos
+                              ? imc::resnet19_spec()
+                              : imc::vgg16_spec();
+  imc::set_uniform_activity(spec, activity, /*first_layer_activity=*/1.0);
+  return imc::EnergyModel(imc::map_network(spec, config));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.empty()) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) {
+      widths_.push_back(std::max<int>(12, static_cast<int>(h.size()) + 2));
+    }
+  }
+  row(headers_);
+  rule();
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths_.size() ? widths_[i] : 12;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void TablePrinter::rule() const {
+  int total = 0;
+  for (const int w : widths_) total += w;
+  std::printf("%s\n", std::string(static_cast<std::size_t>(total), '-').c_str());
+}
+
+std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+}  // namespace dtsnn::bench

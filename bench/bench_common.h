@@ -1,0 +1,71 @@
+// Shared infrastructure for the figure/table benches: experiment caching,
+// measured-activity hardware models, table rendering, and CSV output paths.
+//
+// Every bench accepts:
+//   --scale <f>   dataset size multiplier (default 1.0; smoke tests use 0.1)
+//   --epochs <n>  override training epochs
+//   --no-cache    retrain instead of loading cached checkpoints
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "imc/energy_model.h"
+#include "util/csv.h"
+
+namespace dtsnn::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  std::size_t epochs_override = 0;  ///< 0 = per-bench default
+  bool use_cache = true;
+  std::string cache_dir = ".dtsnn_cache";
+  std::string csv_dir = ".";
+};
+
+/// Parse the common flags; unknown flags abort with a usage message.
+BenchOptions parse_options(int argc, char** argv);
+
+/// Train (or load) the experiment per the options.
+core::Experiment run(core::ExperimentSpec spec, const BenchOptions& options);
+
+/// Hardware energy model for a trained network with *measured* spike
+/// activities: runs a probe batch, reads per-LIF spike rates, and maps the
+/// extracted spec. The input layer gets activity 1 (analog direct encoding).
+imc::EnergyModel measured_energy_model(core::Experiment& experiment,
+                                       const imc::ImcConfig& config = {});
+
+/// Paper-scale hardware model (full VGG-16 / ResNet-19 geometry) with the
+/// measured activity statistics transplanted from a mini experiment. Used by
+/// the experiments that report absolute hardware numbers (Fig. 1, Table II
+/// energy columns, Fig. 4/5).
+imc::EnergyModel paper_scale_energy_model(const std::string& model_preset,
+                                          double activity,
+                                          const imc::ImcConfig& config = {});
+
+/// Mean spike activity over the hidden LIF layers of a trained net.
+double mean_hidden_activity(core::Experiment& experiment);
+
+// ---------------------------------------------------------------- printing
+
+/// Fixed-width table printer for the bench stdout reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+  void row(const std::vector<std::string>& cells);
+  void rule() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+std::string fmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// Section banner ("==== Fig. 1 ... ====").
+void banner(const std::string& title);
+
+}  // namespace dtsnn::bench

@@ -1,0 +1,71 @@
+// Fig. 1 reproduction: (A) component-wise energy ratio of the CIFAR10-scale
+// VGG-16 mapped onto the 64x64 4-bit RRAM IMC architecture; (B) normalized
+// energy and latency versus the number of timesteps (1..8).
+// Also prints the Table I hardware parameters the model was evaluated with.
+//
+// Paper reference values: (A) digital peripherals 45%, crossbar+ADC 25%,
+// H-Tree 17%, NoC 9%, LIF 1%; (B) energy 1.0 -> 4.9x, latency 1 -> 8x.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dtsnn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const imc::ImcConfig cfg;
+  bench::banner("Table I: hardware implementation parameters");
+  std::printf("  Technology                 32nm CMOS (calibrated macro-model)\n");
+  std::printf("  Crossbar size & per tile   %zu & %zu\n", cfg.crossbar_size,
+              cfg.crossbars_per_tile);
+  std::printf("  Device & weight precision  %zu-bit RRAM (sigma/mu=%.0f%%) & %zu-bit\n",
+              cfg.device_bits, 100.0 * cfg.device_sigma_over_mu, cfg.weight_bits);
+  std::printf("  Roff/Ron                   %.0f at Ron=%.0fkOhm\n", cfg.roff_over_ron,
+              cfg.r_on_ohm / 1000.0);
+  std::printf("  GB, tile & PE buffers      %zuKB, %zuKB & %zuKB\n", cfg.global_buffer_kb,
+              cfg.tile_buffer_kb, cfg.pe_buffer_kb);
+  std::printf("  VDD & Vread                %.1fV & %.1fV\n", cfg.vdd, cfg.vread);
+  std::printf("  sigma & E LUT size         %zuKB & %zuKB\n", cfg.sigma_lut_kb,
+              cfg.entropy_lut_kb);
+
+  const imc::EnergyModel model = bench::paper_scale_energy_model("vgg16", 0.15, cfg);
+  const auto& mapping = model.mapping();
+  std::printf("\n  VGG-16 mapping: %zu crossbars across %zu tiles, %.1fM MACs/timestep\n",
+              mapping.total_crossbars(), mapping.total_tiles(),
+              mapping.network.total_macs_per_timestep() / 1e6);
+
+  bench::banner("Fig. 1(A): energy cost ratio (VGG-16, CIFAR-10 scale, T=4)");
+  const auto shares = model.component_shares(4);
+  bench::TablePrinter pie({"Component", "This work", "Paper"});
+  pie.row({"Digital peripherals", bench::fmt("%5.1f%%", 100 * shares.digital_peripherals),
+           "45%"});
+  pie.row({"Crossbar+DIFF (ADC)", bench::fmt("%5.1f%%", 100 * shares.crossbar_adc), "25%"});
+  pie.row({"H-Tree", bench::fmt("%5.1f%%", 100 * shares.htree), "17%"});
+  pie.row({"NoC", bench::fmt("%5.1f%%", 100 * shares.noc), "9%"});
+  pie.row({"LIF module", bench::fmt("%5.1f%%", 100 * shares.lif), "1%"});
+
+  bench::banner("Fig. 1(B): normalized energy / latency vs timesteps");
+  static const double kPaperEnergy[8] = {1.0, 1.4, 2.0, 2.6, 3.2, 3.8, 4.4, 4.9};
+  bench::TablePrinter table(
+      {"T", "Energy (ours)", "Energy (paper)", "Latency (ours)", "Latency (paper)"});
+  util::CsvWriter csv(options.csv_dir + "/fig1_energy_vs_timesteps.csv");
+  csv.write_header({"timesteps", "energy_norm", "latency_norm", "paper_energy_norm",
+                    "paper_latency_norm"});
+  const double e1 = model.energy_pj(1);
+  const double l1 = model.latency_ns(1);
+  for (int t = 1; t <= 8; ++t) {
+    const double e = model.energy_pj(t) / e1;
+    const double l = model.latency_ns(t) / l1;
+    table.row({bench::fmt("%d", t), bench::fmt("%.2f", e),
+               bench::fmt("%.1f", kPaperEnergy[t - 1]), bench::fmt("%.1f", l),
+               bench::fmt("%d", t)});
+    csv.row(t, e, l, kPaperEnergy[t - 1], t);
+  }
+  std::printf("\nsigma-E module energy per timestep: %.2e x one-timestep chip energy "
+              "(paper: ~2e-5)\n",
+              model.breakdown().sigma_e_per_timestep_pj /
+                  model.breakdown().per_timestep.total());
+  return 0;
+}

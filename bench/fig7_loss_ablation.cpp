@@ -1,0 +1,69 @@
+// Fig. 7 reproduction: ablation of the training loss. A spiking VGG is
+// trained once with the conventional Eq. 9 loss and once with the
+// per-timestep Eq. 10 loss; we report accuracy at every timestep plus the
+// DT-SNN operating point and its exit distribution under each.
+//
+// Paper reference: Eq. 10 lifts VGG-16 CIFAR-10 T=1 accuracy from 76.3% to
+// 91.5% and improves the full-T point by ~0.6pp, which in turn shifts the
+// DT-SNN exit distribution toward t=1 and cuts EDP.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dtsnn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  bench::banner("Fig. 7: Eq. 9 vs Eq. 10 training loss (spiking VGG, sync10)");
+  util::CsvWriter csv(options.csv_dir + "/fig7_loss_ablation.csv");
+  csv.write_header({"loss", "timesteps", "accuracy"});
+
+  core::ExperimentSpec base;
+  base.model = "vgg_mini";
+  base.dataset = "sync10";
+  base.timesteps = 4;
+  base.epochs = 14;
+
+  core::ExperimentSpec eq9 = base;
+  eq9.loss = core::LossKind::kMeanLogit;
+  core::ExperimentSpec eq10 = base;
+  eq10.loss = core::LossKind::kPerTimestep;
+
+  core::Experiment e9 = bench::run(eq9, options);
+  core::Experiment e10 = bench::run(eq10, options);
+  auto out9 = core::test_outputs(e9);
+  auto out10 = core::test_outputs(e10);
+  const auto acc9 = core::accuracy_per_timestep(out9);
+  const auto acc10 = core::accuracy_per_timestep(out10);
+
+  bench::TablePrinter table({"T", "Eq. (9)", "Eq. (10)", "Delta"});
+  for (std::size_t t = 1; t <= 4; ++t) {
+    table.row({bench::fmt("%zu", t), bench::fmt("%.2f%%", 100 * acc9[t - 1]),
+               bench::fmt("%.2f%%", 100 * acc10[t - 1]),
+               bench::fmt("%+.2fpp", 100 * (acc10[t - 1] - acc9[t - 1]))});
+    csv.row("eq9", t, 100 * acc9[t - 1]);
+    csv.row("eq10", t, 100 * acc10[t - 1]);
+  }
+
+  // DT-SNN operating point under each loss (threshold calibrated to the
+  // model's own full-T accuracy).
+  std::printf("\nDT-SNN operating points (iso-accuracy thresholds):\n");
+  bench::TablePrinter dt({"Loss", "theta", "avgT", "Acc.", "That distribution"},
+                         {10, 8, 7, 9, 28});
+  for (auto* pair : {&out9, &out10}) {
+    const bool is_eq10 = pair == &out10;
+    const double target = core::static_accuracy(*pair, 4);
+    const auto calib = core::calibrate_theta(*pair, target, 0.005);
+    dt.row({is_eq10 ? "Eq. (10)" : "Eq. (9)", bench::fmt("%.3f", calib.theta),
+            bench::fmt("%.2f", calib.result.avg_timesteps),
+            bench::fmt("%.2f%%", 100 * calib.result.accuracy),
+            calib.result.timestep_histogram.to_string()});
+    csv.row(is_eq10 ? "eq10_dtsnn" : "eq9_dtsnn", calib.result.avg_timesteps,
+            100 * calib.result.accuracy);
+  }
+  std::printf("\nShape check: Eq. 10 must lift T=1 accuracy sharply (paper: +15pp),\n"
+              "shifting DT-SNN exits toward t=1 and reducing average timesteps.\n");
+  return 0;
+}

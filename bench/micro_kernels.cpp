@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of the library's hot kernels: GEMM,
+// im2col, conv forward/backward, LIF dynamics, entropy, the sigma-E
+// fixed-point pipeline, and the functional crossbar MVM.
+
+#include <benchmark/benchmark.h>
+
+#include "core/entropy.h"
+#include "imc/sigma_e.h"
+#include "imc/xbar_functional.h"
+#include "snn/conv.h"
+#include "snn/lif.h"
+#include "snn/loss.h"
+#include "util/gemm.h"
+#include "util/rng.h"
+
+using namespace dtsnn;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    util::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmSparseSpikes(benchmark::State& state) {
+  // Binary spike activations at 15% density — the IMC operating regime.
+  const std::size_t n = 256;
+  util::Rng rng(2);
+  std::vector<float> a(n * n, 0.0f), b(n * n), c(n * n);
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  for (auto& v : a) v = rng.bernoulli(0.15) ? 1.0f : 0.0f;
+  for (auto _ : state) {
+    util::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmSparseSpikes);
+
+void BM_ConvForward(benchmark::State& state) {
+  util::Rng rng(3);
+  snn::Conv2d conv(32, 64, 3, 1, 1, false, rng);
+  snn::Tensor x = snn::Tensor::randn({8, 32, 16, 16}, rng);
+  conv.set_time(1, 8);
+  for (auto _ : state) {
+    snn::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  util::Rng rng(4);
+  snn::Conv2d conv(32, 64, 3, 1, 1, false, rng);
+  snn::Tensor x = snn::Tensor::randn({8, 32, 16, 16}, rng);
+  conv.set_time(1, 8);
+  snn::Tensor y = conv.forward(x, true);
+  snn::Tensor g = snn::Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    snn::Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_LifMultistep(benchmark::State& state) {
+  util::Rng rng(5);
+  snn::Lif lif{snn::LifConfig{}};
+  const std::size_t timesteps = 4;
+  lif.set_time(timesteps, 8);
+  snn::Tensor x = snn::Tensor::randn({timesteps * 8, 64, 16, 16}, rng, 0.5f, 1.0f);
+  for (auto _ : state) {
+    snn::Tensor s = lif.forward(x, false);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.numel()));
+}
+BENCHMARK(BM_LifMultistep);
+
+void BM_CumulativeMeanLogits(benchmark::State& state) {
+  util::Rng rng(6);
+  snn::Tensor logits = snn::Tensor::randn({4 * 256, 10}, rng);
+  for (auto _ : state) {
+    snn::Tensor cum = snn::cumulative_mean_logits(logits, 4);
+    benchmark::DoNotOptimize(cum.data());
+  }
+}
+BENCHMARK(BM_CumulativeMeanLogits);
+
+void BM_EntropyFloat(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<float> logits(10);
+  for (auto& v : logits) v = static_cast<float>(rng.gaussian(0.0, 2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::entropy_of_logits(logits));
+  }
+}
+BENCHMARK(BM_EntropyFloat);
+
+void BM_SigmaEFixedPoint(benchmark::State& state) {
+  imc::SigmaEModule mod;
+  util::Rng rng(8);
+  std::vector<float> logits(10);
+  for (auto& v : logits) v = static_cast<float>(rng.gaussian(0.0, 2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod.compute_entropy(logits));
+  }
+}
+BENCHMARK(BM_SigmaEFixedPoint);
+
+void BM_CrossbarAnalogMvm(benchmark::State& state) {
+  imc::ImcConfig cfg;
+  imc::FunctionalCrossbar xbar(cfg, 64, 16, 9);
+  util::Rng rng(9);
+  std::vector<float> w(64 * 16);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  xbar.program(w);
+  std::vector<float> spikes(64);
+  for (auto& v : spikes) v = rng.bernoulli(0.2) ? 1.0f : 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar.mvm_analog(spikes));
+  }
+}
+BENCHMARK(BM_CrossbarAnalogMvm);
+
+void BM_DeviceWeightReadback(benchmark::State& state) {
+  imc::ImcConfig cfg;
+  util::Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imc::program_and_read_weight(97, 0.01f, cfg, rng));
+  }
+}
+BENCHMARK(BM_DeviceWeightReadback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

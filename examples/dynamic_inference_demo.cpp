@@ -1,0 +1,83 @@
+// Dynamic-inference demo: watch DT-SNN decide, sample by sample.
+//
+// Trains a small model, then steps individual test samples through the
+// sequential engine printing the entropy trajectory and exit decision for
+// each timestep — including the fixed-point sigma-E module's view of the
+// same decision, as the chip would compute it.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/entropy.h"
+#include "core/evaluator.h"
+#include "imc/sigma_e.h"
+#include "util/math.h"
+
+using namespace dtsnn;
+
+int main() {
+  core::ExperimentSpec spec;
+  spec.model = "vgg_mini";
+  spec.dataset = "sync10";
+  spec.timesteps = 4;
+  spec.epochs = 10;
+  spec.loss = core::LossKind::kPerTimestep;
+  spec.data_scale = 0.4;
+
+  std::printf("Training %s on %s...\n\n", spec.model.c_str(), spec.dataset.c_str());
+  core::Experiment e = core::run_experiment(spec);
+
+  const double theta = 0.25;
+  imc::SigmaEModule sigma_e;
+  const auto& ds = *e.bundle.test;
+  const std::size_t frame_numel = snn::shape_numel(ds.frame_shape());
+
+  std::printf("Entropy threshold theta = %.2f. Stepping 8 test samples:\n\n", theta);
+  for (std::size_t sample = 0; sample < 8; ++sample) {
+    // Manual sequential loop to expose the per-timestep internals.
+    e.net.begin_inference(1);
+    std::vector<double> acc(e.net.num_classes(), 0.0);
+    std::vector<float> cum(e.net.num_classes());
+    std::printf("sample %zu (label %d, hidden difficulty n/a to the model):\n", sample,
+                ds.label(sample));
+    for (std::size_t t = 0; t < spec.timesteps; ++t) {
+      snn::Tensor frame({1, ds.frame_shape()[0], ds.frame_shape()[1],
+                         ds.frame_shape()[2]});
+      ds.write_frame(sample, t, {frame.data(), frame_numel});
+      snn::Tensor y = e.net.step(frame);
+      for (std::size_t c = 0; c < cum.size(); ++c) {
+        acc[c] += y[c];
+        cum[c] = static_cast<float>(acc[c] / static_cast<double>(t + 1));
+      }
+      const double h_float = core::entropy_of_logits(cum);
+      const double h_fixed = sigma_e.compute_entropy(cum);
+      const bool exit_now = h_float < theta;
+      std::printf("  t=%zu  entropy=%.3f (sigma-E fixed-point: %.3f)  argmax=%zu  %s\n",
+                  t + 1, h_float, h_fixed, util::argmax(cum),
+                  exit_now          ? "-> EXIT"
+                  : t + 1 == spec.timesteps ? "-> out of timesteps, EXIT"
+                                            : "continue");
+      if (exit_now) break;
+    }
+    const auto pred = util::argmax(cum);
+    std::printf("  prediction: %zu (%s)\n\n", pred,
+                pred == static_cast<std::size_t>(ds.label(sample)) ? "correct"
+                                                                    : "WRONG");
+  }
+
+  // Aggregate view via the engine API.
+  const core::EntropyExitPolicy policy(theta);
+  core::SequentialEngine engine(e.net, policy, spec.timesteps);
+  std::size_t correct = 0;
+  double total_t = 0.0;
+  const std::size_t n = std::min<std::size_t>(256, ds.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pred = engine.infer(ds, i);
+    correct += pred.predicted_class == static_cast<std::size_t>(ds.label(i));
+    total_t += static_cast<double>(pred.timesteps_used);
+  }
+  std::printf("Over %zu samples: %.2f%% accuracy at %.2f average timesteps.\n", n,
+              100.0 * static_cast<double>(correct) / static_cast<double>(n),
+              total_t / static_cast<double>(n));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// IMC energy report: map a network onto the in-memory-computing chip model
+// and print the per-layer placement plus the component energy breakdown —
+// the workflow an architect would use to size a deployment.
+//
+// Usage: imc_energy_report [vgg16|resnet19] [timesteps] [activity]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "imc/energy_model.h"
+
+using namespace dtsnn;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "vgg16";
+  const double timesteps = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const double activity = argc > 3 ? std::atof(argv[3]) : 0.15;
+
+  imc::NetworkSpec spec =
+      which == "resnet19" ? imc::resnet19_spec() : imc::vgg16_spec();
+  imc::set_uniform_activity(spec, activity, /*first_layer_activity=*/1.0);
+  const imc::ImcConfig cfg;
+  const imc::EnergyModel model(imc::map_network(spec, cfg));
+  const auto& mapping = model.mapping();
+
+  std::printf("Network: %s  (T=%.2f, hidden spike activity %.2f)\n",
+              spec.name.c_str(), timesteps, activity);
+  std::printf("Architecture: %zux%zu %zu-bit RRAM crossbars, %zu per tile\n\n",
+              cfg.crossbar_size, cfg.crossbar_size, cfg.device_bits,
+              cfg.crossbars_per_tile);
+
+  std::printf("%-14s %9s %9s %8s %7s %12s\n", "layer", "rows", "cols(dev)", "xbars",
+              "tiles", "latency(us)");
+  for (const auto& l : mapping.layers) {
+    std::printf("%-14s %9zu %9zu %8zu %7zu %12.2f\n", l.spec.label.c_str(),
+                l.spec.rows_needed(), l.device_columns, l.crossbars, l.tiles,
+                l.latency_ns / 1e3);
+  }
+  std::printf("%-14s %9s %9s %8zu %7zu %12.2f\n\n", "TOTAL", "", "",
+              mapping.total_crossbars(), mapping.total_tiles(),
+              mapping.total_latency_ns() / 1e3);
+
+  const auto shares = model.component_shares(timesteps);
+  const double total_uj = model.energy_pj(timesteps) / 1e6;
+  std::printf("Energy at T=%.2f: %.2f uJ/inference\n", timesteps, total_uj);
+  std::printf("  digital peripherals  %5.1f%%\n", 100 * shares.digital_peripherals);
+  std::printf("  crossbar + ADC       %5.1f%%\n", 100 * shares.crossbar_adc);
+  std::printf("  H-Tree               %5.1f%%\n", 100 * shares.htree);
+  std::printf("  NoC                  %5.1f%%\n", 100 * shares.noc);
+  std::printf("  LIF module           %5.1f%%\n", 100 * shares.lif);
+  std::printf("Latency: %.2f us/inference  EDP: %.3e pJ*ns\n",
+              model.latency_ns(timesteps) / 1e3, model.edp(timesteps));
+  std::printf("sigma-E overhead per timestep: %.2e of one-timestep energy\n",
+              model.breakdown().sigma_e_per_timestep_pj /
+                  model.breakdown().per_timestep.total());
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/entropy.h"
+#include "snn/loss.h"
+#include "util/math.h"
+
+namespace dtsnn::core {
+
+std::span<const float> TimestepOutputs::at(std::size_t t, std::size_t i) const {
+  assert(t < timesteps && i < samples);
+  return {cum_logits.data() + (t * samples + i) * classes, classes};
+}
+
+TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                                std::size_t timesteps, std::size_t batch_size,
+                                std::size_t limit) {
+  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
+  const std::size_t k = net.num_classes();
+  TimestepOutputs out;
+  out.timesteps = timesteps;
+  out.samples = n;
+  out.classes = k;
+  out.cum_logits = snn::Tensor({timesteps * n, k});
+  out.labels.resize(n);
+
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t b = std::min(batch_size, n - start);
+    std::vector<std::size_t> indices(b);
+    for (std::size_t i = 0; i < b; ++i) indices[i] = start + i;
+    snn::EncodedBatch batch = data::materialize_batch(dataset, indices, timesteps);
+
+    snn::Tensor logits = net.forward(batch.x, timesteps, /*train=*/false);
+    snn::Tensor cum = snn::cumulative_mean_logits(logits, timesteps);
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      for (std::size_t i = 0; i < b; ++i) {
+        const float* src = cum.data() + (t * b + i) * k;
+        float* dst = out.cum_logits.data() + (t * n + start + i) * k;
+        std::copy(src, src + k, dst);
+      }
+    }
+    for (std::size_t i = 0; i < b; ++i) out.labels[start + i] = batch.labels[i];
+  }
+  return out;
+}
+
+double static_accuracy(const TimestepOutputs& outputs, std::size_t t) {
+  if (t == 0 || t > outputs.timesteps) {
+    throw std::invalid_argument("static_accuracy: t out of range");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < outputs.samples; ++i) {
+    const auto logits = outputs.at(t - 1, i);
+    if (util::argmax(logits) == static_cast<std::size_t>(outputs.labels[i])) ++correct;
+  }
+  return outputs.samples
+             ? static_cast<double>(correct) / static_cast<double>(outputs.samples)
+             : 0.0;
+}
+
+std::vector<double> accuracy_per_timestep(const TimestepOutputs& outputs) {
+  std::vector<double> acc(outputs.timesteps);
+  for (std::size_t t = 1; t <= outputs.timesteps; ++t) {
+    acc[t - 1] = static_accuracy(outputs, t);
+  }
+  return acc;
+}
+
+DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy) {
+  DtsnnResult result;
+  result.timestep_histogram = util::Histogram(outputs.timesteps);
+  result.exit_timestep.resize(outputs.samples);
+  result.correct.resize(outputs.samples);
+
+  std::size_t correct = 0;
+  double total_t = 0.0;
+  for (std::size_t i = 0; i < outputs.samples; ++i) {
+    // Eq. (8): first t whose policy fires; fall back to T.
+    std::size_t chosen = outputs.timesteps;
+    for (std::size_t t = 0; t + 1 < outputs.timesteps; ++t) {
+      if (policy.should_exit(outputs.at(t, i))) {
+        chosen = t + 1;
+        break;
+      }
+    }
+    const auto logits = outputs.at(chosen - 1, i);
+    const bool ok = util::argmax(logits) == static_cast<std::size_t>(outputs.labels[i]);
+    result.exit_timestep[i] = chosen;
+    result.correct[i] = ok;
+    result.timestep_histogram.add(chosen - 1);
+    correct += ok;
+    total_t += static_cast<double>(chosen);
+  }
+  const double n = static_cast<double>(outputs.samples);
+  result.accuracy = outputs.samples ? static_cast<double>(correct) / n : 0.0;
+  result.avg_timesteps = outputs.samples ? total_t / n : 0.0;
+  return result;
+}
+
+SequentialPrediction SequentialEngine::infer(const data::Dataset& dataset,
+                                             std::size_t sample) {
+  const snn::Shape fs = dataset.frame_shape();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+  snn::Tensor frames({max_timesteps_, fs[0], fs[1], fs[2]});
+  for (std::size_t t = 0; t < max_timesteps_; ++t) {
+    dataset.write_frame(sample, t, {frames.data() + t * frame_numel, frame_numel});
+  }
+  return infer_frames(frames);
+}
+
+SequentialPrediction SequentialEngine::infer_frames(const snn::Tensor& frames) {
+  if (frames.rank() != 4 || frames.dim(0) < 1) {
+    throw std::invalid_argument("SequentialEngine: frames must be [T, C, H, W]");
+  }
+  const std::size_t timesteps = std::min<std::size_t>(frames.dim(0), max_timesteps_);
+  const std::size_t k = net_.num_classes();
+  const std::size_t frame_numel = frames.row_size();
+
+  net_.begin_inference(/*batch=*/1);
+  std::vector<double> acc(k, 0.0);
+  std::vector<float> cum(k);
+  SequentialPrediction pred;
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    snn::Tensor frame({1, frames.dim(1), frames.dim(2), frames.dim(3)});
+    std::copy(frames.data() + t * frame_numel, frames.data() + (t + 1) * frame_numel,
+              frame.data());
+    snn::Tensor y = net_.step(frame);
+    assert(y.numel() == k);
+    for (std::size_t c = 0; c < k; ++c) {
+      acc[c] += y[c];
+      cum[c] = static_cast<float>(acc[c] / static_cast<double>(t + 1));
+    }
+    pred.timesteps_used = t + 1;
+    // Last timestep exits unconditionally (Eq. 8 fallback to T).
+    if (t + 1 == timesteps || policy_.should_exit(cum)) break;
+  }
+  pred.predicted_class = util::argmax(cum);
+  pred.final_entropy = entropy_of_logits(cum);
+  return pred;
+}
+
+}  // namespace dtsnn::core

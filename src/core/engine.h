@@ -1,0 +1,89 @@
+// DT-SNN inference engines.
+//
+// Two execution modes with identical decisions:
+//
+//  * Post-hoc mode: run the network once for the maximum T over a dataset,
+//    record the cumulative-mean logits f_t for every timestep, then replay
+//    the exit rule (Eq. 8) for any policy/threshold without re-running the
+//    network. This is how threshold sweeps and calibration are done cheaply.
+//
+//  * Sequential mode: true early termination — the network is stepped one
+//    timestep at a time (batch 1) and computation stops at the exit decision.
+//    Used for wall-clock throughput measurement (Table III) and as the model
+//    of the on-chip control flow.
+
+#pragma once
+
+#include <functional>
+
+#include "core/exit_policy.h"
+#include "data/dataset.h"
+#include "snn/network.h"
+#include "util/stats.h"
+
+namespace dtsnn::core {
+
+/// Recorded per-timestep cumulative-mean logits over a dataset.
+struct TimestepOutputs {
+  std::size_t timesteps = 0;
+  std::size_t samples = 0;
+  std::size_t classes = 0;
+  /// [T * N, K] time-major cumulative-mean logits f_t(x_i).
+  snn::Tensor cum_logits;
+  std::vector<int> labels;
+
+  /// Logits of sample i after t+1 timesteps (t in [0, T)).
+  [[nodiscard]] std::span<const float> at(std::size_t t, std::size_t i) const;
+};
+
+/// Run the network in eval mode over `dataset` (optionally only the first
+/// `limit` samples), recording cumulative-mean logits; processes in batches.
+TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                                std::size_t timesteps, std::size_t batch_size = 256,
+                                std::size_t limit = 0);
+
+/// Static-SNN evaluation: accuracy using exactly `t` timesteps (1-based).
+double static_accuracy(const TimestepOutputs& outputs, std::size_t t);
+
+/// Accuracy at every t = 1..T.
+std::vector<double> accuracy_per_timestep(const TimestepOutputs& outputs);
+
+struct DtsnnResult {
+  double accuracy = 0.0;
+  double avg_timesteps = 0.0;
+  util::Histogram timestep_histogram{1};  ///< bin t-1 = count of samples exiting at t
+  std::vector<std::size_t> exit_timestep; ///< per sample, 1-based
+  std::vector<bool> correct;              ///< per sample
+};
+
+/// Replay the exit policy over recorded outputs (post-hoc mode).
+DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy);
+
+/// Sequential early-exit inference of one sample. Returns (prediction,
+/// timesteps used). The network must be one the outputs were trained on;
+/// frames are fetched from the dataset (direct encoding for static images).
+struct SequentialPrediction {
+  std::size_t predicted_class = 0;
+  std::size_t timesteps_used = 0;
+  double final_entropy = 0.0;
+};
+
+class SequentialEngine {
+ public:
+  SequentialEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
+                   std::size_t max_timesteps)
+      : net_(net), policy_(policy), max_timesteps_(max_timesteps) {}
+
+  /// Run one sample with true early termination.
+  SequentialPrediction infer(const data::Dataset& dataset, std::size_t sample);
+
+  /// Run one pre-encoded frame sequence [T, C, H, W].
+  SequentialPrediction infer_frames(const snn::Tensor& frames);
+
+ private:
+  snn::SpikingNetwork& net_;
+  const ExitPolicy& policy_;
+  std::size_t max_timesteps_;
+};
+
+}  // namespace dtsnn::core

@@ -1,0 +1,36 @@
+#include "core/entropy.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace dtsnn::core {
+
+double normalized_entropy(std::span<const float> probs) {
+  assert(probs.size() >= 2);
+  double h = 0.0;
+  for (const float p : probs) {
+    if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+  }
+  return h / std::log(static_cast<double>(probs.size()));
+}
+
+double entropy_of_logits(std::span<const float> logits) {
+  const std::vector<float> probs = util::softmax(logits);
+  return normalized_entropy(probs);
+}
+
+std::vector<double> entropies_of_logit_rows(std::span<const float> logits, std::size_t k) {
+  assert(k >= 2 && logits.size() % k == 0);
+  const std::size_t n = logits.size() / k;
+  std::vector<double> out(n);
+  std::vector<float> probs(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::softmax(logits.subspan(i * k, k), probs);
+    out[i] = normalized_entropy(probs);
+  }
+  return out;
+}
+
+}  // namespace dtsnn::core

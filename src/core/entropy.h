@@ -1,0 +1,27 @@
+// Normalized prediction entropy (Eq. 6-7 of the paper).
+//
+// Given classifier logits f(x), the prediction distribution is
+// pi = softmax(f(x)) and the confidence measure is
+//     E = -(1/log K) * sum_i pi_i log pi_i            in [0, 1],
+// where the 1/log K factor normalizes the maximum (uniform) entropy to 1.
+// DT-SNN exits at the first timestep whose E drops below threshold theta.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dtsnn::core {
+
+/// Entropy of a probability vector, normalized by log(K). Input must be a
+/// valid distribution (non-negative, summing to ~1); zero entries contribute
+/// zero (lim p->0 of p log p).
+double normalized_entropy(std::span<const float> probs);
+
+/// softmax followed by normalized_entropy.
+double entropy_of_logits(std::span<const float> logits);
+
+/// Per-row entropies of a [N, K] logit matrix (flat storage).
+std::vector<double> entropies_of_logit_rows(std::span<const float> logits, std::size_t k);
+
+}  // namespace dtsnn::core

@@ -1,0 +1,40 @@
+#include "core/exit_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/entropy.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace dtsnn::core {
+
+bool EntropyExitPolicy::should_exit(std::span<const float> cum_logits) const {
+  return entropy_of_logits(cum_logits) < theta_;
+}
+
+std::string EntropyExitPolicy::name() const {
+  return util::format("entropy(theta=%.4f)", theta_);
+}
+
+bool MaxProbExitPolicy::should_exit(std::span<const float> cum_logits) const {
+  const std::vector<float> probs = util::softmax(cum_logits);
+  return *std::max_element(probs.begin(), probs.end()) > p_min_;
+}
+
+std::string MaxProbExitPolicy::name() const {
+  return util::format("maxprob(p=%.4f)", p_min_);
+}
+
+bool MarginExitPolicy::should_exit(std::span<const float> cum_logits) const {
+  std::vector<float> probs = util::softmax(cum_logits);
+  if (probs.size() < 2) return true;
+  std::nth_element(probs.begin(), probs.begin() + 1, probs.end(), std::greater<>());
+  return static_cast<double>(probs[0] - probs[1]) > margin_;
+}
+
+std::string MarginExitPolicy::name() const {
+  return util::format("margin(m=%.4f)", margin_);
+}
+
+}  // namespace dtsnn::core

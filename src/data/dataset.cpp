@@ -1,0 +1,112 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace dtsnn::data {
+
+ArrayDataset::ArrayDataset(snn::Shape frame_shape, std::size_t frames_per_sample,
+                           std::size_t num_classes)
+    : frame_shape_(std::move(frame_shape)),
+      frame_numel_(snn::shape_numel(frame_shape_)),
+      frames_per_sample_(frames_per_sample),
+      num_classes_(num_classes) {
+  if (frames_per_sample_ == 0 || num_classes_ == 0 || frame_numel_ == 0) {
+    throw std::invalid_argument("ArrayDataset: degenerate configuration");
+  }
+}
+
+std::size_t ArrayDataset::add_sample(std::vector<float> frames, int label,
+                                     double difficulty, double temporal_noise) {
+  if (frames.size() != frame_numel_ * frames_per_sample_) {
+    throw std::invalid_argument("ArrayDataset::add_sample: bad frame data size");
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+    throw std::invalid_argument("ArrayDataset::add_sample: label out of range");
+  }
+  data_.insert(data_.end(), frames.begin(), frames.end());
+  labels_.push_back(label);
+  difficulty_.push_back(difficulty);
+  temporal_noise_.push_back(static_cast<float>(temporal_noise));
+  return labels_.size() - 1;
+}
+
+void ArrayDataset::write_frame(std::size_t sample, std::size_t t,
+                               std::span<float> dst) const {
+  assert(dst.size() == frame_numel_);
+  const std::size_t frame = std::min(t, frames_per_sample_ - 1);
+  const float* src = data_.data() + (sample * frames_per_sample_ + frame) * frame_numel_;
+  std::memcpy(dst.data(), src, frame_numel_ * sizeof(float));
+
+  const float sigma = temporal_noise_[sample];
+  if (sigma > 0.0f) {
+    // Deterministic per-(sample, timestep) stream: any engine reading the
+    // same (sample, t) sees identical noise.
+    util::Rng rng(noise_seed_ ^ (sample * 0x9e3779b97f4a7c15ull) ^
+                  (t * 0xc2b2ae3d27d4eb4full));
+    for (auto& v : dst) v += sigma * static_cast<float>(rng.gaussian());
+  }
+}
+
+std::span<const float> ArrayDataset::frame_data(std::size_t sample, std::size_t t) const {
+  const std::size_t frame = std::min(t, frames_per_sample_ - 1);
+  return {data_.data() + (sample * frames_per_sample_ + frame) * frame_numel_,
+          frame_numel_};
+}
+
+snn::EncodedBatch materialize_batch(const Dataset& dataset,
+                                    std::span<const std::size_t> indices,
+                                    std::size_t timesteps) {
+  const snn::Shape fs = dataset.frame_shape();
+  const std::size_t b = indices.size();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+
+  snn::EncodedBatch batch;
+  batch.x = snn::Tensor({timesteps * b, fs[0], fs[1], fs[2]});
+  batch.labels.resize(b);
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    for (std::size_t i = 0; i < b; ++i) {
+      float* dst = batch.x.data() + (t * b + i) * frame_numel;
+      dataset.write_frame(indices[i], t, {dst, frame_numel});
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) batch.labels[i] = dataset.label(indices[i]);
+  return batch;
+}
+
+snn::EncodedBatch materialize_all(const Dataset& dataset, std::size_t timesteps,
+                                  std::size_t limit) {
+  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return materialize_batch(dataset, indices, timesteps);
+}
+
+ShuffledBatchSource::ShuffledBatchSource(const Dataset& dataset, std::size_t batch_size,
+                                         std::uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), seed_(seed), order_(dataset.size()) {
+  if (batch_size_ == 0) throw std::invalid_argument("ShuffledBatchSource: batch_size 0");
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+std::size_t ShuffledBatchSource::num_batches() const {
+  return order_.size() / batch_size_;  // drop ragged tail, as common in training
+}
+
+snn::EncodedBatch ShuffledBatchSource::batch(std::size_t index,
+                                             std::size_t timesteps) const {
+  if (index >= num_batches()) {
+    throw std::out_of_range("ShuffledBatchSource::batch index out of range");
+  }
+  const std::span<const std::size_t> slice(order_.data() + index * batch_size_, batch_size_);
+  return materialize_batch(dataset_, slice, timesteps);
+}
+
+void ShuffledBatchSource::reshuffle(std::size_t epoch) {
+  util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (epoch + 1)));
+  rng.shuffle(order_);
+}
+
+}  // namespace dtsnn::data

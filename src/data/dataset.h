@@ -1,0 +1,114 @@
+// Dataset abstractions.
+//
+// A Dataset yields per-sample frames. Static image datasets expose a single
+// frame which the encoder repeats at every timestep (the paper's direct
+// encoding, where the first conv+LIF block g_1 learns the spike code); event
+// (DVS-like) datasets expose a distinct frame per timestep.
+//
+// Every synthetic sample also carries a scalar difficulty in [0,1] used by
+// the Fig. 8 visualization and by dataset-quality tests — it is *not*
+// visible to the models.
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "snn/tensor.h"
+#include "snn/trainer.h"
+#include "util/rng.h"
+
+namespace dtsnn::data {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+  /// Per-frame shape [C, H, W].
+  [[nodiscard]] virtual snn::Shape frame_shape() const = 0;
+  [[nodiscard]] virtual int label(std::size_t sample) const = 0;
+  [[nodiscard]] virtual double difficulty(std::size_t sample) const = 0;
+  /// Number of native frames (1 for static images, T for event streams).
+  [[nodiscard]] virtual std::size_t native_frames() const = 0;
+
+  /// Write frame `t` of `sample` into `dst` (size = numel of frame_shape).
+  /// Static datasets ignore `t`; event datasets clamp t to native_frames-1.
+  virtual void write_frame(std::size_t sample, std::size_t t,
+                           std::span<float> dst) const = 0;
+};
+
+/// Concrete in-memory dataset; produced by the synthetic generators.
+class ArrayDataset final : public Dataset {
+ public:
+  ArrayDataset(snn::Shape frame_shape, std::size_t frames_per_sample,
+               std::size_t num_classes);
+
+  /// Append one sample (frames laid out frame-major). Returns its index.
+  /// `temporal_noise` adds i.i.d. Gaussian sensor noise of that stddev to
+  /// every (timestep, pixel) when frames are read back — deterministic per
+  /// (sample, timestep), so repeated reads and different engines see the
+  /// same encoded input. This models per-timestep analog encoding noise:
+  /// temporal integration over more timesteps averages it away, which is
+  /// what makes extra timesteps informative for direct-encoded images.
+  std::size_t add_sample(std::vector<float> frames, int label, double difficulty,
+                         double temporal_noise = 0.0);
+
+  /// Seed of the deterministic per-timestep noise stream.
+  void set_noise_seed(std::uint64_t seed) { noise_seed_ = seed; }
+
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] snn::Shape frame_shape() const override { return frame_shape_; }
+  [[nodiscard]] int label(std::size_t sample) const override { return labels_.at(sample); }
+  [[nodiscard]] double difficulty(std::size_t sample) const override {
+    return difficulty_.at(sample);
+  }
+  [[nodiscard]] std::size_t native_frames() const override { return frames_per_sample_; }
+  void write_frame(std::size_t sample, std::size_t t, std::span<float> dst) const override;
+
+  /// Direct read access to a stored frame (for visualization).
+  [[nodiscard]] std::span<const float> frame_data(std::size_t sample, std::size_t t) const;
+
+ private:
+  snn::Shape frame_shape_;
+  std::size_t frame_numel_;
+  std::size_t frames_per_sample_;
+  std::size_t num_classes_;
+  std::uint64_t noise_seed_ = 0x5e15e15e1ull;
+  std::vector<float> data_;
+  std::vector<int> labels_;
+  std::vector<double> difficulty_;
+  std::vector<float> temporal_noise_;
+};
+
+/// Encode samples `indices` into a time-major batch [T*B, C, H, W].
+snn::EncodedBatch materialize_batch(const Dataset& dataset,
+                                    std::span<const std::size_t> indices,
+                                    std::size_t timesteps);
+
+/// Encode the whole dataset (or its first `limit` samples) as one batch.
+snn::EncodedBatch materialize_all(const Dataset& dataset, std::size_t timesteps,
+                                  std::size_t limit = 0);
+
+/// BatchSource over a Dataset with per-epoch reshuffling.
+class ShuffledBatchSource final : public snn::BatchSource {
+ public:
+  ShuffledBatchSource(const Dataset& dataset, std::size_t batch_size, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_batches() const override;
+  [[nodiscard]] snn::EncodedBatch batch(std::size_t index,
+                                        std::size_t timesteps) const override;
+  void reshuffle(std::size_t epoch) override;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  std::uint64_t seed_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace dtsnn::data

@@ -1,0 +1,130 @@
+#include "data/dvs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtsnn::data {
+
+namespace {
+
+/// Smooth scalar field in [-1, 1] used as the moving stimulus.
+std::vector<float> make_field(const DvsSpec& spec, util::Rng& rng) {
+  SyntheticSpec proto_spec;
+  proto_spec.channels = 1;
+  proto_spec.height = spec.height;
+  proto_spec.width = spec.width;
+  proto_spec.prototype_cells = spec.prototype_cells;
+  // Reuse the synthetic-vision prototype generator through its public
+  // surface: build a tiny one-class dataset? Simpler: replicate the bilinear
+  // construction locally with the same statistical structure.
+  const std::size_t cells = spec.prototype_cells;
+  std::vector<float> coarse(cells * cells);
+  for (auto& v : coarse) v = static_cast<float>(rng.gaussian());
+  std::vector<float> field(spec.height * spec.width);
+  for (std::size_t y = 0; y < spec.height; ++y) {
+    const double gy = (static_cast<double>(y) + 0.5) / static_cast<double>(spec.height) *
+                          static_cast<double>(cells) -
+                      0.5;
+    const auto y0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+    const double fy = gy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < spec.width; ++x) {
+      const double gx = (static_cast<double>(x) + 0.5) / static_cast<double>(spec.width) *
+                            static_cast<double>(cells) -
+                        0.5;
+      const auto x0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+      const double fx = gx - static_cast<double>(x0);
+      auto at = [&](std::ptrdiff_t yy, std::ptrdiff_t xx) -> double {
+        yy = std::clamp<std::ptrdiff_t>(yy, 0, static_cast<std::ptrdiff_t>(cells) - 1);
+        xx = std::clamp<std::ptrdiff_t>(xx, 0, static_cast<std::ptrdiff_t>(cells) - 1);
+        return coarse[yy * static_cast<std::ptrdiff_t>(cells) + xx];
+      };
+      const double v =
+          (1 - fy) * ((1 - fx) * at(y0, x0) + fx * at(y0, x0 + 1)) +
+          fy * ((1 - fx) * at(y0 + 1, x0) + fx * at(y0 + 1, x0 + 1));
+      field[y * spec.width + x] = static_cast<float>(std::tanh(v));
+    }
+  }
+  return field;
+}
+
+void fill_split(ArrayDataset& dataset, const DvsSpec& spec,
+                const std::vector<std::vector<float>>& fields, util::Rng& rng,
+                std::size_t count) {
+  const std::size_t hw = spec.height * spec.width;
+  const std::size_t frame_numel = 2 * hw;  // ON / OFF channels
+  std::vector<float> frames(spec.timesteps * frame_numel);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<int>(rng.uniform_int(spec.classes));
+    const double difficulty = std::pow(rng.uniform(), spec.difficulty_skew);
+    const double signal = spec.signal_rate * (1.0 - spec.signal_drop * difficulty);
+    const double noise = spec.noise_rate * difficulty;
+    const auto& field = fields[static_cast<std::size_t>(label)];
+    // Per-sample drift direction: the stimulus translates across frames.
+    const int dy = rng.bernoulli(0.5) ? 1 : -1;
+    const int dx = rng.bernoulli(0.5) ? 1 : -1;
+
+    std::fill(frames.begin(), frames.end(), 0.0f);
+    for (std::size_t t = 0; t < spec.timesteps; ++t) {
+      float* on = frames.data() + t * frame_numel;
+      float* off = on + hw;
+      const auto shift_y = static_cast<std::ptrdiff_t>(t) * dy;
+      const auto shift_x = static_cast<std::ptrdiff_t>(t) * dx;
+      for (std::size_t y = 0; y < spec.height; ++y) {
+        for (std::size_t x = 0; x < spec.width; ++x) {
+          // Toroidal shift keeps the stimulus in frame.
+          const std::size_t sy = static_cast<std::size_t>(
+              ((static_cast<std::ptrdiff_t>(y) + shift_y) %
+                   static_cast<std::ptrdiff_t>(spec.height) +
+               static_cast<std::ptrdiff_t>(spec.height)) %
+              static_cast<std::ptrdiff_t>(spec.height));
+          const std::size_t sx = static_cast<std::size_t>(
+              ((static_cast<std::ptrdiff_t>(x) + shift_x) %
+                   static_cast<std::ptrdiff_t>(spec.width) +
+               static_cast<std::ptrdiff_t>(spec.width)) %
+              static_cast<std::ptrdiff_t>(spec.width));
+          const float v = field[sy * spec.width + sx];
+          const double p_on = signal * std::max(0.0f, v) + noise;
+          const double p_off = signal * std::max(0.0f, -v) + noise;
+          if (rng.bernoulli(std::min(1.0, p_on))) on[y * spec.width + x] = 1.0f;
+          if (rng.bernoulli(std::min(1.0, p_off))) off[y * spec.width + x] = 1.0f;
+        }
+      }
+    }
+    dataset.add_sample(frames, label, difficulty);
+  }
+}
+
+}  // namespace
+
+SyntheticBundle make_synthetic_dvs(const DvsSpec& spec) {
+  if (spec.classes < 2) throw std::invalid_argument("make_synthetic_dvs: need >= 2 classes");
+  if (spec.timesteps == 0) throw std::invalid_argument("make_synthetic_dvs: timesteps 0");
+  util::Rng rng(spec.seed);
+  std::vector<std::vector<float>> fields;
+  fields.reserve(spec.classes);
+  for (std::size_t k = 0; k < spec.classes; ++k) fields.push_back(make_field(spec, rng));
+
+  SyntheticBundle bundle;
+  bundle.name = spec.name;
+  const snn::Shape frame{2, spec.height, spec.width};
+  bundle.train = std::make_unique<ArrayDataset>(frame, spec.timesteps, spec.classes);
+  bundle.test = std::make_unique<ArrayDataset>(frame, spec.timesteps, spec.classes);
+
+  util::Rng train_rng = rng.fork(1);
+  util::Rng test_rng = rng.fork(2);
+  fill_split(*bundle.train, spec, fields, train_rng, spec.train_samples);
+  fill_split(*bundle.test, spec, fields, test_rng, spec.test_samples);
+  return bundle;
+}
+
+DvsSpec dvs_preset(double size_scale) {
+  DvsSpec spec;
+  spec.train_samples = static_cast<std::size_t>(
+      std::max(64.0, static_cast<double>(spec.train_samples) * size_scale));
+  spec.test_samples = static_cast<std::size_t>(
+      std::max(64.0, static_cast<double>(spec.test_samples) * size_scale));
+  return spec;
+}
+
+}  // namespace dtsnn::data

@@ -1,0 +1,154 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtsnn::data {
+
+namespace {
+
+/// Smooth low-frequency pattern: random values on a coarse grid, bilinearly
+/// upsampled to HxW, one pattern per channel.
+std::vector<float> make_prototype(const SyntheticSpec& spec, util::Rng& rng) {
+  const std::size_t cells = spec.prototype_cells;
+  std::vector<float> coarse(spec.channels * cells * cells);
+  for (auto& v : coarse) v = static_cast<float>(rng.gaussian());
+
+  std::vector<float> proto(spec.channels * spec.height * spec.width);
+  for (std::size_t c = 0; c < spec.channels; ++c) {
+    const float* grid = coarse.data() + c * cells * cells;
+    float* out = proto.data() + c * spec.height * spec.width;
+    for (std::size_t y = 0; y < spec.height; ++y) {
+      // Map pixel center into coarse-grid coordinates.
+      const double gy = (static_cast<double>(y) + 0.5) / static_cast<double>(spec.height) *
+                            static_cast<double>(cells) -
+                        0.5;
+      const auto y0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+      const double fy = gy - static_cast<double>(y0);
+      for (std::size_t x = 0; x < spec.width; ++x) {
+        const double gx = (static_cast<double>(x) + 0.5) / static_cast<double>(spec.width) *
+                              static_cast<double>(cells) -
+                          0.5;
+        const auto x0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+        const double fx = gx - static_cast<double>(x0);
+        auto sample_grid = [&](std::ptrdiff_t yy, std::ptrdiff_t xx) -> double {
+          yy = std::clamp<std::ptrdiff_t>(yy, 0, static_cast<std::ptrdiff_t>(cells) - 1);
+          xx = std::clamp<std::ptrdiff_t>(xx, 0, static_cast<std::ptrdiff_t>(cells) - 1);
+          return grid[yy * static_cast<std::ptrdiff_t>(cells) + xx];
+        };
+        const double v = (1 - fy) * ((1 - fx) * sample_grid(y0, x0) +
+                                     fx * sample_grid(y0, x0 + 1)) +
+                         fy * ((1 - fx) * sample_grid(y0 + 1, x0) +
+                               fx * sample_grid(y0 + 1, x0 + 1));
+        out[y * spec.width + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return proto;
+}
+
+void fill_split(ArrayDataset& dataset, const SyntheticSpec& spec,
+                const std::vector<std::vector<float>>& prototypes, util::Rng& rng,
+                std::size_t count) {
+  const std::size_t numel = spec.channels * spec.height * spec.width;
+  std::vector<float> base(numel);
+  std::vector<float> frames(spec.frames * numel);
+
+  auto random_other = [&](std::size_t label) {
+    std::size_t other = rng.uniform_int(spec.classes);
+    while (spec.classes > 1 && other == label) other = rng.uniform_int(spec.classes);
+    return other;
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label = static_cast<int>(rng.uniform_int(spec.classes));
+    // Right-skewed difficulty: most samples near 0 (easy).
+    const double difficulty = std::pow(rng.uniform(), spec.difficulty_skew);
+    const double contrast = 1.0 - spec.contrast_drop * difficulty;
+    const double clutter_gain = spec.clutter * difficulty;
+    const double noise_gain = spec.noise * difficulty;
+    // Structured per-timestep clutter needs a floor so that easy samples
+    // still benefit mildly from integration, plus a difficulty slope that
+    // creates the band of inputs that fail at T=1 but succeed by T=3-4.
+    const double flicker_gain = spec.temporal_clutter * (0.35 + 0.65 * difficulty);
+
+    const auto& proto = prototypes[static_cast<std::size_t>(label)];
+    const auto& mix = prototypes[random_other(static_cast<std::size_t>(label))];
+    for (std::size_t p = 0; p < numel; ++p) {
+      base[p] = static_cast<float>(contrast * proto[p] + clutter_gain * mix[p] +
+                                   noise_gain * rng.gaussian());
+    }
+    // Encoded frames: base scene plus a *different* distractor prototype
+    // flickering at every timestep. Temporal integration averages the
+    // distractors toward their (common) mean; a single timestep cannot.
+    for (std::size_t f = 0; f < spec.frames; ++f) {
+      const auto& flicker =
+          prototypes[random_other(static_cast<std::size_t>(label))];
+      float* dst = frames.data() + f * numel;
+      for (std::size_t p = 0; p < numel; ++p) {
+        dst[p] = base[p] + static_cast<float>(flicker_gain) * flicker[p];
+      }
+    }
+    const double temporal = spec.temporal_noise * (0.5 + 0.5 * difficulty);
+    dataset.add_sample(frames, label, difficulty, temporal);
+  }
+}
+
+}  // namespace
+
+SyntheticBundle make_synthetic_vision(const SyntheticSpec& spec) {
+  if (spec.classes < 2) throw std::invalid_argument("make_synthetic_vision: need >= 2 classes");
+  util::Rng proto_rng(spec.seed);
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(spec.classes);
+  for (std::size_t k = 0; k < spec.classes; ++k) {
+    prototypes.push_back(make_prototype(spec, proto_rng));
+  }
+
+  SyntheticBundle bundle;
+  bundle.name = spec.name;
+  const snn::Shape frame{spec.channels, spec.height, spec.width};
+  bundle.train = std::make_unique<ArrayDataset>(frame, spec.frames, spec.classes);
+  bundle.test = std::make_unique<ArrayDataset>(frame, spec.frames, spec.classes);
+
+  util::Rng train_rng = proto_rng.fork(1);
+  util::Rng test_rng = proto_rng.fork(2);
+  fill_split(*bundle.train, spec, prototypes, train_rng, spec.train_samples);
+  fill_split(*bundle.test, spec, prototypes, test_rng, spec.test_samples);
+  return bundle;
+}
+
+SyntheticSpec synthetic_preset(const std::string& name, double size_scale) {
+  SyntheticSpec spec;
+  spec.name = name;
+  if (name == "sync10") {
+    // Defaults above.
+  } else if (name == "sync100") {
+    spec.classes = 20;
+    spec.clutter = 0.9;
+    spec.noise = 0.6;
+    spec.temporal_clutter = 1.0;
+    spec.contrast_drop = 0.7;
+    spec.difficulty_skew = 1.8;
+    spec.seed = 11;
+  } else if (name == "syntin") {
+    spec.classes = 20;
+    spec.height = 24;
+    spec.width = 24;
+    spec.clutter = 1.0;
+    spec.noise = 0.7;
+    spec.temporal_clutter = 1.1;
+    spec.contrast_drop = 0.75;
+    spec.difficulty_skew = 1.5;
+    spec.seed = 13;
+  } else {
+    throw std::invalid_argument("synthetic_preset: unknown preset '" + name + "'");
+  }
+  spec.train_samples = static_cast<std::size_t>(
+      std::max(64.0, static_cast<double>(spec.train_samples) * size_scale));
+  spec.test_samples = static_cast<std::size_t>(
+      std::max(64.0, static_cast<double>(spec.test_samples) * size_scale));
+  return spec;
+}
+
+}  // namespace dtsnn::data

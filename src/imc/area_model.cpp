@@ -1,0 +1,41 @@
+#include "imc/area_model.h"
+
+namespace dtsnn::imc {
+
+AreaBreakdown estimate_area(const NetworkMapping& mapping, const AreaConfig& area) {
+  const ImcConfig& cfg = mapping.config;
+  AreaBreakdown out;
+
+  const double um2_to_mm2 = 1e-6;
+  const auto crossbars = static_cast<double>(mapping.total_crossbars());
+  const auto tiles = static_cast<double>(mapping.total_tiles());
+  const double cells_per_xbar =
+      static_cast<double>(cfg.crossbar_size) * static_cast<double>(cfg.crossbar_size);
+
+  out.crossbars_mm2 = crossbars * cells_per_xbar * area.cell_um2 * um2_to_mm2;
+  // ADCs shared across columns by the mux ratio.
+  const double adcs_per_xbar =
+      static_cast<double>(cfg.crossbar_size) / static_cast<double>(cfg.adc_mux_ratio);
+  out.adcs_mm2 = crossbars * adcs_per_xbar * area.adc_um2 * um2_to_mm2;
+  // Per-crossbar digital periphery + per-tile accumulator hierarchy
+  // (PE accumulators + tile accumulator + share of the global accumulator).
+  const double accumulators =
+      tiles * (static_cast<double>(cfg.pes_per_tile) + 2.0);
+  out.digital_periphery_mm2 =
+      (crossbars * (area.switch_matrix_um2 + area.mux_um2 + area.shift_add_um2) +
+       accumulators * area.accumulator_um2) *
+      um2_to_mm2;
+  // Buffers: per-tile tile buffer, per-PE PE buffer, one global buffer.
+  const double buffer_kb =
+      tiles * (static_cast<double>(cfg.tile_buffer_kb) +
+               static_cast<double>(cfg.pes_per_tile) *
+                   static_cast<double>(cfg.pe_buffer_kb)) +
+      static_cast<double>(cfg.global_buffer_kb);
+  out.buffers_mm2 = buffer_kb * area.sram_um2_per_kb * um2_to_mm2;
+  out.interconnect_mm2 = tiles * (area.htree_um2 + area.noc_router_um2) * um2_to_mm2;
+  out.lif_mm2 = tiles * area.lif_module_um2 * um2_to_mm2;
+  out.sigma_e_mm2 = area.sigma_e_um2 * um2_to_mm2;
+  return out;
+}
+
+}  // namespace dtsnn::imc

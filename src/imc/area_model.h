@@ -1,0 +1,63 @@
+// Chip area model (NeuroSim-style macro estimates at 32nm).
+//
+// Complements the energy model: converts a NetworkMapping into silicon area
+// per architectural component. Used by the hardware-sweep ablation to show
+// the area side of the crossbar-size / ADC-sharing trade-offs, and by the
+// sigma-E analysis to bound the DT-SNN control overhead (<0.1% of the chip).
+
+#pragma once
+
+#include "imc/mapping.h"
+
+namespace dtsnn::imc {
+
+/// Per-component area atoms in square micrometers (32nm-class defaults).
+struct AreaConfig {
+  /// One RRAM cell (4F^2 at F = 32nm, with access transistor overhead).
+  double cell_um2 = 0.018;
+  /// One SAR ADC instance.
+  double adc_um2 = 1500.0;
+  /// Switch matrix + drivers per crossbar.
+  double switch_matrix_um2 = 480.0;
+  /// Column mux per crossbar.
+  double mux_um2 = 120.0;
+  /// Shift & add per crossbar.
+  double shift_add_um2 = 250.0;
+  /// Accumulator block per PE / tile / global instance.
+  double accumulator_um2 = 900.0;
+  /// SRAM buffer per KB.
+  double sram_um2_per_kb = 2200.0;
+  /// LIF neuron module per tile.
+  double lif_module_um2 = 3200.0;
+  /// H-tree wiring per tile.
+  double htree_um2 = 2600.0;
+  /// NoC router per tile.
+  double noc_router_um2 = 6200.0;
+  /// sigma-E module: two 3KB LUTs + FIFOs + MAC (one instance per chip).
+  double sigma_e_um2 = 16000.0;
+};
+
+struct AreaBreakdown {
+  double crossbars_mm2 = 0.0;
+  double adcs_mm2 = 0.0;
+  double digital_periphery_mm2 = 0.0;  ///< switch/mux/shift-add/accumulators
+  double buffers_mm2 = 0.0;
+  double interconnect_mm2 = 0.0;       ///< H-tree + NoC routers
+  double lif_mm2 = 0.0;
+  double sigma_e_mm2 = 0.0;
+
+  [[nodiscard]] double total_mm2() const {
+    return crossbars_mm2 + adcs_mm2 + digital_periphery_mm2 + buffers_mm2 +
+           interconnect_mm2 + lif_mm2 + sigma_e_mm2;
+  }
+  /// sigma-E share of the chip (paper claims negligible).
+  [[nodiscard]] double sigma_e_fraction() const {
+    const double t = total_mm2();
+    return t > 0.0 ? sigma_e_mm2 / t : 0.0;
+  }
+};
+
+/// Estimate the chip area for a mapped network.
+AreaBreakdown estimate_area(const NetworkMapping& mapping, const AreaConfig& area = {});
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,6 @@
+// ImcConfig is a plain aggregate; this translation unit exists to anchor the
+// module and host any future non-inline helpers.
+
+#include "imc/config.h"
+
+namespace dtsnn::imc {}  // namespace dtsnn::imc

@@ -1,0 +1,80 @@
+#include "imc/energy_model.h"
+
+#include <cassert>
+
+namespace dtsnn::imc {
+
+EnergyModel::EnergyModel(NetworkMapping mapping) : mapping_(std::move(mapping)) {
+  const ImcConfig& c = mapping_.config;
+  ComponentEnergy e;
+  for (const auto& l : mapping_.layers) {
+    e.crossbar_adc += l.active_row_reads * c.e_xbar_row_read_pj +
+                      static_cast<double>(l.adc_conversions) * c.e_adc_conv_pj;
+    e.digital_peripherals +=
+        static_cast<double>(l.mvm_reads) * c.e_switch_matrix_pj +
+        static_cast<double>(l.adc_conversions) * c.e_mux_pj +
+        static_cast<double>(l.shift_add_ops) * c.e_shift_add_pj +
+        static_cast<double>(l.accumulate_ops) * c.e_accumulate_pj +
+        static_cast<double>(l.buffer_bytes) * c.e_buffer_rw_pj_per_byte;
+    e.htree += static_cast<double>(l.htree_bytes) * c.e_htree_pj_per_byte;
+    e.noc += static_cast<double>(l.noc_bytes) * c.e_noc_pj_per_byte;
+    e.lif += static_cast<double>(l.lif_updates) * c.e_lif_update_pj;
+  }
+  breakdown_.per_timestep = e;
+  breakdown_.fixed_per_inference_pj =
+      static_cast<double>(mapping_.network.input_bytes()) * c.e_offchip_pj_per_byte +
+      c.e_inference_setup_pj;
+  breakdown_.sigma_e_per_timestep_pj = c.sigma_e_energy_fraction * e.total();
+  breakdown_.latency_per_timestep_ns = mapping_.total_latency_ns();
+}
+
+double EnergyModel::energy_pj(double timesteps, bool dynamic) const {
+  assert(timesteps >= 0.0);
+  double step = breakdown_.per_timestep.total();
+  if (dynamic) step += breakdown_.sigma_e_per_timestep_pj;
+  return breakdown_.fixed_per_inference_pj + timesteps * step;
+}
+
+double EnergyModel::latency_ns(double timesteps) const {
+  return timesteps * breakdown_.latency_per_timestep_ns;
+}
+
+double EnergyModel::edp(double timesteps, bool dynamic) const {
+  return energy_pj(timesteps, dynamic) * latency_ns(timesteps);
+}
+
+double EnergyModel::mean_energy_pj(std::span<const std::size_t> exit_timesteps,
+                                   bool dynamic) const {
+  if (exit_timesteps.empty()) return 0.0;
+  double acc = 0.0;
+  for (const std::size_t t : exit_timesteps) {
+    acc += energy_pj(static_cast<double>(t), dynamic);
+  }
+  return acc / static_cast<double>(exit_timesteps.size());
+}
+
+double EnergyModel::mean_edp(std::span<const std::size_t> exit_timesteps,
+                             bool dynamic) const {
+  if (exit_timesteps.empty()) return 0.0;
+  double acc = 0.0;
+  for (const std::size_t t : exit_timesteps) {
+    acc += edp(static_cast<double>(t), dynamic);
+  }
+  return acc / static_cast<double>(exit_timesteps.size());
+}
+
+EnergyModel::Share EnergyModel::component_shares(double timesteps) const {
+  const ComponentEnergy& e = breakdown_.per_timestep;
+  // The fixed per-inference energy is buffer/off-chip staging work; report it
+  // inside digital peripherals as the paper's pie does.
+  const double periph = e.digital_peripherals * timesteps + breakdown_.fixed_per_inference_pj;
+  const double xbar = e.crossbar_adc * timesteps;
+  const double htree = e.htree * timesteps;
+  const double noc = e.noc * timesteps;
+  const double lif = e.lif * timesteps;
+  const double total = periph + xbar + htree + noc + lif;
+  if (total <= 0.0) return {0, 0, 0, 0, 0};
+  return {xbar / total, periph / total, htree / total, noc / total, lif / total};
+}
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,74 @@
+// Chip-level energy / latency / EDP model.
+//
+// Converts the per-timestep event counts of a NetworkMapping into the five
+// component energies of Fig. 1(A) plus a fixed per-inference term, and
+// derives the quantities every hardware experiment needs:
+//
+//   energy(T)  = E_fixed + T * (E_step + E_sigmaE)        (affine, Fig. 1B)
+//   latency(T) = T * L_step                               (linear, Fig. 1B)
+//   EDP(T)     = energy(T) * latency(T)
+//
+// For DT-SNN the per-sample exit timestep T̂(x) varies; mean energy/EDP are
+// averaged over the per-sample values (matching the paper's Table II note).
+
+#pragma once
+
+#include <span>
+
+#include "imc/mapping.h"
+
+namespace dtsnn::imc {
+
+/// Per-timestep energy split by architectural component (picojoules).
+struct ComponentEnergy {
+  double crossbar_adc = 0.0;      ///< crossbar reads + ADC ("Crossbar+DIFF")
+  double digital_peripherals = 0.0;///< switch matrix, mux, shift&add, accs, buffers
+  double htree = 0.0;
+  double noc = 0.0;
+  double lif = 0.0;
+
+  [[nodiscard]] double total() const {
+    return crossbar_adc + digital_peripherals + htree + noc + lif;
+  }
+};
+
+struct EnergyBreakdown {
+  ComponentEnergy per_timestep;
+  double fixed_per_inference_pj = 0.0;
+  double sigma_e_per_timestep_pj = 0.0;
+  double latency_per_timestep_ns = 0.0;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(NetworkMapping mapping);
+
+  [[nodiscard]] const NetworkMapping& mapping() const { return mapping_; }
+  [[nodiscard]] const EnergyBreakdown& breakdown() const { return breakdown_; }
+
+  /// Total inference energy (pJ) for (average) timestep count `timesteps`.
+  /// `dynamic` adds the sigma-E module cost at every evaluated timestep.
+  [[nodiscard]] double energy_pj(double timesteps, bool dynamic = false) const;
+  [[nodiscard]] double latency_ns(double timesteps) const;
+  [[nodiscard]] double edp(double timesteps, bool dynamic = false) const;
+
+  /// Mean per-sample energy over a distribution of exit timesteps.
+  [[nodiscard]] double mean_energy_pj(std::span<const std::size_t> exit_timesteps,
+                                      bool dynamic = true) const;
+  /// Mean per-sample EDP over a distribution of exit timesteps.
+  [[nodiscard]] double mean_edp(std::span<const std::size_t> exit_timesteps,
+                                bool dynamic = true) const;
+
+  /// Component shares at a given T (fractions summing to 1; fixed energy is
+  /// folded into digital peripherals — buffers own the off-chip staging).
+  struct Share {
+    double crossbar_adc, digital_peripherals, htree, noc, lif;
+  };
+  [[nodiscard]] Share component_shares(double timesteps) const;
+
+ private:
+  NetworkMapping mapping_;
+  EnergyBreakdown breakdown_;
+};
+
+}  // namespace dtsnn::imc

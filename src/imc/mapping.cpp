@@ -1,0 +1,82 @@
+#include "imc/mapping.h"
+
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace dtsnn::imc {
+
+std::size_t NetworkMapping::total_crossbars() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.crossbars;
+  return n;
+}
+
+std::size_t NetworkMapping::total_tiles() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.tiles;
+  return n;
+}
+
+double NetworkMapping::total_latency_ns() const {
+  double t = 0.0;
+  for (const auto& l : layers) t += l.latency_ns;
+  return t;
+}
+
+NetworkMapping map_network(const NetworkSpec& spec, const ImcConfig& config) {
+  if (!config.valid()) throw std::invalid_argument("map_network: invalid ImcConfig");
+
+  NetworkMapping mapping;
+  mapping.network = spec;
+  mapping.config = config;
+  mapping.layers.reserve(spec.layers.size());
+
+  const std::size_t xb = config.crossbar_size;
+  const std::size_t psum_bytes = (config.adc_bits + 7) / 8 + 1;  // post shift&add width
+
+  for (const auto& layer : spec.layers) {
+    LayerMapping m;
+    m.spec = layer;
+    m.device_columns = layer.out_channels * config.columns_per_weight();
+    m.xbar_rows = util::ceil_div(layer.rows_needed(), xb);
+    m.xbar_cols = util::ceil_div(m.device_columns, xb);
+    m.crossbars = m.xbar_rows * m.xbar_cols;
+    m.tiles = util::ceil_div(m.crossbars, config.crossbars_per_tile);
+
+    const std::size_t vectors = layer.vectors_per_timestep();
+    // Every crossbar holding part of the layer sees every input vector.
+    m.mvm_reads = vectors * m.crossbars;
+    // Rows actually driven = spike activity * mapped rows (last row-group may
+    // be partially filled; use exact row count spread over groups).
+    const double rows_total = static_cast<double>(layer.rows_needed()) *
+                              static_cast<double>(m.xbar_cols);
+    m.active_row_reads = layer.input_activity * rows_total * static_cast<double>(vectors);
+    // One conversion per device column per vector (ADCs shared via mux —
+    // affects latency, not conversion count).
+    m.adc_conversions = vectors * m.device_columns * m.xbar_rows;
+    // Shift&add merges slices and differential pairs into one digital value
+    // per logical output per row-group.
+    m.shift_add_ops = vectors * layer.out_channels * m.xbar_rows;
+    // Accumulations across row-groups plus PE/tile/global hierarchy passes.
+    m.accumulate_ops = vectors * layer.out_channels * (m.xbar_rows + 2);
+    // Partial sums written+read once at PE and once at tile level.
+    m.buffer_bytes = 2 * vectors * layer.out_channels * m.xbar_rows * psum_bytes;
+    m.htree_bytes = vectors * layer.out_channels * m.xbar_rows * psum_bytes;
+    // Output spikes cross the NoC to the next layer's tiles (1 bit/neuron),
+    // plus MAC outputs travel to the LIF module at psum width.
+    m.noc_bytes = layer.output_neurons() * psum_bytes / 2 + layer.output_neurons() / 8 + 1;
+    m.lif_updates = layer.output_neurons();
+
+    // Latency: vectors are processed sequentially on a layer's crossbars;
+    // column mux serializes ADC conversions by the mux ratio.
+    const double reads_serialized =
+        static_cast<double>(vectors) * static_cast<double>(config.adc_mux_ratio);
+    m.latency_ns = reads_serialized * config.t_xbar_read_ns + config.t_layer_overhead_ns;
+
+    mapping.layers.push_back(m);
+  }
+  return mapping;
+}
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,51 @@
+// Layer -> crossbar/PE/tile mapping.
+//
+// Weights are laid out as in the paper's monolithic-tiled architecture:
+// a layer's [Cin*K*K, Cout] weight matrix is tiled over 64x64 crossbars,
+// each 8-bit weight occupying weight_bits/device_bits column slices (x2 for
+// differential pairs). Crossbars are grouped 16-per-PE, 4 PEs per tile
+// (64 crossbars/tile); partial sums accumulate PE -> tile -> global.
+
+#pragma once
+
+#include "imc/config.h"
+#include "imc/network_spec.h"
+
+namespace dtsnn::imc {
+
+/// Placement of one weight layer.
+struct LayerMapping {
+  LayerSpec spec;
+  std::size_t xbar_rows = 0;      ///< crossbar row-groups: ceil(rows / 64)
+  std::size_t xbar_cols = 0;      ///< crossbar col-groups: ceil(cols_dev / 64)
+  std::size_t crossbars = 0;      ///< xbar_rows * xbar_cols
+  std::size_t device_columns = 0; ///< Cout * columns_per_weight
+  std::size_t tiles = 0;          ///< ceil(crossbars / crossbars_per_tile)
+
+  // Per-timestep event counts (input to the energy model).
+  std::size_t mvm_reads = 0;         ///< crossbar read operations
+  double active_row_reads = 0.0;     ///< spike-weighted row activations
+  std::size_t adc_conversions = 0;
+  std::size_t shift_add_ops = 0;
+  std::size_t accumulate_ops = 0;
+  std::size_t buffer_bytes = 0;      ///< PE/tile/global buffer traffic
+  std::size_t htree_bytes = 0;       ///< intra-tile partial-sum movement
+  std::size_t noc_bytes = 0;         ///< inter-tile activation movement
+  std::size_t lif_updates = 0;
+  double latency_ns = 0.0;           ///< sequential layer latency per timestep
+};
+
+struct NetworkMapping {
+  NetworkSpec network;
+  ImcConfig config;
+  std::vector<LayerMapping> layers;
+
+  [[nodiscard]] std::size_t total_crossbars() const;
+  [[nodiscard]] std::size_t total_tiles() const;
+  [[nodiscard]] double total_latency_ns() const;  ///< one timestep
+};
+
+/// Map a network spec onto the architecture; throws if config is invalid.
+NetworkMapping map_network(const NetworkSpec& spec, const ImcConfig& config);
+
+}  // namespace dtsnn::imc

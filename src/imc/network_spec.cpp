@@ -1,0 +1,178 @@
+#include "imc/network_spec.h"
+
+#include <stdexcept>
+
+#include "snn/conv.h"
+#include "snn/linear.h"
+#include "snn/pool.h"
+#include "util/logging.h"
+
+namespace dtsnn::imc {
+
+std::size_t NetworkSpec::total_macs_per_timestep() const {
+  std::size_t macs = 0;
+  for (const auto& l : layers) macs += l.macs_per_timestep();
+  return macs;
+}
+
+std::size_t NetworkSpec::total_output_neurons() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.output_neurons();
+  return n;
+}
+
+namespace {
+
+LayerSpec conv_spec(const std::string& label, std::size_t cin, std::size_t cout,
+                    std::size_t out_hw) {
+  LayerSpec l;
+  l.label = label;
+  l.in_channels = cin;
+  l.out_channels = cout;
+  l.kernel = 3;
+  l.out_h = out_hw;
+  l.out_w = out_hw;
+  return l;
+}
+
+LayerSpec fc_spec(const std::string& label, std::size_t in_f, std::size_t out_f) {
+  LayerSpec l;
+  l.label = label;
+  l.in_channels = in_f;
+  l.out_channels = out_f;
+  l.kernel = 1;
+  l.fully_connected = true;
+  return l;
+}
+
+}  // namespace
+
+NetworkSpec vgg16_spec(std::size_t num_classes) {
+  NetworkSpec spec;
+  spec.name = "VGG-16";
+  spec.num_classes = num_classes;
+  // 32x32 input; pooling after blocks 2, 4, 7, 10, 13.
+  const struct {
+    std::size_t cin, cout, hw;
+  } convs[] = {
+      {3, 64, 32},   {64, 64, 32},                       // block 1
+      {64, 128, 16}, {128, 128, 16},                     // block 2
+      {128, 256, 8}, {256, 256, 8},  {256, 256, 8},      // block 3
+      {256, 512, 4}, {512, 512, 4},  {512, 512, 4},      // block 4
+      {512, 512, 2}, {512, 512, 2},  {512, 512, 2},      // block 5
+  };
+  std::size_t idx = 1;
+  for (const auto& c : convs) {
+    spec.layers.push_back(
+        conv_spec(util::format("conv%zu", idx++), c.cin, c.cout, c.hw));
+  }
+  // Classifier: 512 (1x1 after final pool) -> 512 -> 512 -> classes.
+  spec.layers.push_back(fc_spec("fc1", 512, 512));
+  spec.layers.push_back(fc_spec("fc2", 512, 512));
+  spec.layers.push_back(fc_spec("fc3", 512, num_classes));
+  set_uniform_activity(spec, 0.15);
+  return spec;
+}
+
+NetworkSpec resnet19_spec(std::size_t num_classes) {
+  NetworkSpec spec;
+  spec.name = "ResNet-19";
+  spec.num_classes = num_classes;
+  spec.layers.push_back(conv_spec("stem", 3, 128, 32));
+  // Stage 1: 3 blocks @128, 32x32.
+  for (std::size_t b = 0; b < 3; ++b) {
+    spec.layers.push_back(conv_spec(util::format("s1b%zu.conv1", b), 128, 128, 32));
+    spec.layers.push_back(conv_spec(util::format("s1b%zu.conv2", b), 128, 128, 32));
+  }
+  // Stage 2: 3 blocks @256, stride 2 -> 16x16 (projection on the first).
+  spec.layers.push_back(conv_spec("s2b0.conv1", 128, 256, 16));
+  spec.layers.push_back(conv_spec("s2b0.conv2", 256, 256, 16));
+  {
+    LayerSpec proj = conv_spec("s2b0.proj", 128, 256, 16);
+    proj.kernel = 1;
+    spec.layers.push_back(proj);
+  }
+  for (std::size_t b = 1; b < 3; ++b) {
+    spec.layers.push_back(conv_spec(util::format("s2b%zu.conv1", b), 256, 256, 16));
+    spec.layers.push_back(conv_spec(util::format("s2b%zu.conv2", b), 256, 256, 16));
+  }
+  // Stage 3: 2 blocks @512, stride 2 -> 8x8.
+  spec.layers.push_back(conv_spec("s3b0.conv1", 256, 512, 8));
+  spec.layers.push_back(conv_spec("s3b0.conv2", 512, 512, 8));
+  {
+    LayerSpec proj = conv_spec("s3b0.proj", 256, 512, 8);
+    proj.kernel = 1;
+    spec.layers.push_back(proj);
+  }
+  spec.layers.push_back(conv_spec("s3b1.conv1", 512, 512, 8));
+  spec.layers.push_back(conv_spec("s3b1.conv2", 512, 512, 8));
+  spec.layers.push_back(fc_spec("fc", 512, num_classes));
+  set_uniform_activity(spec, 0.15);
+  return spec;
+}
+
+NetworkSpec spec_from_network(snn::SpikingNetwork& net, const std::string& name,
+                              const std::vector<double>& activities) {
+  NetworkSpec spec;
+  spec.name = name;
+  const snn::Shape in = net.sample_shape();
+  spec.input_channels = in[0];
+  spec.input_h = in[1];
+  spec.input_w = in[2];
+  spec.num_classes = net.num_classes();
+
+  snn::Shape sample = in;
+  std::size_t idx = 0;
+  net.visit([&spec, &sample, &idx](snn::Layer& l) {
+    if (auto* conv = dynamic_cast<snn::Conv2d*>(&l)) {
+      // Residual shortcut projections see the block input, not `sample`;
+      // for mapping purposes the dominant path dimensions are sufficient —
+      // projections are 1x1 and small. We track the main chain.
+      snn::Shape out;
+      try {
+        out = conv->infer_shape(sample);
+      } catch (const std::exception&) {
+        return;  // shortcut conv whose input differs from the running shape
+      }
+      LayerSpec spec_l;
+      spec_l.label = util::format("conv%zu", idx++);
+      spec_l.in_channels = conv->in_channels();
+      spec_l.out_channels = conv->out_channels();
+      spec_l.kernel = conv->kernel();
+      spec_l.out_h = out[1];
+      spec_l.out_w = out[2];
+      spec.layers.push_back(spec_l);
+      sample = out;
+    } else if (auto* pool = dynamic_cast<snn::AvgPool2d*>(&l)) {
+      sample = pool->infer_shape(sample);
+    } else if (auto* mpool = dynamic_cast<snn::MaxPool2d*>(&l)) {
+      sample = mpool->infer_shape(sample);
+    } else if (auto* lin = dynamic_cast<snn::Linear*>(&l)) {
+      spec.layers.push_back(
+          fc_spec(util::format("fc%zu", idx++), lin->in_features(), lin->out_features()));
+      sample = {lin->out_features()};
+    }
+  });
+
+  set_uniform_activity(spec, 0.15);
+  if (!activities.empty()) {
+    if (activities.size() != spec.layers.size()) {
+      throw std::invalid_argument("spec_from_network: activity count mismatch (" +
+                                  std::to_string(activities.size()) + " vs " +
+                                  std::to_string(spec.layers.size()) + " layers)");
+    }
+    for (std::size_t i = 0; i < activities.size(); ++i) {
+      spec.layers[i].input_activity = activities[i];
+    }
+  }
+  return spec;
+}
+
+void set_uniform_activity(NetworkSpec& spec, double activity,
+                          double first_layer_activity) {
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    spec.layers[i].input_activity = i == 0 ? first_layer_activity : activity;
+  }
+}
+
+}  // namespace dtsnn::imc

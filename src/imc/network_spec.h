@@ -1,0 +1,71 @@
+// Layer-geometry descriptions of networks for the IMC mapper.
+//
+// The energy/latency model needs only layer shapes and activity factors, not
+// trained weights, so full-scale VGG-16 and ResNet-19 (the paper's hardware
+// evaluation networks) are described here even though training at that scale
+// is out of CPU reach. Specs can also be extracted from a live
+// SpikingNetwork so the mini models used in accuracy experiments get
+// consistent hardware numbers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snn/network.h"
+
+namespace dtsnn::imc {
+
+/// One weight layer (convolution or fully connected) as seen by the mapper.
+struct LayerSpec {
+  std::string label;
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 1;       ///< 1 for fully connected
+  std::size_t out_h = 1;        ///< spatial positions evaluated per timestep
+  std::size_t out_w = 1;
+  bool fully_connected = false;
+  /// Mean input spike density for this layer (fraction of active rows).
+  double input_activity = 0.15;
+
+  [[nodiscard]] std::size_t rows_needed() const { return in_channels * kernel * kernel; }
+  [[nodiscard]] std::size_t vectors_per_timestep() const { return out_h * out_w; }
+  [[nodiscard]] std::size_t output_neurons() const { return out_channels * out_h * out_w; }
+  [[nodiscard]] std::size_t macs_per_timestep() const {
+    return rows_needed() * output_neurons();
+  }
+};
+
+struct NetworkSpec {
+  std::string name;
+  std::size_t input_channels = 3;
+  std::size_t input_h = 32;
+  std::size_t input_w = 32;
+  std::size_t num_classes = 10;
+  std::vector<LayerSpec> layers;
+
+  [[nodiscard]] std::size_t total_macs_per_timestep() const;
+  [[nodiscard]] std::size_t total_output_neurons() const;
+  /// Bytes of one input frame at 8-bit pixels (off-chip fetch size).
+  [[nodiscard]] std::size_t input_bytes() const {
+    return input_channels * input_h * input_w;
+  }
+};
+
+/// VGG-16 for 32x32 inputs (13 convs + 3 FC), the paper's Fig. 1 network.
+NetworkSpec vgg16_spec(std::size_t num_classes = 10);
+
+/// ResNet-19 (tdBN variant: stem 128 + stages 3x128 / 3x256 / 2x512 + FC).
+NetworkSpec resnet19_spec(std::size_t num_classes = 10);
+
+/// Extract the spec of a live network (convs and linears, in order) given
+/// its per-frame input shape. `activities` optionally overrides per-layer
+/// input spike densities (size must match the number of weight layers).
+NetworkSpec spec_from_network(snn::SpikingNetwork& net, const std::string& name,
+                              const std::vector<double>& activities = {});
+
+/// Set every layer's input_activity (first layer often differs: analog input).
+void set_uniform_activity(NetworkSpec& spec, double activity,
+                          double first_layer_activity = 1.0);
+
+}  // namespace dtsnn::imc

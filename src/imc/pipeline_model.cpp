@@ -1,0 +1,75 @@
+#include "imc/pipeline_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtsnn::imc {
+
+namespace {
+
+/// Bottleneck (slowest layer) latency of one timestep.
+double bottleneck_ns(const NetworkMapping& mapping) {
+  double worst = 0.0;
+  for (const auto& l : mapping.layers) worst = std::max(worst, l.latency_ns);
+  return worst;
+}
+
+}  // namespace
+
+PipelineAnalysis analyze_pipeline(const EnergyModel& model, std::size_t max_timesteps,
+                                  std::span<const std::size_t> exit_timesteps) {
+  assert(max_timesteps >= 1);
+  const NetworkMapping& mapping = model.mapping();
+  const double layer_sum = mapping.total_latency_ns();   // pipeline fill time
+  const double stage = bottleneck_ns(mapping);           // pipeline beat
+  const double step_energy = model.breakdown().per_timestep.total() +
+                             model.breakdown().sigma_e_per_timestep_pj;
+  const double fixed_energy = model.breakdown().fixed_per_inference_pj;
+  const auto t_max = static_cast<double>(max_timesteps);
+
+  // The number of later timesteps already admitted into the pipeline when a
+  // timestep's exit decision becomes available: the decision needs the full
+  // drain (layer_sum) while a new timestep enters every `stage`.
+  const double in_flight = layer_sum / stage - 1.0;
+
+  PipelineAnalysis out;
+  out.sequential_latency_ns = t_max * layer_sum;
+  out.pipelined_latency_ns = layer_sum + (t_max - 1.0) * stage;
+  out.sequential_energy_pj = fixed_energy + t_max * step_energy;
+  out.pipelined_energy_pj = out.sequential_energy_pj;  // same useful work
+
+  if (exit_timesteps.empty()) {
+    out.dt_sequential_latency_ns = out.sequential_latency_ns;
+    out.dt_pipelined_latency_ns = out.pipelined_latency_ns;
+    out.dt_sequential_energy_pj = out.sequential_energy_pj;
+    out.dt_pipelined_energy_pj = out.pipelined_energy_pj;
+    return out;
+  }
+
+  double seq_lat = 0.0, pipe_lat = 0.0, seq_e = 0.0, pipe_e = 0.0;
+  for (const std::size_t exit_t : exit_timesteps) {
+    const auto t_hat = static_cast<double>(exit_t);
+    // Sequential: exactly t_hat timesteps computed, decision gates the next.
+    seq_lat += t_hat * layer_sum;
+    seq_e += fixed_energy + t_hat * step_energy;
+    // Pipelined: timesteps stream in every `stage`; when t_hat's decision
+    // lands, speculative timesteps are in flight (capped by the budget) and
+    // must be flushed. Their energy is wasted; the flush costs drain time.
+    const double speculative =
+        exit_t < max_timesteps
+            ? std::min(static_cast<double>(max_timesteps - exit_t), in_flight)
+            : 0.0;
+    pipe_lat += layer_sum + (t_hat - 1.0) * stage;  // decision-ready time
+    // Wasted energy: speculative timesteps progressed roughly halfway on
+    // average before the flush.
+    pipe_e += fixed_energy + t_hat * step_energy + 0.5 * speculative * step_energy;
+  }
+  const auto n = static_cast<double>(exit_timesteps.size());
+  out.dt_sequential_latency_ns = seq_lat / n;
+  out.dt_pipelined_latency_ns = pipe_lat / n;
+  out.dt_sequential_energy_pj = seq_e / n;
+  out.dt_pipelined_energy_pj = pipe_e / n;
+  return out;
+}
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,51 @@
+// Sequential vs pipelined timestep processing (paper Section III-B.2).
+//
+// The paper's architecture processes timesteps *sequentially, without
+// pipelining*: the next timestep only enters the first layer after the
+// current one has fully drained and the sigma-E module has decided whether
+// to exit. The alternative — streaming timesteps through the layer pipeline —
+// improves static-SNN latency (the bottleneck stage, not the layer sum,
+// paces throughput) but hurts DT-SNN twice:
+//   * speculative work: by the time timestep t's exit decision is known,
+//     later timesteps already occupy the pipeline and their (now useless)
+//     energy is spent;
+//   * drain overhead: the pipeline must be flushed on exit, adding latency.
+// This model quantifies both regimes so the design choice can be reproduced
+// as an ablation rather than taken on faith.
+
+#pragma once
+
+#include <span>
+
+#include "imc/energy_model.h"
+
+namespace dtsnn::imc {
+
+struct PipelineAnalysis {
+  // Static SNN at full T.
+  double sequential_latency_ns = 0.0;
+  double pipelined_latency_ns = 0.0;
+  double sequential_energy_pj = 0.0;
+  double pipelined_energy_pj = 0.0;  ///< equal work for static inference
+
+  // DT-SNN averaged over a per-sample exit-timestep distribution.
+  double dt_sequential_latency_ns = 0.0;
+  double dt_pipelined_latency_ns = 0.0;
+  double dt_sequential_energy_pj = 0.0;
+  double dt_pipelined_energy_pj = 0.0;  ///< includes speculative waste
+
+  [[nodiscard]] double dt_sequential_edp() const {
+    return dt_sequential_energy_pj * dt_sequential_latency_ns;
+  }
+  [[nodiscard]] double dt_pipelined_edp() const {
+    return dt_pipelined_energy_pj * dt_pipelined_latency_ns;
+  }
+};
+
+/// Analyze both execution disciplines for a mapped network.
+/// `max_timesteps` is the static budget T; `exit_timesteps` is the DT-SNN
+/// per-sample exit distribution (from core::DtsnnResult).
+PipelineAnalysis analyze_pipeline(const EnergyModel& model, std::size_t max_timesteps,
+                                  std::span<const std::size_t> exit_timesteps);
+
+}  // namespace dtsnn::imc

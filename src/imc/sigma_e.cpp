@@ -1,0 +1,108 @@
+#include "imc/sigma_e.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtsnn::imc {
+
+SigmaEModule::SigmaEModule(SigmaEConfig config) : config_(config) {
+  if (config_.exp_lut_entries < 2 || config_.log_lut_entries < 2 ||
+      config_.fraction_bits < 4 || config_.fraction_bits > 24 ||
+      config_.input_range <= 0.0) {
+    throw std::invalid_argument("SigmaEModule: invalid configuration");
+  }
+  const double scale = static_cast<double>(std::size_t{1} << config_.fraction_bits);
+  // sigma LUT: exp(d) for d = -range * a / (entries - 1), a = 0..entries-1.
+  exp_lut_.resize(config_.exp_lut_entries);
+  for (std::size_t a = 0; a < config_.exp_lut_entries; ++a) {
+    const double d = -config_.input_range * static_cast<double>(a) /
+                     static_cast<double>(config_.exp_lut_entries - 1);
+    exp_lut_[a] = static_cast<std::uint32_t>(std::lround(std::exp(d) * scale));
+  }
+  // log LUT: ln(m) for mantissa m in [1, 2).
+  log_lut_.resize(config_.log_lut_entries);
+  for (std::size_t a = 0; a < config_.log_lut_entries; ++a) {
+    const double m = 1.0 + static_cast<double>(a) / static_cast<double>(config_.log_lut_entries);
+    log_lut_[a] = static_cast<std::uint32_t>(std::lround(std::log(m) * scale));
+  }
+}
+
+std::uint64_t SigmaEModule::exp_fixed(double d) {
+  ++stats_.exp_lut_lookups;
+  d = std::clamp(d, -config_.input_range, 0.0);
+  const double pos = -d / config_.input_range;  // in [0, 1]
+  const auto addr = static_cast<std::size_t>(std::lround(
+      pos * static_cast<double>(config_.exp_lut_entries - 1)));
+  return exp_lut_[addr];
+}
+
+double SigmaEModule::log_fixed(std::uint64_t s) {
+  ++stats_.log_lut_lookups;
+  assert(s > 0);
+  // Leading-one normalizer: s = m * 2^b with m in [1, 2).
+  const int b = 63 - std::countl_zero(s);
+  std::size_t mantissa_addr;
+  if (b >= static_cast<int>(config_.fraction_bits)) {
+    // Extract the bits after the leading one as the LUT address.
+    const int shift = b - static_cast<int>(std::bit_width(config_.log_lut_entries - 1));
+    mantissa_addr = static_cast<std::size_t>((s >> std::max(0, shift)) &
+                                             (config_.log_lut_entries - 1));
+  } else {
+    mantissa_addr = 0;
+  }
+  const double scale = static_cast<double>(std::size_t{1} << config_.fraction_bits);
+  return static_cast<double>(b) * std::numbers::ln2 +
+         static_cast<double>(log_lut_[mantissa_addr]) / scale;
+}
+
+double SigmaEModule::compute_entropy(std::span<const float> logits) {
+  if (logits.size() < 2) throw std::invalid_argument("SigmaEModule: need >= 2 logits");
+  if (logits.size() > config_.fifo_depth) {
+    throw std::invalid_argument("SigmaEModule: logits exceed y-FIFO depth");
+  }
+  stats_.fifo_pushes += logits.size();
+
+  const float maxv = *std::max_element(logits.begin(), logits.end());
+  // Quantize d_i = y_i - max to the exp-LUT address grid, exactly as the
+  // datapath would (the address *is* the quantization).
+  const double grid = config_.input_range / static_cast<double>(config_.exp_lut_entries - 1);
+
+  std::uint64_t s = 0;          // sum of E_i, Q0.frac
+  std::int64_t weighted = 0;    // sum of E_i * (d_i / grid), integer grid units
+  for (const float y : logits) {
+    const double d = std::clamp(static_cast<double>(y) - static_cast<double>(maxv),
+                                -config_.input_range, 0.0);
+    const auto grid_units = static_cast<std::int64_t>(std::lround(-d / grid));
+    const std::uint64_t e = exp_fixed(d);
+    s += e;
+    weighted -= static_cast<std::int64_t>(e) * grid_units;  // E_i * d_i (grid units)
+    ++stats_.mac_ops;
+  }
+  if (s == 0) return 1.0;
+
+  const double frac_scale = static_cast<double>(std::size_t{1} << config_.fraction_bits);
+  // ln(S / 2^frac) = log_fixed(S) - frac * ln2.
+  const double ln_s = log_fixed(s) -
+                      static_cast<double>(config_.fraction_bits) * std::numbers::ln2;
+  const double mean_d = static_cast<double>(weighted) * grid / static_cast<double>(s);
+  ++stats_.mac_ops;  // the final multiply-accumulate against 1/S
+
+  double h = ln_s - mean_d;
+  h /= std::log(static_cast<double>(logits.size()));  // normalize by log K
+  // Hardware register clamps to the representable [0, 1] range. Entropy can
+  // exceed 1 transiently only through LUT rounding.
+  (void)frac_scale;
+  return std::clamp(h, 0.0, 1.0 + 1.0 / frac_scale);
+}
+
+bool SigmaEModule::should_exit(std::span<const float> logits, double theta) {
+  // Theta is held in a register with the same fraction width.
+  const double scale = static_cast<double>(std::size_t{1} << config_.fraction_bits);
+  const double theta_q = std::round(theta * scale) / scale;
+  return compute_entropy(logits) < theta_q;
+}
+
+}  // namespace dtsnn::imc

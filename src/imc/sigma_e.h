@@ -1,0 +1,64 @@
+// The sigma-E module: on-chip softmax-entropy computation (Fig. 3b).
+//
+// Digital fixed-point pipeline fed by the global accumulator's MAC outputs:
+//   y-FIFO -> sigma LUT (exponential) -> sigma-FIFO -> entropy module
+//   (log LUT + multiplier + adder/register) -> threshold comparator.
+//
+// The implementation below mirrors that datapath with integer arithmetic and
+// two small LUTs (exp and log), sized to the paper's 3KB budgets. It computes
+// the normalized entropy of softmax(logits) as
+//     H = ln(S) - (sum_i E_i * d_i) / S,   E_i = exp(d_i), d_i = y_i - max(y)
+// entirely from LUT lookups, integer MACs and one normalization, then
+// compares against the (quantized) threshold theta to issue the exit signal.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtsnn::imc {
+
+struct SigmaEConfig {
+  std::size_t exp_lut_entries = 256;  ///< sigma LUT (3KB at 16-bit entries + tags)
+  std::size_t log_lut_entries = 256;  ///< log LUT
+  std::size_t fraction_bits = 14;     ///< Q-format fraction width
+  double input_range = 16.0;          ///< clamp of y_i - max(y) to [-range, 0]
+  std::size_t fifo_depth = 16;        ///< y-FIFO depth (>= #classes; CIFAR10: 10)
+};
+
+/// Per-invocation datapath activity (for energy accounting / verification).
+struct SigmaEStats {
+  std::size_t exp_lut_lookups = 0;
+  std::size_t log_lut_lookups = 0;
+  std::size_t mac_ops = 0;
+  std::size_t fifo_pushes = 0;
+};
+
+class SigmaEModule {
+ public:
+  explicit SigmaEModule(SigmaEConfig config = {});
+
+  /// Normalized entropy of softmax(logits) via the fixed-point pipeline.
+  /// logits.size() must be >= 2 and <= fifo_depth.
+  [[nodiscard]] double compute_entropy(std::span<const float> logits);
+
+  /// Exit decision: entropy < theta. Theta is compared after the same
+  /// fixed-point rounding the hardware comparator would see.
+  [[nodiscard]] bool should_exit(std::span<const float> logits, double theta);
+
+  [[nodiscard]] const SigmaEStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] const SigmaEConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t exp_fixed(double d);   ///< LUT exp(d), d in [-range, 0]
+  [[nodiscard]] double log_fixed(std::uint64_t s);   ///< LUT-based natural log
+
+  SigmaEConfig config_;
+  std::vector<std::uint32_t> exp_lut_;  ///< Q0.frac values of exp on [-range, 0]
+  std::vector<std::uint32_t> log_lut_;  ///< Q2.frac values of ln(m), m in [1, 2)
+  SigmaEStats stats_;
+};
+
+}  // namespace dtsnn::imc

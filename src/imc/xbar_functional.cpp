@@ -1,0 +1,271 @@
+#include "imc/xbar_functional.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/conv.h"
+#include "snn/linear.h"
+
+namespace dtsnn::imc {
+
+QuantizedTensor quantize_symmetric(std::span<const float> weights, std::size_t bits) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_symmetric: bad bits");
+  QuantizedTensor qt;
+  qt.bits = bits;
+  qt.q.resize(weights.size());
+  float absmax = 0.0f;
+  for (const float w : weights) absmax = std::max(absmax, std::abs(w));
+  const int qmax = (1 << (bits - 1)) - 1;
+  qt.scale = absmax > 0.0f ? absmax / static_cast<float>(qmax) : 1.0f;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const auto v = static_cast<int>(std::lround(weights[i] / qt.scale));
+    qt.q[i] = std::clamp(v, -qmax, qmax);
+  }
+  return qt;
+}
+
+std::vector<float> dequantize(const QuantizedTensor& qt) {
+  std::vector<float> out(qt.q.size());
+  for (std::size_t i = 0; i < qt.q.size(); ++i) {
+    out[i] = static_cast<float>(qt.q[i]) * qt.scale;
+  }
+  return out;
+}
+
+namespace {
+
+/// Conductance of a cell programmed to `level` (0..levels-1).
+double cell_conductance(std::size_t level, const ImcConfig& config) {
+  const double step = (config.g_on() - config.g_off()) /
+                      static_cast<double>(config.conductance_levels() - 1);
+  return config.g_off() + static_cast<double>(level) * step;
+}
+
+double perturb(double g, const ImcConfig& config, util::Rng& rng) {
+  return g * (1.0 + config.device_sigma_over_mu * rng.gaussian());
+}
+
+}  // namespace
+
+float program_and_read_weight(int q, float scale, const ImcConfig& config,
+                              util::Rng& rng) {
+  const std::size_t slices = config.weight_slices();
+  const std::size_t slice_levels = config.conductance_levels();
+  const double g_step = (config.g_on() - config.g_off()) /
+                        static_cast<double>(slice_levels - 1);
+
+  const std::size_t magnitude = static_cast<std::size_t>(q < 0 ? -q : q);
+  double readback = 0.0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    // Slice s holds bits [s*device_bits, (s+1)*device_bits) of |q|.
+    const std::size_t level =
+        (magnitude >> (s * config.device_bits)) & (slice_levels - 1);
+    const std::size_t pos_level = q >= 0 ? level : 0;
+    const std::size_t neg_level = q >= 0 ? 0 : level;
+    const double gp = perturb(cell_conductance(pos_level, config), config, rng);
+    double gn = cell_conductance(neg_level, config);
+    if (config.differential_columns) {
+      gn = perturb(gn, config, rng);
+    } else {
+      gn = cell_conductance(0, config);  // single-ended: subtract ideal offset
+    }
+    // Differential read recovers (levels) * g_step, with G_off cancelling in
+    // expectation but not per-instance once noise is applied.
+    const double slice_value = (gp - gn) / g_step;
+    readback += slice_value * static_cast<double>(std::size_t{1} << (s * config.device_bits));
+  }
+  return static_cast<float>(readback * static_cast<double>(scale));
+}
+
+std::size_t apply_device_variation(snn::SpikingNetwork& net, const ImcConfig& config,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::size_t perturbed = 0;
+  for (snn::Param* p : net.params()) {
+    // Only matrix weights live on crossbars; biases and norm parameters are
+    // digital and unaffected.
+    if (p->name.find("weight") == std::string::npos) continue;
+    QuantizedTensor qt = quantize_symmetric(p->value.span(), config.weight_bits);
+    for (std::size_t i = 0; i < qt.q.size(); ++i) {
+      p->value[i] = program_and_read_weight(qt.q[i], qt.scale, config, rng);
+    }
+    perturbed += qt.q.size();
+  }
+  return perturbed;
+}
+
+FunctionalCrossbar::FunctionalCrossbar(const ImcConfig& config, std::size_t rows,
+                                       std::size_t cols, std::uint64_t seed)
+    : config_(config), rows_(rows), cols_(cols), rng_(seed) {
+  if (rows_ == 0 || cols_ == 0 || rows_ > config_.crossbar_size ||
+      cols_ * config_.columns_per_weight() > config_.crossbar_size) {
+    throw std::invalid_argument("FunctionalCrossbar: does not fit the array");
+  }
+}
+
+void FunctionalCrossbar::program(std::span<const float> weights) {
+  if (weights.size() != rows_ * cols_) {
+    throw std::invalid_argument("FunctionalCrossbar::program: size mismatch");
+  }
+  QuantizedTensor qt = quantize_symmetric(weights, config_.weight_bits);
+  q_ = qt.q;
+  scale_ = qt.scale;
+
+  const std::size_t slices = config_.weight_slices();
+  const std::size_t levels = config_.conductance_levels();
+  conductance_.assign(rows_ * cols_ * slices * 2, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const int q = q_[r * cols_ + c];
+      const std::size_t magnitude = static_cast<std::size_t>(q < 0 ? -q : q);
+      for (std::size_t s = 0; s < slices; ++s) {
+        const std::size_t level = (magnitude >> (s * config_.device_bits)) & (levels - 1);
+        const std::size_t pos_level = q >= 0 ? level : 0;
+        const std::size_t neg_level = q >= 0 ? 0 : level;
+        double* cell = conductance_.data() + ((r * cols_ + c) * slices + s) * 2;
+        cell[0] = perturb(cell_conductance(pos_level, config_), config_, rng_);
+        cell[1] = perturb(cell_conductance(neg_level, config_), config_, rng_);
+      }
+    }
+  }
+}
+
+std::vector<float> FunctionalCrossbar::mvm_ideal(std::span<const float> spikes) const {
+  assert(spikes.size() == rows_);
+  std::vector<float> out(cols_, 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (spikes[r] == 0.0f) continue;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += static_cast<float>(q_[r * cols_ + c]) * scale_ * spikes[r];
+    }
+  }
+  return out;
+}
+
+std::vector<float> FunctionalCrossbar::mvm_analog(std::span<const float> spikes) const {
+  assert(spikes.size() == rows_);
+  const std::size_t slices = config_.weight_slices();
+  const double g_step = (config_.g_on() - config_.g_off()) /
+                        static_cast<double>(config_.conductance_levels() - 1);
+
+  // Column current accumulation (per slice, per polarity).
+  std::vector<double> pos(cols_ * slices, 0.0), neg(cols_ * slices, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (spikes[r] == 0.0f) continue;  // no wordline activation
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double* cell = conductance_.data() + ((r * cols_ + c) * slices) * 2;
+      for (std::size_t s = 0; s < slices; ++s) {
+        pos[c * slices + s] += cell[s * 2 + 0];
+        neg[c * slices + s] += cell[s * 2 + 1];
+      }
+    }
+  }
+
+  // ADC: quantize each column's current over the full-scale range
+  // [rows * g_off, rows * g_on] with adc_bits resolution, then subtract the
+  // digital zero offset and recombine slices via shift&add.
+  const double fs_lo = 0.0;
+  const double fs_hi = static_cast<double>(rows_) * config_.g_on();
+  const double adc_levels = static_cast<double>((std::size_t{1} << config_.adc_bits) - 1);
+  const double adc_step = (fs_hi - fs_lo) / adc_levels;
+  auto adc = [&](double current) {
+    const double clamped = std::clamp(current, fs_lo, fs_hi);
+    return std::round((clamped - fs_lo) / adc_step);
+  };
+
+  std::vector<float> out(cols_, 0.0f);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double value = 0.0;
+    for (std::size_t s = 0; s < slices; ++s) {
+      const double digital = adc(pos[c * slices + s]) - adc(neg[c * slices + s]);
+      // Convert ADC codes back to level units: one level = g_step / adc_step codes.
+      const double level_units = digital * adc_step / g_step;
+      value += level_units * static_cast<double>(std::size_t{1} << (s * config_.device_bits));
+    }
+    out[c] = static_cast<float>(value * static_cast<double>(scale_));
+  }
+  return out;
+}
+
+XbarMatrix::XbarMatrix(const ImcConfig& config, std::size_t rows, std::size_t cols,
+                       std::span<const float> weights, std::uint64_t seed)
+    : config_(config), rows_(rows), cols_(cols) {
+  if (weights.size() != rows * cols) {
+    throw std::invalid_argument("XbarMatrix: weight size mismatch");
+  }
+  rows_per_xbar_ = config_.crossbar_size;
+  cols_per_xbar_ = config_.crossbar_size / config_.columns_per_weight();
+  if (cols_per_xbar_ == 0) {
+    throw std::invalid_argument("XbarMatrix: weight wider than a crossbar row");
+  }
+  row_groups_ = (rows_ + rows_per_xbar_ - 1) / rows_per_xbar_;
+  col_groups_ = (cols_ + cols_per_xbar_ - 1) / cols_per_xbar_;
+
+  util::Rng seeder(seed);
+  grid_.reserve(row_groups_ * col_groups_);
+  for (std::size_t rg = 0; rg < row_groups_; ++rg) {
+    const std::size_t r0 = rg * rows_per_xbar_;
+    const std::size_t r1 = std::min(r0 + rows_per_xbar_, rows_);
+    for (std::size_t cg = 0; cg < col_groups_; ++cg) {
+      const std::size_t c0 = cg * cols_per_xbar_;
+      const std::size_t c1 = std::min(c0 + cols_per_xbar_, cols_);
+      FunctionalCrossbar xbar(config_, r1 - r0, c1 - c0, seeder.next_u64());
+      std::vector<float> slice((r1 - r0) * (c1 - c0));
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          slice[(r - r0) * (c1 - c0) + (c - c0)] = weights[r * cols_ + c];
+        }
+      }
+      xbar.program(slice);
+      grid_.push_back(std::move(xbar));
+    }
+  }
+}
+
+namespace {
+
+template <typename MvmFn>
+std::vector<float> tiled_mvm(std::span<const float> spikes, std::size_t rows,
+                             std::size_t cols, std::size_t rows_per_xbar,
+                             std::size_t cols_per_xbar, std::size_t row_groups,
+                             std::size_t col_groups,
+                             const std::vector<FunctionalCrossbar>& grid, MvmFn mvm) {
+  if (spikes.size() != rows) {
+    throw std::invalid_argument("XbarMatrix::mvm: input size mismatch");
+  }
+  std::vector<float> out(cols, 0.0f);
+  for (std::size_t rg = 0; rg < row_groups; ++rg) {
+    const std::size_t r0 = rg * rows_per_xbar;
+    const std::size_t r1 = std::min(r0 + rows_per_xbar, rows);
+    const auto sub_input = spikes.subspan(r0, r1 - r0);
+    for (std::size_t cg = 0; cg < col_groups; ++cg) {
+      const std::size_t c0 = cg * cols_per_xbar;
+      const auto& xbar = grid[rg * col_groups + cg];
+      const std::vector<float> psum = mvm(xbar, sub_input);
+      for (std::size_t c = 0; c < psum.size(); ++c) out[c0 + c] += psum[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> XbarMatrix::mvm_analog(std::span<const float> spikes) const {
+  return tiled_mvm(spikes, rows_, cols_, rows_per_xbar_, cols_per_xbar_, row_groups_,
+                   col_groups_, grid_,
+                   [](const FunctionalCrossbar& xbar, std::span<const float> in) {
+                     return xbar.mvm_analog(in);
+                   });
+}
+
+std::vector<float> XbarMatrix::mvm_ideal(std::span<const float> spikes) const {
+  return tiled_mvm(spikes, rows_, cols_, rows_per_xbar_, cols_per_xbar_, row_groups_,
+                   col_groups_, grid_,
+                   [](const FunctionalCrossbar& xbar, std::span<const float> in) {
+                     return xbar.mvm_ideal(in);
+                   });
+}
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,111 @@
+// Functional crossbar simulation: weight quantization, bit slicing onto
+// multi-level RRAM cells, conductance variation, and ADC quantization.
+//
+// Two uses:
+//  * FunctionalCrossbar — a bit-accurate model of one (tiled) analog MVM for
+//    datapath unit tests (binary spike inputs, differential column pairs,
+//    per-column ADC).
+//  * apply_device_variation — projects a trained network's weights through
+//    the quantize -> program -> perturb -> read-back pipeline, producing the
+//    "non-ideal" network of Fig. 6(B) (the paper injects sigma/mu = 20%
+//    conductance noise post-training).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imc/config.h"
+#include "snn/network.h"
+#include "util/rng.h"
+
+namespace dtsnn::imc {
+
+/// Per-tensor symmetric quantization to `bits` signed levels.
+struct QuantizedTensor {
+  std::vector<int> q;  ///< in [-(2^(bits-1)-1), +(2^(bits-1)-1)]
+  float scale = 1.0f;  ///< w ~= q * scale
+  std::size_t bits = 8;
+};
+
+QuantizedTensor quantize_symmetric(std::span<const float> weights, std::size_t bits);
+
+/// Reconstruct floats from a quantized tensor (no device effects).
+std::vector<float> dequantize(const QuantizedTensor& qt);
+
+/// Map one weight through cell programming with conductance noise and read
+/// it back: each |q| is split into device_bits-wide slices, each slice level
+/// is programmed on a differential conductance pair, each cell is perturbed
+/// by N(0, sigma/mu), and the effective weight is re-composed.
+float program_and_read_weight(int q, float scale, const ImcConfig& config,
+                              util::Rng& rng);
+
+/// Apply the full pipeline to every conv/linear weight of a network in
+/// place. Deterministic given `seed`. Returns the number of perturbed
+/// weights.
+std::size_t apply_device_variation(snn::SpikingNetwork& net, const ImcConfig& config,
+                                   std::uint64_t seed);
+
+/// Bit-accurate single-crossbar MVM model.
+class FunctionalCrossbar {
+ public:
+  /// rows/cols are logical (cols = logical output columns; each consumes
+  /// columns_per_weight() device columns). Throws if it exceeds the array.
+  FunctionalCrossbar(const ImcConfig& config, std::size_t rows, std::size_t cols,
+                     std::uint64_t seed);
+
+  /// Program a row-major [rows, cols] weight matrix (floats quantized
+  /// internally; per-crossbar scale).
+  void program(std::span<const float> weights);
+
+  /// Ideal digital reference: q-weight dot product * scale.
+  [[nodiscard]] std::vector<float> mvm_ideal(std::span<const float> spikes) const;
+
+  /// Analog path: conductance sums with variation, per-column ADC
+  /// quantization, shift&add recombination of slices and differential pairs.
+  [[nodiscard]] std::vector<float> mvm_analog(std::span<const float> spikes) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] float scale() const { return scale_; }
+
+ private:
+  ImcConfig config_;
+  std::size_t rows_, cols_;
+  util::Rng rng_;
+  float scale_ = 1.0f;
+  std::vector<int> q_;  ///< [rows, cols] quantized weights
+  /// Programmed cell conductances [rows, cols, slices, 2(pos/neg)].
+  std::vector<double> conductance_;
+};
+
+/// Tiled full-datapath matrix-vector engine: a weight matrix of arbitrary
+/// size is split across a grid of FunctionalCrossbars (row groups x column
+/// groups, exactly as the mapper places layers), each slice runs the analog
+/// MVM with device variation and ADC quantization, and the digital partial
+/// sums accumulate across row groups — the same hierarchy the PE/tile
+/// accumulators implement on chip.
+class XbarMatrix {
+ public:
+  /// rows x cols logical weight matrix (row-major), programmed immediately.
+  XbarMatrix(const ImcConfig& config, std::size_t rows, std::size_t cols,
+             std::span<const float> weights, std::uint64_t seed);
+
+  /// Full-datapath MVM of a binary spike vector (size = rows).
+  [[nodiscard]] std::vector<float> mvm_analog(std::span<const float> spikes) const;
+  /// Quantized-digital reference (no device/ADC effects).
+  [[nodiscard]] std::vector<float> mvm_ideal(std::span<const float> spikes) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t crossbars() const { return grid_.size(); }
+
+ private:
+  ImcConfig config_;
+  std::size_t rows_, cols_;
+  std::size_t rows_per_xbar_, cols_per_xbar_;
+  std::size_t row_groups_, col_groups_;
+  std::vector<FunctionalCrossbar> grid_;  ///< row-major [row_groups, col_groups]
+};
+
+}  // namespace dtsnn::imc

@@ -1,0 +1,150 @@
+#include "snn/conv.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/gemm.h"
+
+namespace dtsnn::snn {
+
+namespace {
+
+/// [N*OHW, Cout] row-per-pixel layout -> NCHW [N, Cout, OH, OW].
+void pixels_to_nchw(const Tensor& pix, std::size_t n, std::size_t c, std::size_t oh,
+                    std::size_t ow, Tensor& out) {
+  out = Tensor({n, c, oh, ow});
+  const std::size_t hw = oh * ow;
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* src = pix.data() + img * hw * c;
+    float* dst = out.data() + img * c * hw;
+    for (std::size_t p = 0; p < hw; ++p) {
+      for (std::size_t ch = 0; ch < c; ++ch) dst[ch * hw + p] = src[p * c + ch];
+    }
+  }
+}
+
+/// NCHW [N, C, OH, OW] -> [N*OHW, C] row-per-pixel layout.
+void nchw_to_pixels(const Tensor& x, Tensor& pix) {
+  const std::size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  pix = Tensor({n * hw, c});
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* src = x.data() + img * c * hw;
+    float* dst = pix.data() + img * hw * c;
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t p = 0; p < hw; ++p) dst[p * c + ch] = src[ch * hw + p];
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, bool bias, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_("conv.weight", Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_("conv.bias", Tensor({out_channels}), /*no_decay=*/true) {
+  // Kaiming-uniform for ReLU-like nonlinearities; LIF firing behaves similarly.
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (auto& w : weight_.value.span()) w = static_cast<float>(rng.uniform(-bound, bound));
+  if (has_bias_) {
+    const float bbound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    for (auto& b : bias_.value.span()) b = static_cast<float>(rng.uniform(-bbound, bbound));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4 || x.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d: bad input shape " + shape_to_string(x.shape()));
+  }
+  geom_ = ConvGeometry{in_channels_, x.dim(2), x.dim(3), kernel_, stride_, padding_};
+  const std::size_t n = x.dim(0);
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+
+  Tensor col;
+  im2col(x, geom_, col);
+
+  // pix[N*OHW, Cout] = col[N*OHW, CKK] * W^T[CKK, Cout]
+  Tensor pix({n * oh * ow, out_channels_});
+  util::gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow,
+                geom_.patch_size(), out_channels_);
+  if (has_bias_) {
+    const float* b = bias_.value.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < n * oh * ow; ++r) {
+      float* row = pix.data() + r * out_channels_;
+      for (std::size_t c = 0; c < out_channels_; ++c) row[c] += b[c];
+    }
+  }
+
+  Tensor out;
+  pixels_to_nchw(pix, n, out_channels_, oh, ow, out);
+
+  if (train) {
+    col_cache_ = std::move(col);
+    have_cache_ = true;
+  } else {
+    have_cache_ = false;
+    col_cache_ = Tensor();
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  assert(have_cache_ && "Conv2d::backward requires a prior training forward");
+  const std::size_t n = grad_out.dim(0);
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t rows = n * oh * ow;
+  const std::size_t patch = geom_.patch_size();
+
+  Tensor gpix;  // [N*OHW, Cout]
+  nchw_to_pixels(grad_out, gpix);
+
+  // dW[Cout, CKK] += gpix^T[Cout, rows] * col[rows, CKK]
+  util::gemm_at(gpix.data(), col_cache_.data(), weight_.grad.data(), out_channels_, rows,
+                patch, /*accumulate=*/true);
+
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* row = gpix.data() + r * out_channels_;
+      for (std::size_t c = 0; c < out_channels_; ++c) db[c] += row[c];
+    }
+  }
+
+  // dcol[rows, CKK] = gpix[rows, Cout] * W[Cout, CKK]
+  Tensor dcol({rows, patch});
+  util::gemm(gpix.data(), weight_.value.data(), dcol.data(), rows, out_channels_, patch);
+
+  Tensor dx;
+  col2im(dcol, geom_, dx);
+  return dx;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+Shape Conv2d::infer_shape(const Shape& sample_shape) const {
+  if (sample_shape.size() != 3 || sample_shape[0] != in_channels_) {
+    throw std::invalid_argument("Conv2d::infer_shape: bad sample shape " +
+                                shape_to_string(sample_shape));
+  }
+  const ConvGeometry g{in_channels_, sample_shape[1], sample_shape[2], kernel_, stride_,
+                       padding_};
+  return {out_channels_, g.out_h(), g.out_w()};
+}
+
+}  // namespace dtsnn::snn

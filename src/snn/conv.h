@@ -1,0 +1,47 @@
+// 2-D convolution layer (im2col + GEMM), with full backward pass.
+
+#pragma once
+
+#include "snn/im2col.h"
+#include "snn/layer.h"
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Kaiming-uniform initialized convolution. `bias` adds a per-output-channel
+  /// offset (disabled when a norm layer follows, matching common practice).
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, bool bias, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override;
+
+  [[nodiscard]] std::size_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_channels_; }
+  [[nodiscard]] std::size_t kernel() const { return kernel_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] std::size_t padding() const { return padding_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+
+  /// Weight tensor, shape [Cout, Cin*K*K].
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+
+  // Training-time caches.
+  ConvGeometry geom_;
+  Tensor col_cache_;   // [N*OH*OW, Cin*K*K]
+  bool have_cache_ = false;
+};
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,86 @@
+#include "snn/im2col.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dtsnn::snn {
+
+void im2col(const Tensor& x, const ConvGeometry& g, Tensor& col) {
+  assert(g.valid());
+  assert(x.rank() == 4 && x.dim(1) == g.in_channels && x.dim(2) == g.in_h && x.dim(3) == g.in_w);
+  const std::size_t n = x.dim(0);
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t patch = g.patch_size();
+  col = Tensor({n * oh * ow, patch});
+
+  const auto ih = static_cast<std::ptrdiff_t>(g.in_h);
+  const auto iw = static_cast<std::ptrdiff_t>(g.in_w);
+  const auto pad = static_cast<std::ptrdiff_t>(g.padding);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* xp = x.data() + img * g.in_channels * g.in_h * g.in_w;
+    float* colp = col.data() + img * oh * ow * patch;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* dst = colp + (oy * ow + ox) * patch;
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          const float* chan = xp + c * g.in_h * g.in_w;
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const std::ptrdiff_t y =
+                static_cast<std::ptrdiff_t>(oy * g.stride + ky) - pad;
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const std::ptrdiff_t xcoord =
+                  static_cast<std::ptrdiff_t>(ox * g.stride + kx) - pad;
+              const bool inside = y >= 0 && y < ih && xcoord >= 0 && xcoord < iw;
+              *dst++ = inside ? chan[y * iw + xcoord] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& dcol, const ConvGeometry& g, Tensor& dx) {
+  assert(g.valid());
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t patch = g.patch_size();
+  assert(dcol.rank() == 2 && dcol.dim(1) == patch);
+  const std::size_t n = dcol.dim(0) / (oh * ow);
+  dx = Tensor({n, g.in_channels, g.in_h, g.in_w});
+
+  const auto ih = static_cast<std::ptrdiff_t>(g.in_h);
+  const auto iw = static_cast<std::ptrdiff_t>(g.in_w);
+  const auto pad = static_cast<std::ptrdiff_t>(g.padding);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    float* xp = dx.data() + img * g.in_channels * g.in_h * g.in_w;
+    const float* colp = dcol.data() + img * oh * ow * patch;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* src = colp + (oy * ow + ox) * patch;
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          float* chan = xp + c * g.in_h * g.in_w;
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            const std::ptrdiff_t y =
+                static_cast<std::ptrdiff_t>(oy * g.stride + ky) - pad;
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const std::ptrdiff_t xcoord =
+                  static_cast<std::ptrdiff_t>(ox * g.stride + kx) - pad;
+              const float v = *src++;
+              if (y >= 0 && y < ih && xcoord >= 0 && xcoord < iw) {
+                chan[y * iw + xcoord] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dtsnn::snn

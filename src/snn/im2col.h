@@ -1,0 +1,42 @@
+// im2col / col2im transforms turning 2-D convolutions into GEMMs.
+//
+// Layout convention: the column matrix for a batch of N images is
+// [N * OH * OW, C * KH * KW] row-major, i.e. one row per output pixel with
+// the receptive field flattened channel-major. This pairs with weights
+// stored as [Cout, C * KH * KW] so that the convolution output (before the
+// NCHW transpose) is `col * W^T`.
+
+#pragma once
+
+#include <cstddef>
+
+#include "snn/tensor.h"
+
+namespace dtsnn::snn {
+
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 1;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  [[nodiscard]] std::size_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  [[nodiscard]] std::size_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+  [[nodiscard]] std::size_t patch_size() const { return in_channels * kernel * kernel; }
+  /// True if the geometry is self-consistent (kernel fits the padded input).
+  [[nodiscard]] bool valid() const {
+    return in_channels > 0 && kernel > 0 && stride > 0 && in_h + 2 * padding >= kernel &&
+           in_w + 2 * padding >= kernel;
+  }
+};
+
+/// x: [N, C, H, W]  ->  col: [N * OH * OW, C * KH * KW]. Zero padding.
+void im2col(const Tensor& x, const ConvGeometry& g, Tensor& col);
+
+/// Adjoint of im2col: scatters dcol [N*OH*OW, C*K*K] back into dx [N, C, H, W].
+/// dx is overwritten (not accumulated).
+void col2im(const Tensor& dcol, const ConvGeometry& g, Tensor& dx);
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,84 @@
+// Layer interface for the spiking network library.
+//
+// Time-major convention: during multi-step processing, activations carry all
+// T timesteps stacked on the leading axis, shape [T*B, C, H, W] (or [T*B, F]
+// after flattening), with timestep t occupying rows [t*B, (t+1)*B). Stateless
+// layers (conv, linear, pooling, norm) simply see a batch of T*B samples;
+// temporal layers (LIF) slice time internally. set_time(T, B) announces the
+// temporal structure before each forward pass.
+//
+// Each layer also supports a *stateful single-step* path (`begin_steps` /
+// `step`) used by the sequential DT-SNN engine for true early termination:
+// `step` processes a batch of one timestep, with temporal layers keeping
+// their membrane state across calls.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/tensor.h"
+
+namespace dtsnn::snn {
+
+/// A learnable parameter with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Excluded from L2 weight decay (biases, norm affine parameters).
+  bool no_decay = false;
+
+  Param(std::string n, Tensor v, bool nd = false)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()), no_decay(nd) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Announce temporal structure of the upcoming forward: T timesteps of
+  /// batch B (leading axis = T*B). Stateless layers may ignore it.
+  virtual void set_time(std::size_t timesteps, std::size_t batch) {
+    timesteps_ = timesteps;
+    batch_ = batch;
+  }
+
+  /// Multi-step forward over [T*B, ...]. `train` enables stat updates and
+  /// caching for backward.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward for the most recent training forward; returns grad wrt input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Reset any temporal state and prepare for a sequence of single steps.
+  virtual void begin_steps(std::size_t batch) { batch_ = batch; }
+
+  /// Single-timestep inference step (eval semantics). Default: stateless
+  /// layers reuse forward(x, /*train=*/false) with T=1.
+  virtual Tensor step(const Tensor& x) {
+    const std::size_t saved_t = timesteps_;
+    timesteps_ = 1;
+    Tensor out = forward(x, /*train=*/false);
+    timesteps_ = saved_t;
+    return out;
+  }
+
+  /// Learnable parameters (empty for parameter-free layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output shape for a single sample given the input sample shape; used by
+  /// model builders for shape inference and by the IMC mapper.
+  [[nodiscard]] virtual Shape infer_shape(const Shape& sample_shape) const = 0;
+
+ protected:
+  std::size_t timesteps_ = 1;
+  std::size_t batch_ = 1;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dtsnn::snn

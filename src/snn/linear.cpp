@@ -1,0 +1,87 @@
+#include "snn/linear.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/gemm.h"
+
+namespace dtsnn::snn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("linear.weight", Tensor({out_features, in_features})),
+      bias_("linear.bias", Tensor({out_features}), /*no_decay=*/true) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  for (auto& w : weight_.value.span()) w = static_cast<float>(rng.uniform(-bound, bound));
+  if (has_bias_) {
+    const float bbound = 1.0f / std::sqrt(static_cast<float>(in_features));
+    for (auto& b : bias_.value.span()) b = static_cast<float>(rng.uniform(-bbound, bbound));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear: bad input shape " + shape_to_string(x.shape()));
+  }
+  const std::size_t n = x.dim(0);
+  Tensor out({n, out_features_});
+  // out = x * W^T
+  util::gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_, out_features_);
+  if (has_bias_) {
+    const float* b = bias_.value.data();
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < n; ++r) {
+      float* row = out.data() + r * out_features_;
+      for (std::size_t c = 0; c < out_features_; ++c) row[c] += b[c];
+    }
+  }
+  if (train) {
+    input_cache_ = x;
+    have_cache_ = true;
+  } else {
+    input_cache_ = Tensor();
+    have_cache_ = false;
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  assert(have_cache_ && "Linear::backward requires a prior training forward");
+  const std::size_t n = grad_out.dim(0);
+  assert(grad_out.dim(1) == out_features_);
+
+  // dW[out, in] += g^T[out, n] * x[n, in]
+  util::gemm_at(grad_out.data(), input_cache_.data(), weight_.grad.data(), out_features_, n,
+                in_features_, /*accumulate=*/true);
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = grad_out.data() + r * out_features_;
+      for (std::size_t c = 0; c < out_features_; ++c) db[c] += row[c];
+    }
+  }
+  // dx[n, in] = g[n, out] * W[out, in]
+  Tensor dx({n, in_features_});
+  util::gemm(grad_out.data(), weight_.value.data(), dx.data(), n, out_features_, in_features_);
+  return dx;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+Shape Linear::infer_shape(const Shape& sample_shape) const {
+  if (shape_numel(sample_shape) != in_features_) {
+    throw std::invalid_argument("Linear::infer_shape: expected " +
+                                std::to_string(in_features_) + " features, got " +
+                                shape_to_string(sample_shape));
+  }
+  return {out_features_};
+}
+
+}  // namespace dtsnn::snn

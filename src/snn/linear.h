@@ -1,0 +1,53 @@
+// Fully connected layer and the Flatten adapter that precedes it.
+
+#pragma once
+
+#include "snn/layer.h"
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+  /// Weight tensor, shape [out_features, in_features].
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor input_cache_;
+  bool have_cache_ = false;
+};
+
+/// Collapses [N, C, H, W] to [N, C*H*W]; identity on already-flat input.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool /*train*/) override {
+    in_shape_ = x.shape();
+    return x.reshaped({x.dim(0), x.row_size()});
+  }
+  Tensor backward(const Tensor& grad_out) override { return grad_out.reshaped(in_shape_); }
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override {
+    return {shape_numel(sample_shape)};
+  }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace dtsnn::snn

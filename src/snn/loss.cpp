@@ -1,0 +1,135 @@
+#include "snn/loss.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace dtsnn::snn {
+
+namespace {
+void check_inputs(const Tensor& logits, std::span<const int> labels, std::size_t timesteps) {
+  if (logits.rank() != 2) throw std::invalid_argument("loss: logits must be rank 2");
+  if (timesteps == 0 || logits.dim(0) % timesteps != 0) {
+    throw std::invalid_argument("loss: leading dim not divisible by T");
+  }
+  if (logits.dim(0) / timesteps != labels.size()) {
+    throw std::invalid_argument("loss: label count mismatch");
+  }
+}
+}  // namespace
+
+Tensor cumulative_mean_logits(const Tensor& logits, std::size_t timesteps) {
+  assert(logits.rank() == 2 && logits.dim(0) % timesteps == 0);
+  const std::size_t b = logits.dim(0) / timesteps;
+  const std::size_t k = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t i = 0; i < b; ++i) {
+    std::vector<double> acc(k, 0.0);
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      const float* src = logits.data() + (t * b + i) * k;
+      float* dst = out.data() + (t * b + i) * k;
+      const double inv = 1.0 / static_cast<double>(t + 1);
+      for (std::size_t c = 0; c < k; ++c) {
+        acc[c] += src[c];
+        dst[c] = static_cast<float>(acc[c] * inv);
+      }
+    }
+  }
+  return out;
+}
+
+LossResult MeanLogitCrossEntropy::compute(const Tensor& logits, std::span<const int> labels,
+                                          std::size_t timesteps) const {
+  check_inputs(logits, labels, timesteps);
+  const std::size_t b = labels.size();
+  const std::size_t k = logits.dim(1);
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total_loss = 0.0;
+  const float time_scale = 1.0f / static_cast<float>(timesteps);
+  const float batch_scale = 1.0f / static_cast<float>(b);
+
+  std::vector<float> mean(k), probs(k);
+  for (std::size_t i = 0; i < b; ++i) {
+    // f_T = mean over timesteps of y_t.
+    for (std::size_t c = 0; c < k; ++c) mean[c] = 0.0f;
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      const float* src = logits.data() + (t * b + i) * k;
+      for (std::size_t c = 0; c < k; ++c) mean[c] += src[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) mean[c] *= time_scale;
+
+    util::softmax(mean, probs);
+    const int label = labels[i];
+    assert(label >= 0 && static_cast<std::size_t>(label) < k);
+    total_loss += -std::log(std::max(1e-12, static_cast<double>(probs[label])));
+    if (util::argmax(mean) == static_cast<std::size_t>(label)) ++result.correct;
+
+    // dL/dy_t = (softmax(f_T) - z) / (T * B) for every t.
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      float* g = result.grad.data() + (t * b + i) * k;
+      for (std::size_t c = 0; c < k; ++c) {
+        const float delta = probs[c] - (static_cast<std::size_t>(label) == c ? 1.0f : 0.0f);
+        g[c] = delta * time_scale * batch_scale;
+      }
+    }
+  }
+  result.loss = total_loss / static_cast<double>(b);
+  return result;
+}
+
+LossResult PerTimestepCrossEntropy::compute(const Tensor& logits, std::span<const int> labels,
+                                            std::size_t timesteps) const {
+  check_inputs(logits, labels, timesteps);
+  const std::size_t b = labels.size();
+  const std::size_t k = logits.dim(1);
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total_loss = 0.0;
+  const float batch_scale = 1.0f / static_cast<float>(b);
+  const float loss_scale = 1.0f / static_cast<float>(timesteps);
+
+  std::vector<double> acc(k);
+  std::vector<float> ft(k), probs(k);
+  // delta_t = softmax(f_t) - z for each t; dL/dy_tau = (1/TB) sum_{t>=tau} delta_t / t.
+  std::vector<std::vector<float>> deltas(timesteps, std::vector<float>(k));
+
+  for (std::size_t i = 0; i < b; ++i) {
+    const int label = labels[i];
+    assert(label >= 0 && static_cast<std::size_t>(label) < k);
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      const float* src = logits.data() + (t * b + i) * k;
+      const double inv = 1.0 / static_cast<double>(t + 1);
+      for (std::size_t c = 0; c < k; ++c) {
+        acc[c] += src[c];
+        ft[c] = static_cast<float>(acc[c] * inv);
+      }
+      util::softmax(ft, probs);
+      total_loss += -std::log(std::max(1e-12, static_cast<double>(probs[label])));
+      if (t + 1 == timesteps &&
+          util::argmax(ft) == static_cast<std::size_t>(label)) {
+        ++result.correct;
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        deltas[t][c] = probs[c] - (static_cast<std::size_t>(label) == c ? 1.0f : 0.0f);
+      }
+    }
+    // Suffix sums of delta_t / (t+1) give the gradient for each source step.
+    std::vector<float> suffix(k, 0.0f);
+    for (std::size_t t = timesteps; t-- > 0;) {
+      const float inv = 1.0f / static_cast<float>(t + 1);
+      for (std::size_t c = 0; c < k; ++c) suffix[c] += deltas[t][c] * inv;
+      float* g = result.grad.data() + (t * b + i) * k;
+      for (std::size_t c = 0; c < k; ++c) g[c] = suffix[c] * loss_scale * batch_scale;
+    }
+  }
+  result.loss = total_loss * loss_scale / static_cast<double>(b);
+  return result;
+}
+
+}  // namespace dtsnn::snn

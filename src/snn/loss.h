@@ -1,0 +1,59 @@
+// Training losses for spiking networks.
+//
+// The network emits per-timestep classifier outputs y_t, stacked time-major
+// as logits [T*B, K]. The paper defines the t-timestep prediction as the
+// cumulative mean  f_t(x) = (1/t) * sum_{tau<=t} y_tau  (Eq. 1/5).
+//
+//  * MeanLogitCrossEntropy (Eq. 9): softmax cross-entropy on f_T only —
+//    the conventional static-SNN loss.
+//  * PerTimestepCrossEntropy (Eq. 10): mean over t of the cross-entropy on
+//    every cumulative prediction f_t — the DT-SNN loss that gives explicit
+//    supervision to early timesteps.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "snn/tensor.h"
+
+namespace dtsnn::snn {
+
+struct LossResult {
+  double loss = 0.0;             ///< mean loss over the batch
+  Tensor grad;                   ///< dL/dlogits, shape [T*B, K]
+  std::size_t correct = 0;       ///< argmax(f_T) == label count
+};
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// logits: [T*B, K] time-major; labels: B entries in [0, K).
+  virtual LossResult compute(const Tensor& logits, std::span<const int> labels,
+                             std::size_t timesteps) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Eq. (9): CE(softmax(mean_t y_t), z).
+class MeanLogitCrossEntropy final : public Loss {
+ public:
+  LossResult compute(const Tensor& logits, std::span<const int> labels,
+                     std::size_t timesteps) const override;
+  [[nodiscard]] std::string name() const override { return "mean-logit-ce"; }
+};
+
+/// Eq. (10): (1/T) sum_t CE(softmax(f_t), z) with f_t the cumulative mean.
+class PerTimestepCrossEntropy final : public Loss {
+ public:
+  LossResult compute(const Tensor& logits, std::span<const int> labels,
+                     std::size_t timesteps) const override;
+  [[nodiscard]] std::string name() const override { return "per-timestep-ce"; }
+};
+
+/// Cumulative-mean logits: out[t] = (1/(t+1)) * sum_{tau<=t} y_tau.
+/// Input and output are [T*B, K] time-major. This is the quantity the
+/// DT-SNN exit rule thresholds at each timestep.
+Tensor cumulative_mean_logits(const Tensor& logits, std::size_t timesteps);
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,119 @@
+#include "snn/models.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "snn/conv.h"
+#include "snn/linear.h"
+#include "snn/norm.h"
+#include "snn/pool.h"
+
+namespace dtsnn::snn {
+
+namespace {
+
+void append_conv_block(Sequential& seq, std::size_t in_c, std::size_t out_c,
+                       std::size_t stride, const ModelConfig& config, util::Rng& rng) {
+  seq.append(std::make_unique<Conv2d>(in_c, out_c, /*kernel=*/3, stride, /*padding=*/1,
+                                      /*bias=*/false, rng));
+  seq.append(std::make_unique<BatchNorm2d>(out_c, config.bn_vth_scale));
+  seq.append(std::make_unique<Lif>(config.lif));
+}
+
+}  // namespace
+
+SpikingNetwork make_spiking_vgg(const std::vector<int>& plan, const ModelConfig& config) {
+  if (config.input_shape.size() != 3) {
+    throw std::invalid_argument("make_spiking_vgg: input_shape must be [C, H, W]");
+  }
+  util::Rng rng(config.seed);
+  Sequential body;
+  std::size_t channels = config.input_shape[0];
+  Shape sample = config.input_shape;
+  for (const int entry : plan) {
+    if (entry == -1) {
+      body.append(std::make_unique<AvgPool2d>(2));
+    } else if (entry > 0) {
+      append_conv_block(body, channels, static_cast<std::size_t>(entry), /*stride=*/1,
+                        config, rng);
+      channels = static_cast<std::size_t>(entry);
+    } else {
+      throw std::invalid_argument("make_spiking_vgg: bad plan entry " + std::to_string(entry));
+    }
+    sample = body.layer(body.size() - 1).infer_shape(
+        body.size() == 1 ? config.input_shape : sample);
+  }
+  // Recompute final feature shape through the whole body (robust to the
+  // incremental tracking above).
+  sample = body.infer_shape(config.input_shape);
+  body.append(std::make_unique<Flatten>());
+  body.append(std::make_unique<Linear>(shape_numel(sample), config.num_classes,
+                                       /*bias=*/true, rng));
+  return SpikingNetwork(std::move(body), config.num_classes, config.input_shape);
+}
+
+SpikingNetwork make_spiking_resnet(const std::vector<std::size_t>& stage_channels,
+                                   const ModelConfig& config) {
+  if (stage_channels.empty()) {
+    throw std::invalid_argument("make_spiking_resnet: need at least one stage");
+  }
+  util::Rng rng(config.seed);
+  Sequential body;
+  const std::size_t stem = stage_channels.front();
+  append_conv_block(body, config.input_shape[0], stem, /*stride=*/1, config, rng);
+
+  std::size_t in_c = stem;
+  for (std::size_t i = 0; i < stage_channels.size(); ++i) {
+    const std::size_t out_c = stage_channels[i];
+    const std::size_t stride = i == 0 ? 1 : 2;
+
+    Sequential main_path;
+    main_path.append(std::make_unique<Conv2d>(in_c, out_c, 3, stride, 1, false, rng));
+    main_path.append(std::make_unique<BatchNorm2d>(out_c, config.bn_vth_scale));
+    main_path.append(std::make_unique<Lif>(config.lif));
+    main_path.append(std::make_unique<Conv2d>(out_c, out_c, 3, 1, 1, false, rng));
+    main_path.append(std::make_unique<BatchNorm2d>(out_c, config.bn_vth_scale));
+
+    Sequential shortcut;
+    if (in_c != out_c || stride != 1) {
+      shortcut.append(std::make_unique<Conv2d>(in_c, out_c, 1, stride, 0, false, rng));
+      shortcut.append(std::make_unique<BatchNorm2d>(out_c, config.bn_vth_scale));
+    }
+    body.append(std::make_unique<ResidualBlock>(std::move(main_path), std::move(shortcut),
+                                                config.lif));
+    in_c = out_c;
+  }
+
+  const Shape feat = body.infer_shape(config.input_shape);
+  // Global average pooling over the remaining spatial extent.
+  if (feat.size() != 3 || feat[1] != feat[2]) {
+    throw std::logic_error("make_spiking_resnet: unexpected feature shape " +
+                           shape_to_string(feat));
+  }
+  if (feat[1] > 1) body.append(std::make_unique<AvgPool2d>(feat[1]));
+  body.append(std::make_unique<Flatten>());
+  body.append(std::make_unique<Linear>(in_c, config.num_classes, /*bias=*/true, rng));
+  return SpikingNetwork(std::move(body), config.num_classes, config.input_shape);
+}
+
+SpikingNetwork make_model(const std::string& preset, const ModelConfig& config) {
+  if (preset == "vgg_mini") {
+    return make_spiking_vgg({32, 32, -1, 64, 64, -1, 128, -1}, config);
+  }
+  if (preset == "vgg_micro") {
+    return make_spiking_vgg({16, -1, 32, -1}, config);
+  }
+  if (preset == "resnet_mini") {
+    return make_spiking_resnet({16, 32, 64}, config);
+  }
+  if (preset == "resnet_micro") {
+    return make_spiking_resnet({8, 16}, config);
+  }
+  throw std::invalid_argument("make_model: unknown preset '" + preset + "'");
+}
+
+std::vector<std::string> model_presets() {
+  return {"vgg_mini", "vgg_micro", "resnet_mini", "resnet_micro"};
+}
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,222 @@
+#include "snn/multi_exit.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "snn/conv.h"
+#include "snn/linear.h"
+#include "snn/norm.h"
+#include "snn/pool.h"
+#include "util/logging.h"
+
+namespace dtsnn::snn {
+
+namespace {
+
+/// Approximate MACs of a Sequential for one sample of the given shape.
+/// Tracks the running shape through the layers.
+double sequential_macs(const Sequential& seq, Shape& sample) {
+  double macs = 0.0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const Layer& layer = seq.layer(i);
+    if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
+      const Shape out = conv->infer_shape(sample);
+      macs += static_cast<double>(conv->in_channels() * conv->kernel() * conv->kernel()) *
+              static_cast<double>(shape_numel(out));
+      sample = out;
+    } else if (const auto* lin = dynamic_cast<const Linear*>(&layer)) {
+      macs += static_cast<double>(lin->in_features() * lin->out_features());
+      sample = layer.infer_shape(sample);
+    } else {
+      sample = layer.infer_shape(sample);
+    }
+  }
+  return macs;
+}
+
+}  // namespace
+
+MultiExitNetwork::MultiExitNetwork(std::vector<Sequential> segments,
+                                   std::vector<Sequential> heads,
+                                   std::size_t num_classes, Shape sample_shape)
+    : segments_(std::move(segments)),
+      heads_(std::move(heads)),
+      num_classes_(num_classes),
+      sample_shape_(std::move(sample_shape)) {
+  if (segments_.size() != heads_.size() || segments_.empty()) {
+    throw std::invalid_argument("MultiExitNetwork: need one head per segment");
+  }
+  // Cost model: cumulative MAC fraction up to each exit.
+  std::vector<double> cumulative;
+  double total = 0.0;
+  Shape shape = sample_shape_;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    total += sequential_macs(segments_[i], shape);
+    Shape head_shape = shape;
+    total += sequential_macs(heads_[i], head_shape);
+    cumulative.push_back(total);
+  }
+  cost_fractions_.resize(cumulative.size());
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    cost_fractions_[i] = cumulative[i] / total;
+  }
+}
+
+std::vector<Tensor> MultiExitNetwork::forward(const Tensor& x, std::size_t timesteps,
+                                              bool train) {
+  if (x.dim(0) % timesteps != 0) {
+    throw std::invalid_argument("MultiExitNetwork::forward: leading dim not divisible");
+  }
+  const std::size_t batch = x.dim(0) / timesteps;
+  std::vector<Tensor> logits;
+  logits.reserve(heads_.size());
+  Tensor a = x;
+  segment_outputs_.clear();
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    segments_[i].set_time(timesteps, batch);
+    heads_[i].set_time(timesteps, batch);
+    a = segments_[i].forward(a, train);
+    logits.push_back(heads_[i].forward(a, train));
+    if (logits.back().rank() != 2 || logits.back().dim(1) != num_classes_) {
+      throw std::logic_error("MultiExitNetwork: head " + std::to_string(i) +
+                             " produced shape " +
+                             shape_to_string(logits.back().shape()));
+    }
+  }
+  return logits;
+}
+
+void MultiExitNetwork::backward(const std::vector<Tensor>& grad_logits) {
+  if (grad_logits.size() != heads_.size()) {
+    throw std::invalid_argument("MultiExitNetwork::backward: gradient count mismatch");
+  }
+  Tensor carry;  // gradient flowing into the output of segment i
+  for (std::size_t i = heads_.size(); i-- > 0;) {
+    Tensor g_head = heads_[i].backward(grad_logits[i]);
+    if (carry.empty()) {
+      carry = std::move(g_head);
+    } else {
+      carry.add_(g_head);
+    }
+    carry = segments_[i].backward(carry);
+  }
+}
+
+std::vector<Param*> MultiExitNetwork::params() {
+  std::vector<Param*> ps;
+  for (auto& s : segments_) {
+    for (Param* p : s.params()) ps.push_back(p);
+  }
+  for (auto& h : heads_) {
+    for (Param* p : h.params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+MultiExitNetwork make_multi_exit_vgg(const std::vector<int>& plan,
+                                     const ModelConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<Sequential> segments;
+  std::vector<Sequential> heads;
+
+  Sequential current;
+  std::size_t channels = config.input_shape[0];
+  Shape shape = config.input_shape;
+  auto flush_segment = [&](bool is_last) {
+    if (current.size() == 0) return;
+    // Head: global average pool to 1x1 + linear classifier.
+    Sequential head;
+    if (shape.size() == 3 && shape[1] > 1) {
+      if (shape[1] != shape[2]) {
+        throw std::logic_error("make_multi_exit_vgg: non-square feature map");
+      }
+      head.append(std::make_unique<AvgPool2d>(shape[1]));
+    }
+    head.append(std::make_unique<Flatten>());
+    head.append(std::make_unique<Linear>(channels, config.num_classes, true, rng));
+    segments.push_back(std::move(current));
+    heads.push_back(std::move(head));
+    current = Sequential();
+    (void)is_last;
+  };
+
+  for (const int entry : plan) {
+    if (entry == -1) {
+      current.append(std::make_unique<AvgPool2d>(2));
+      shape = Shape{channels, shape[1] / 2, shape[2] / 2};
+      flush_segment(false);
+    } else if (entry > 0) {
+      current.append(std::make_unique<Conv2d>(channels, static_cast<std::size_t>(entry),
+                                              3, 1, 1, false, rng));
+      current.append(std::make_unique<BatchNorm2d>(static_cast<std::size_t>(entry),
+                                                   config.bn_vth_scale));
+      current.append(std::make_unique<Lif>(config.lif));
+      channels = static_cast<std::size_t>(entry);
+      shape = Shape{channels, shape[1], shape[2]};
+    } else {
+      throw std::invalid_argument("make_multi_exit_vgg: bad plan entry");
+    }
+  }
+  flush_segment(true);  // trailing convs without a final pool
+  return MultiExitNetwork(std::move(segments), std::move(heads), config.num_classes,
+                          config.input_shape);
+}
+
+MultiExitLossResult multi_exit_loss(const std::vector<Tensor>& exit_logits,
+                                    std::span<const int> labels,
+                                    std::size_t timesteps) {
+  if (exit_logits.empty()) {
+    throw std::invalid_argument("multi_exit_loss: no exits");
+  }
+  const PerTimestepCrossEntropy per_timestep;
+  MultiExitLossResult result;
+  result.grads.reserve(exit_logits.size());
+
+  // Deeper exits weigh more: w_i = (i+1) / sum(1..m).
+  const std::size_t m = exit_logits.size();
+  const double weight_sum = static_cast<double>(m * (m + 1)) / 2.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    LossResult r = per_timestep.compute(exit_logits[i], labels, timesteps);
+    const double w = static_cast<double>(i + 1) / weight_sum;
+    result.loss += w * r.loss;
+    r.grad.scale_(static_cast<float>(w));
+    result.grads.push_back(std::move(r.grad));
+    if (i + 1 == m) result.correct_final = r.correct;
+  }
+  return result;
+}
+
+TrainStats train_multi_exit(MultiExitNetwork& net, BatchSource& source,
+                            const TrainOptions& options) {
+  Sgd optimizer(net.params(), options.sgd);
+  const CosineSchedule schedule(options.sgd.lr, options.epochs);
+  TrainStats stats;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.cosine_schedule) optimizer.set_lr(schedule.lr_at(epoch));
+    source.reshuffle(epoch);
+    double epoch_loss = 0.0;
+    std::size_t correct = 0, seen = 0;
+    for (std::size_t bi = 0; bi < source.num_batches(); ++bi) {
+      EncodedBatch batch = source.batch(bi, options.timesteps);
+      auto logits = net.forward(batch.x, options.timesteps, /*train=*/true);
+      MultiExitLossResult lr = multi_exit_loss(logits, batch.labels, options.timesteps);
+      net.backward(lr.grads);
+      optimizer.step();
+      epoch_loss += lr.loss * static_cast<double>(batch.labels.size());
+      correct += lr.correct_final;
+      seen += batch.labels.size();
+    }
+    stats.epoch_loss.push_back(seen ? epoch_loss / static_cast<double>(seen) : 0.0);
+    stats.epoch_accuracy.push_back(
+        seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0);
+    DTSNN_LOG_DEBUG("multi-exit epoch %zu: loss=%.4f acc=%.2f%%", epoch,
+                    stats.epoch_loss.back(), 100.0 * stats.epoch_accuracy.back());
+    if (options.on_epoch) {
+      options.on_epoch(epoch, stats.epoch_loss.back(), stats.epoch_accuracy.back());
+    }
+  }
+  return stats;
+}
+
+}  // namespace dtsnn::snn

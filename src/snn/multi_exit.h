@@ -1,0 +1,73 @@
+// Multi-exit spiking networks: auxiliary classifier heads at intermediate
+// depths, enabling layer-wise early exit *on top of* timestep-wise DT-SNN.
+//
+// The paper (Section III-A, "Relation to Early Exit in ANN") argues DT-SNN is
+// complementary to BranchyNet-style early exit: DT-SNN saves timesteps, early
+// exit saves depth within a timestep, and the two compose. This module
+// provides the substrate for that composition: a spiking backbone split into
+// segments, with a classifier head (global average pool + linear) after each
+// segment. The final head is the network's main classifier.
+
+#pragma once
+
+#include "snn/loss.h"
+#include "snn/trainer.h"
+#include "snn/models.h"
+#include "snn/network.h"
+
+namespace dtsnn::snn {
+
+class MultiExitNetwork {
+ public:
+  MultiExitNetwork(std::vector<Sequential> segments, std::vector<Sequential> heads,
+                   std::size_t num_classes, Shape sample_shape);
+
+  /// Multi-step forward: x is [T*B, C, H, W]; returns one [T*B, K] logit
+  /// tensor per exit, ordered shallow -> deep.
+  std::vector<Tensor> forward(const Tensor& x, std::size_t timesteps, bool train);
+
+  /// Backward from per-exit logit gradients (same order/shapes as forward).
+  void backward(const std::vector<Tensor>& grad_logits);
+
+  std::vector<Param*> params();
+  [[nodiscard]] std::size_t num_exits() const { return heads_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const Shape& sample_shape() const { return sample_shape_; }
+
+  /// Fraction of the backbone's per-timestep compute (MACs) spent up to and
+  /// including segment i plus its head — the cost model for layer-wise exit.
+  [[nodiscard]] const std::vector<double>& cost_fractions() const {
+    return cost_fractions_;
+  }
+
+ private:
+  std::vector<Sequential> segments_;
+  std::vector<Sequential> heads_;
+  std::size_t num_classes_;
+  Shape sample_shape_;
+  std::vector<double> cost_fractions_;
+  std::vector<Tensor> segment_outputs_;  // training cache (for shape checks)
+};
+
+/// Spiking VGG with an auxiliary exit after every pooling stage.
+/// `plan` follows make_spiking_vgg (-1 = pool, which also ends a segment).
+MultiExitNetwork make_multi_exit_vgg(const std::vector<int>& plan,
+                                     const ModelConfig& config);
+
+/// Per-exit, per-timestep training loss: mean over exits of Eq. 10, with
+/// deeper exits weighted more (weight = (i+1) / sum).
+struct MultiExitLossResult {
+  double loss = 0.0;
+  std::vector<Tensor> grads;       ///< per exit
+  std::size_t correct_final = 0;   ///< accuracy of the deepest exit at full T
+};
+
+MultiExitLossResult multi_exit_loss(const std::vector<Tensor>& exit_logits,
+                                    std::span<const int> labels,
+                                    std::size_t timesteps);
+
+/// Training loop (SGD + cosine), mirroring snn::train for multi-exit nets.
+TrainStats train_multi_exit(MultiExitNetwork& net, BatchSource& source,
+                            const TrainOptions& options);
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,166 @@
+#include "snn/network.h"
+
+#include <stdexcept>
+
+namespace dtsnn::snn {
+
+// ---------------------------------------------------------------- Sequential
+
+void Sequential::set_time(std::size_t timesteps, std::size_t batch) {
+  Layer::set_time(timesteps, batch);
+  for (auto& l : layers_) l->set_time(timesteps, batch);
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor a = x;
+  for (auto& l : layers_) a = l->forward(a, train);
+  return a;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::begin_steps(std::size_t batch) {
+  Layer::begin_steps(batch);
+  for (auto& l : layers_) l->begin_steps(batch);
+}
+
+Tensor Sequential::step(const Tensor& x) {
+  Tensor a = x;
+  for (auto& l : layers_) a = l->step(a);
+  return a;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> ps;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+Shape Sequential::infer_shape(const Shape& sample_shape) const {
+  Shape s = sample_shape;
+  for (const auto& l : layers_) s = l->infer_shape(s);
+  return s;
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : layers_) {
+    if (auto* seq = dynamic_cast<Sequential*>(l.get())) {
+      seq->visit(fn);
+    } else if (auto* res = dynamic_cast<ResidualBlock*>(l.get())) {
+      res->visit(fn);
+    } else {
+      fn(*l);
+    }
+  }
+}
+
+// ------------------------------------------------------------ ResidualBlock
+
+ResidualBlock::ResidualBlock(Sequential main_path, Sequential shortcut, LifConfig out_lif)
+    : main_(std::move(main_path)), shortcut_(std::move(shortcut)), out_lif_(out_lif) {}
+
+void ResidualBlock::set_time(std::size_t timesteps, std::size_t batch) {
+  Layer::set_time(timesteps, batch);
+  main_.set_time(timesteps, batch);
+  shortcut_.set_time(timesteps, batch);
+  out_lif_.set_time(timesteps, batch);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor m = main_.forward(x, train);
+  Tensor s = has_projection() ? shortcut_.forward(x, train) : x;
+  if (m.shape() != s.shape()) {
+    throw std::invalid_argument("ResidualBlock: main/shortcut shape mismatch " +
+                                shape_to_string(m.shape()) + " vs " +
+                                shape_to_string(s.shape()));
+  }
+  m.add_(s);
+  return out_lif_.forward(m, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = out_lif_.backward(grad_out);
+  // g flows to both branches.
+  Tensor gx = main_.backward(g);
+  if (has_projection()) {
+    gx.add_(shortcut_.backward(g));
+  } else {
+    gx.add_(g);
+  }
+  return gx;
+}
+
+void ResidualBlock::begin_steps(std::size_t batch) {
+  Layer::begin_steps(batch);
+  main_.begin_steps(batch);
+  shortcut_.begin_steps(batch);
+  out_lif_.begin_steps(batch);
+}
+
+Tensor ResidualBlock::step(const Tensor& x) {
+  Tensor m = main_.step(x);
+  Tensor s = has_projection() ? shortcut_.step(x) : x;
+  m.add_(s);
+  return out_lif_.step(m);
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> ps = main_.params();
+  for (Param* p : shortcut_.params()) ps.push_back(p);
+  return ps;
+}
+
+Shape ResidualBlock::infer_shape(const Shape& sample_shape) const {
+  return main_.infer_shape(sample_shape);
+}
+
+void ResidualBlock::visit(const std::function<void(Layer&)>& fn) {
+  main_.visit(fn);
+  shortcut_.visit(fn);
+  fn(out_lif_);
+}
+
+// ----------------------------------------------------------- SpikingNetwork
+
+Tensor SpikingNetwork::forward(const Tensor& x, std::size_t timesteps, bool train) {
+  if (x.dim(0) % timesteps != 0) {
+    throw std::invalid_argument("SpikingNetwork::forward: leading dim not divisible by T");
+  }
+  body_.set_time(timesteps, x.dim(0) / timesteps);
+  Tensor logits = body_.forward(x, train);
+  if (logits.rank() != 2 || logits.dim(1) != num_classes_) {
+    throw std::logic_error("SpikingNetwork: body output shape " +
+                           shape_to_string(logits.shape()) + " is not [T*B, K]");
+  }
+  return logits;
+}
+
+void SpikingNetwork::backward(const Tensor& grad_logits) { body_.backward(grad_logits); }
+
+void SpikingNetwork::begin_inference(std::size_t batch) { body_.begin_steps(batch); }
+
+Tensor SpikingNetwork::step(const Tensor& x_t) { return body_.step(x_t); }
+
+std::vector<Param*> SpikingNetwork::params() { return body_.params(); }
+
+std::vector<double> SpikingNetwork::lif_spike_rates() {
+  std::vector<double> rates;
+  body_.visit([&rates](Layer& l) {
+    if (auto* lif = dynamic_cast<Lif*>(&l)) rates.push_back(lif->last_spike_rate());
+  });
+  return rates;
+}
+
+std::size_t SpikingNetwork::parameter_count() {
+  std::size_t n = 0;
+  for (const Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace dtsnn::snn

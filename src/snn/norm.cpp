@@ -1,0 +1,128 @@
+#include "snn/norm.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtsnn::snn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float vth_scale, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor({channels}, vth_scale), /*no_decay=*/true),
+      beta_("bn.beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  beta_.no_decay = true;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: bad input shape " + shape_to_string(x.shape()));
+  }
+  const std::size_t n = x.dim(0), c = channels_, hw = x.dim(2) * x.dim(3);
+  const double count = static_cast<double>(n * hw);
+  Tensor out(x.shape());
+
+  std::vector<float> mean(c, 0.0f), var(c, 0.0f);
+  if (train) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      double sum = 0.0, sq = 0.0;
+      for (std::size_t img = 0; img < n; ++img) {
+        const float* src = x.data() + (img * c + ch) * hw;
+        for (std::size_t p = 0; p < hw; ++p) {
+          sum += src[p];
+          sq += static_cast<double>(src[p]) * src[p];
+        }
+      }
+      const double m = sum / count;
+      mean[ch] = static_cast<float>(m);
+      var[ch] = static_cast<float>(std::max(0.0, sq / count - m * m));
+    }
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] + momentum_ * mean[ch];
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] + momentum_ * var[ch];
+    }
+  } else {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      mean[ch] = running_mean_[ch];
+      var[ch] = running_var_[ch];
+    }
+  }
+
+  std::vector<float> inv_std(c);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    inv_std[ch] = 1.0f / std::sqrt(var[ch] + eps_);
+  }
+
+  Tensor xhat;
+  if (train) xhat = Tensor(x.shape());
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* src = x.data() + (img * c + ch) * hw;
+      float* dst = out.data() + (img * c + ch) * hw;
+      float* xh = train ? xhat.data() + (img * c + ch) * hw : nullptr;
+      const float m = mean[ch], is = inv_std[ch];
+      const float g = gamma_.value[ch], b = beta_.value[ch];
+      for (std::size_t p = 0; p < hw; ++p) {
+        const float h = (src[p] - m) * is;
+        if (xh) xh[p] = h;
+        dst[p] = g * h + b;
+      }
+    }
+  }
+
+  if (train) {
+    xhat_cache_ = std::move(xhat);
+    inv_std_cache_ = std::move(inv_std);
+    have_cache_ = true;
+  } else {
+    have_cache_ = false;
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  assert(have_cache_ && "BatchNorm2d::backward requires a prior training forward");
+  const std::size_t n = grad_out.dim(0), c = channels_,
+                    hw = grad_out.dim(2) * grad_out.dim(3);
+  const double count = static_cast<double>(n * hw);
+  Tensor dx(grad_out.shape());
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    // Per-channel reductions: sum(g), sum(g * xhat).
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t img = 0; img < n; ++img) {
+      const float* g = grad_out.data() + (img * c + ch) * hw;
+      const float* xh = xhat_cache_.data() + (img * c + ch) * hw;
+      for (std::size_t p = 0; p < hw; ++p) {
+        sum_g += g[p];
+        sum_gx += static_cast<double>(g[p]) * xh[p];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_gx);
+    beta_.grad[ch] += static_cast<float>(sum_g);
+
+    const float gval = gamma_.value[ch];
+    const float is = inv_std_cache_[ch];
+    const float mean_g = static_cast<float>(sum_g / count);
+    const float mean_gx = static_cast<float>(sum_gx / count);
+    for (std::size_t img = 0; img < n; ++img) {
+      const float* g = grad_out.data() + (img * c + ch) * hw;
+      const float* xh = xhat_cache_.data() + (img * c + ch) * hw;
+      float* d = dx.data() + (img * c + ch) * hw;
+      for (std::size_t p = 0; p < hw; ++p) {
+        d[p] = gval * is * (g[p] - mean_g - xh[p] * mean_gx);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+}  // namespace dtsnn::snn

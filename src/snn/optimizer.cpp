@@ -1,0 +1,42 @@
+#include "snn/optimizer.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dtsnn::snn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float wd = p.no_decay ? 0.0f : config_.weight_decay;
+    float* w = p.value.data();
+    float* g = p.grad.data();
+    float* vel = v.data();
+    const std::size_t n = p.value.numel();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      vel[j] = config_.momentum * vel[j] + grad;
+      w[j] -= config_.lr * vel[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->grad.zero();
+}
+
+float CosineSchedule::lr_at(std::size_t epoch) const {
+  if (total_epochs_ == 0) return base_lr_;
+  const double frac = static_cast<double>(epoch) / static_cast<double>(total_epochs_);
+  return static_cast<float>(base_lr_ * 0.5 * (1.0 + std::cos(std::numbers::pi * frac)));
+}
+
+}  // namespace dtsnn::snn

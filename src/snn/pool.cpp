@@ -1,0 +1,120 @@
+#include "snn/pool.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dtsnn::snn {
+
+namespace {
+void check_divisible(const Tensor& x, std::size_t k, const char* who) {
+  if (x.rank() != 4 || x.dim(2) % k != 0 || x.dim(3) % k != 0) {
+    throw std::invalid_argument(std::string(who) + ": input " + shape_to_string(x.shape()) +
+                                " not divisible by kernel " + std::to_string(k));
+  }
+}
+}  // namespace
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+  check_divisible(x, kernel_, "AvgPool2d");
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t nc = 0; nc < n * c; ++nc) {
+    const float* src = x.data() + nc * h * w;
+    float* dst = out.data() + nc * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const float* row = src + (oy * kernel_ + ky) * w + ox * kernel_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) acc += row[kx];
+        }
+        dst[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  const std::size_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2], w = in_shape_[3];
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  assert(grad_out.dim(2) == oh && grad_out.dim(3) == ow);
+  Tensor dx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+#pragma omp parallel for schedule(static)
+  for (std::size_t nc = 0; nc < n * c; ++nc) {
+    const float* g = grad_out.data() + nc * oh * ow;
+    float* dst = dx.data() + nc * h * w;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float v = g[oy * ow + ox] * inv;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          float* row = dst + (oy * kernel_ + ky) * w + ox * kernel_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) row[kx] += v;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Shape AvgPool2d::infer_shape(const Shape& s) const {
+  if (s.size() != 3 || s[1] % kernel_ != 0 || s[2] % kernel_ != 0) {
+    throw std::invalid_argument("AvgPool2d::infer_shape: bad sample shape " +
+                                shape_to_string(s));
+  }
+  return {s[0], s[1] / kernel_, s[2] / kernel_};
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  check_divisible(x, kernel_, "MaxPool2d");
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h / kernel_, ow = w / kernel_;
+  Tensor out({n, c, oh, ow});
+  if (train) argmax_.assign(out.numel(), 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t nc = 0; nc < n * c; ++nc) {
+    const float* src = x.data() + nc * h * w;
+    float* dst = out.data() + nc * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float best = src[(oy * kernel_) * w + ox * kernel_];
+        std::size_t best_idx = (oy * kernel_) * w + ox * kernel_;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const std::size_t idx = (oy * kernel_ + ky) * w + ox * kernel_ + kx;
+            if (src[idx] > best) {
+              best = src[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        dst[oy * ow + ox] = best;
+        if (train) argmax_[nc * oh * ow + oy * ow + ox] = nc * h * w + best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  assert(!argmax_.empty() && "MaxPool2d::backward requires a prior training forward");
+  Tensor dx(in_shape_);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) dx[argmax_[i]] += grad_out[i];
+  return dx;
+}
+
+Shape MaxPool2d::infer_shape(const Shape& s) const {
+  if (s.size() != 3 || s[1] % kernel_ != 0 || s[2] % kernel_ != 0) {
+    throw std::invalid_argument("MaxPool2d::infer_shape: bad sample shape " +
+                                shape_to_string(s));
+  }
+  return {s[0], s[1] / kernel_, s[2] / kernel_};
+}
+
+}  // namespace dtsnn::snn

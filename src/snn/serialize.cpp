@@ -1,0 +1,133 @@
+#include "snn/serialize.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "snn/norm.h"
+
+namespace dtsnn::snn {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'T', 'S', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Named tensors to (de)serialize: params then BN buffers, in stable order.
+std::vector<std::pair<std::string, Tensor*>> checkpoint_entries(SpikingNetwork& net) {
+  std::vector<std::pair<std::string, Tensor*>> entries;
+  std::size_t pi = 0;
+  for (Param* p : net.params()) {
+    entries.emplace_back(p->name + "#" + std::to_string(pi++), &p->value);
+  }
+  std::size_t bi = 0;
+  net.visit([&entries, &bi](Layer& l) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(&l)) {
+      entries.emplace_back("bn.running_mean#" + std::to_string(bi), &bn->running_mean());
+      entries.emplace_back("bn.running_var#" + std::to_string(bi), &bn->running_var());
+      ++bi;
+    }
+  });
+  return entries;
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+void save_checkpoint(SpikingNetwork& net, const std::string& path) {
+  // Write to a temp file and rename so concurrent readers (e.g. parallel
+  // test processes sharing a checkpoint cache) never observe a torn file.
+  const std::string tmp_path = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + tmp_path);
+
+  auto entries = checkpoint_entries(net);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(entries.size()));
+  for (auto& [name, tensor] : entries) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint32_t>(tensor->rank()));
+    for (const std::size_t d : tensor->shape()) {
+      write_pod(out, static_cast<std::uint64_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(tensor->data()),
+              static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + tmp_path);
+  out.close();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("save_checkpoint: rename to " + path + " failed");
+  }
+}
+
+void load_checkpoint(SpikingNetwork& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kVersion) {
+    throw std::runtime_error("load_checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  std::uint64_t count = 0;
+  read_pod(in, count);
+
+  auto entries = checkpoint_entries(net);
+  if (count != entries.size()) {
+    throw std::runtime_error("load_checkpoint: entry count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(entries.size()) + ")");
+  }
+
+  for (auto& [name, tensor] : entries) {
+    std::uint32_t name_len = 0;
+    read_pod(in, name_len);
+    std::string file_name(name_len, '\0');
+    in.read(file_name.data(), name_len);
+    if (file_name != name) {
+      throw std::runtime_error("load_checkpoint: entry name mismatch: file '" + file_name +
+                               "' vs model '" + name + "'");
+    }
+    std::uint32_t rank = 0;
+    read_pod(in, rank);
+    Shape shape(rank);
+    for (auto& d : shape) {
+      std::uint64_t dim = 0;
+      read_pod(in, dim);
+      d = static_cast<std::size_t>(dim);
+    }
+    if (shape != tensor->shape()) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for '" + name + "': file " +
+                               shape_to_string(shape) + " vs model " +
+                               shape_to_string(tensor->shape()));
+    }
+    in.read(reinterpret_cast<char*>(tensor->data()),
+            static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+  }
+}
+
+}  // namespace dtsnn::snn

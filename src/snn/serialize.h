@@ -1,0 +1,25 @@
+// Binary checkpoint serialization for SpikingNetwork.
+//
+// Format (little-endian):
+//   magic "DTSN" | u32 version | u64 entry_count |
+//   per entry: u32 name_len | name bytes | u32 rank | u64 dims[rank] | f32 data[]
+// Entries are the network's learnable parameters in params() order followed
+// by batch-norm running statistics in visit order. Loading requires an
+// architecturally identical network (names and shapes are checked).
+
+#pragma once
+
+#include <string>
+
+#include "snn/network.h"
+
+namespace dtsnn::snn {
+
+/// Writes all parameters and normalization buffers. Throws on I/O failure.
+void save_checkpoint(SpikingNetwork& net, const std::string& path);
+
+/// Restores a checkpoint written by save_checkpoint into an identically
+/// structured network. Throws on mismatch or I/O failure.
+void load_checkpoint(SpikingNetwork& net, const std::string& path);
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,60 @@
+#include "snn/surrogate.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dtsnn::snn {
+
+SurrogateKind surrogate_from_string(const std::string& name) {
+  if (name == "triangle") return SurrogateKind::kTriangle;
+  if (name == "dspike") return SurrogateKind::kDspike;
+  if (name == "rectangle") return SurrogateKind::kRectangle;
+  if (name == "atan") return SurrogateKind::kAtan;
+  throw std::invalid_argument("unknown surrogate: " + name);
+}
+
+std::string to_string(SurrogateKind kind) {
+  switch (kind) {
+    case SurrogateKind::kTriangle: return "triangle";
+    case SurrogateKind::kDspike: return "dspike";
+    case SurrogateKind::kRectangle: return "rectangle";
+    case SurrogateKind::kAtan: return "atan";
+  }
+  return "?";
+}
+
+float surrogate_grad(const SurrogateSpec& spec, float u, float vth) {
+  const float d = u - vth;
+  switch (spec.kind) {
+    case SurrogateKind::kTriangle: {
+      // Eq. (4): max(0, Vth - |u - Vth|).
+      const float v = vth - std::abs(d);
+      return v > 0.0f ? v : 0.0f;
+    }
+    case SurrogateKind::kDspike: {
+      // Derivative of the Dspike soft-spike family: a scaled, normalized
+      // tanh. b controls the temperature; integral over u is 1.
+      const float b = spec.alpha;
+      const float t = std::tanh(b * d);
+      // Normalizer keeps peak value = b / (2 * tanh(b/2)) as in the paper's
+      // finite-support construction evaluated on [Vth-1, Vth+1].
+      const float denom = 2.0f * std::tanh(b * 0.5f);
+      if (std::abs(d) > 1.0f) return 0.0f;
+      return b * (1.0f - t * t) / denom;
+    }
+    case SurrogateKind::kRectangle: {
+      const float a = spec.alpha;  // half-width
+      return std::abs(d) < a ? 1.0f / (2.0f * a) : 0.0f;
+    }
+    case SurrogateKind::kAtan: {
+      // d/du [ (1/pi) * atan(pi/2 * alpha * d) + 1/2 ].
+      const float a = spec.alpha;
+      const float z = std::numbers::pi_v<float> * 0.5f * a * d;
+      return a / (2.0f * (1.0f + z * z));
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,37 @@
+// Surrogate gradients for the non-differentiable spike firing function.
+//
+// Forward: s = H(u - Vth) (Heaviside). Backward: ds/du is replaced by a
+// smooth pseudo-derivative. The paper's default (Eq. 4) is the rectangular
+// triangle max(0, Vth - |u - Vth|); the Dspike-style (Li et al. 2021) and
+// tdBN-style (Zheng et al. 2021) alternatives are provided for the Fig. 6(A)
+// baseline comparison, plus ATan as a commonly used extra.
+
+#pragma once
+
+#include <string>
+
+namespace dtsnn::snn {
+
+enum class SurrogateKind {
+  kTriangle,   ///< Eq. 4 of the paper: max(0, Vth - |u - Vth|)
+  kDspike,     ///< temperature-controlled tanh-derivative family (Dspike)
+  kRectangle,  ///< tdBN-style boxcar: 1/(2a) on |u - Vth| < a
+  kAtan,       ///< arctangent pseudo-derivative
+};
+
+/// Parse "triangle" / "dspike" / "rectangle" / "atan" (throws on unknown).
+SurrogateKind surrogate_from_string(const std::string& name);
+std::string to_string(SurrogateKind kind);
+
+struct SurrogateSpec {
+  SurrogateKind kind = SurrogateKind::kTriangle;
+  /// Sharpness/width parameter; meaning depends on the kind:
+  /// triangle — unused (width is Vth per Eq. 4); dspike — temperature b;
+  /// rectangle — half-width a; atan — slope alpha.
+  float alpha = 1.0f;
+};
+
+/// Pseudo-derivative ds/du evaluated at membrane potential `u`.
+float surrogate_grad(const SurrogateSpec& spec, float u, float vth);
+
+}  // namespace dtsnn::snn

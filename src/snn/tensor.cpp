@@ -1,0 +1,156 @@
+#include "snn/tensor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dtsnn::snn {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  s += "]";
+  return s;
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.gaussian(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " + shape_to_string(shape_) +
+                                " -> " + shape_to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+}
+
+std::span<float> Tensor::row(std::size_t i) {
+  const std::size_t rs = row_size();
+  assert(i < dim(0));
+  return {data_.data() + i * rs, rs};
+}
+
+std::span<const float> Tensor::row(std::size_t i) const {
+  const std::size_t rs = row_size();
+  assert(i < dim(0));
+  return {data_.data() + i * rs, rs};
+}
+
+std::size_t Tensor::row_size() const {
+  assert(rank() >= 1 && dim(0) > 0);
+  return numel() / dim(0);
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  assert(numel() == other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float s) {
+  assert(numel() == other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  assert(numel() == other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  assert(numel() == other.numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (auto& x : data_) x = x < lo ? lo : (x > hi ? hi : x);
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const { return empty() ? 0.0f : sum() / static_cast<float>(numel()); }
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Tensor::density() const {
+  if (empty()) return 0.0;
+  std::size_t nz = 0;
+  for (const float v : data_) nz += (v != 0.0f);
+  return static_cast<double>(nz) / static_cast<double>(numel());
+}
+
+bool Tensor::allclose(const Tensor& other, float rtol, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const float diff = std::abs(data_[i] - other.data_[i]);
+    if (diff > atol + rtol * std::abs(other.data_[i])) return false;
+  }
+  return true;
+}
+
+std::size_t Tensor::flat_index(std::initializer_list<std::size_t> idx) const {
+  assert(idx.size() == shape_.size());
+  std::size_t flat = 0;
+  std::size_t axis = 0;
+  for (const std::size_t i : idx) {
+    assert(i < shape_[axis]);
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,111 @@
+// Dense float32 tensor with contiguous row-major storage.
+//
+// This is the single data container used throughout the library. It is
+// deliberately simple: fixed dtype, contiguous storage, explicit shapes.
+// Layers operate on tensors whose leading dimension is the "time-major"
+// batch T*B (see snn/network.h).
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::size_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" rendering for error messages.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  // -- shape ----------------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Returns a tensor sharing no storage but holding the same data with a
+  /// new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+  /// In-place reshape (numel must match).
+  void reshape(Shape new_shape);
+
+  // -- element access -------------------------------------------------------
+  float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t flat) { return data_[flat]; }
+  float operator[](std::size_t flat) const { return data_[flat]; }
+
+  /// Multi-index access (rank checked in debug builds).
+  template <typename... Idx>
+  float& at(Idx... idx) {
+    return data_[flat_index({static_cast<std::size_t>(idx)...})];
+  }
+  template <typename... Idx>
+  [[nodiscard]] float at(Idx... idx) const {
+    return data_[flat_index({static_cast<std::size_t>(idx)...})];
+  }
+
+  /// Span over row `i` of a rank>=1 tensor viewed as [dim0, rest].
+  std::span<float> row(std::size_t i);
+  [[nodiscard]] std::span<const float> row(std::size_t i) const;
+  /// Elements per row (= numel / dim0).
+  [[nodiscard]] std::size_t row_size() const;
+
+  // -- elementwise ops (in place) --------------------------------------------
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  Tensor& add_(const Tensor& other);                ///< this += other
+  Tensor& add_scaled_(const Tensor& other, float s);///< this += s * other
+  Tensor& sub_(const Tensor& other);                ///< this -= other
+  Tensor& mul_(const Tensor& other);                ///< this *= other (Hadamard)
+  Tensor& scale_(float s);                          ///< this *= s
+  Tensor& clamp_(float lo, float hi);
+
+  // -- reductions -------------------------------------------------------------
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float abs_max() const;
+  /// Fraction of non-zero entries — the spike density of a binary tensor.
+  [[nodiscard]] double density() const;
+
+  /// Deep-equality within tolerance.
+  [[nodiscard]] bool allclose(const Tensor& other, float rtol = 1e-5f, float atol = 1e-7f) const;
+
+ private:
+  [[nodiscard]] std::size_t flat_index(std::initializer_list<std::size_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,46 @@
+#include "snn/trainer.h"
+
+#include "util/logging.h"
+
+namespace dtsnn::snn {
+
+TrainStats train(SpikingNetwork& net, const Loss& loss, BatchSource& source,
+                 const TrainOptions& options) {
+  Sgd optimizer(net.params(), options.sgd);
+  const CosineSchedule schedule(options.sgd.lr, options.epochs);
+  TrainStats stats;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.cosine_schedule) optimizer.set_lr(schedule.lr_at(epoch));
+    source.reshuffle(epoch);
+
+    double epoch_loss = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+    const std::size_t nb = source.num_batches();
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      EncodedBatch batch = source.batch(bi, options.timesteps);
+      const std::size_t bsz = batch.labels.size();
+
+      Tensor logits = net.forward(batch.x, options.timesteps, /*train=*/true);
+      LossResult lr = loss.compute(logits, batch.labels, options.timesteps);
+      net.backward(lr.grad);
+      optimizer.step();
+
+      epoch_loss += lr.loss * static_cast<double>(bsz);
+      correct += lr.correct;
+      seen += bsz;
+    }
+    const double mean_loss = seen ? epoch_loss / static_cast<double>(seen) : 0.0;
+    const double accuracy = seen ? static_cast<double>(correct) / static_cast<double>(seen)
+                                 : 0.0;
+    stats.epoch_loss.push_back(mean_loss);
+    stats.epoch_accuracy.push_back(accuracy);
+    DTSNN_LOG_DEBUG("epoch %zu: loss=%.4f acc=%.2f%% lr=%.4f", epoch, mean_loss,
+                    100.0 * accuracy, optimizer.lr());
+    if (options.on_epoch) options.on_epoch(epoch, mean_loss, accuracy);
+  }
+  return stats;
+}
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,58 @@
+// Training loop: SGD + cosine schedule over an abstract batch source.
+//
+// The batch source yields time-major encoded inputs [T*B, C, H, W] plus
+// labels; the dataset module implements it for static images (direct
+// encoding — every timestep repeats the frame) and for event streams
+// (distinct frames per timestep).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "snn/loss.h"
+#include "snn/network.h"
+#include "snn/optimizer.h"
+
+namespace dtsnn::snn {
+
+struct EncodedBatch {
+  Tensor x;                 ///< [T*B, C, H, W]
+  std::vector<int> labels;  ///< B entries
+};
+
+/// Abstract provider of training batches for one epoch. Implementations own
+/// shuffling (reshuffle(epoch) is called before each epoch).
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual std::size_t num_batches() const = 0;
+  virtual EncodedBatch batch(std::size_t index, std::size_t timesteps) const = 0;
+  virtual void reshuffle(std::size_t epoch) = 0;
+};
+
+struct TrainOptions {
+  std::size_t epochs = 10;
+  std::size_t timesteps = 4;
+  SgdConfig sgd{};
+  bool cosine_schedule = true;
+  /// Called after each epoch with (epoch, train_loss, train_acc).
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+  [[nodiscard]] double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+  [[nodiscard]] double final_accuracy() const {
+    return epoch_accuracy.empty() ? 0.0 : epoch_accuracy.back();
+  }
+};
+
+/// Runs the full training loop; returns per-epoch statistics.
+TrainStats train(SpikingNetwork& net, const Loss& loss, BatchSource& source,
+                 const TrainOptions& options);
+
+}  // namespace dtsnn::snn

@@ -1,0 +1,52 @@
+// Minimal CSV writer used by the benchmark harness to emit the data series
+// behind each reproduced table/figure alongside the pretty-printed output.
+
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtsnn::util {
+
+/// Writes rows of mixed string/number cells to a CSV file. Quoting follows
+/// RFC 4180 (fields containing comma, quote or newline are quoted).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(std::initializer_list<std::string_view> names);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Variadic row of stringifiable cells.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(stringify(cells)), ...);
+    write_row(r);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string stringify(const std::string& s) { return s; }
+  static std::string stringify(const char* s) { return s; }
+  static std::string stringify(std::string_view s) { return std::string(s); }
+  static std::string stringify(double v);
+  static std::string stringify(float v) { return stringify(static_cast<double>(v)); }
+  static std::string stringify(int v) { return std::to_string(v); }
+  static std::string stringify(long v) { return std::to_string(v); }
+  static std::string stringify(unsigned v) { return std::to_string(v); }
+  static std::string stringify(std::size_t v) { return std::to_string(v); }
+
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dtsnn::util

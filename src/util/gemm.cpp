@@ -1,0 +1,79 @@
+#include "util/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace dtsnn::util {
+
+namespace {
+// Block sizes tuned for L1/L2-resident panels of float32.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockN = 256;
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+#pragma omp parallel for schedule(static)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float aval = a[i * k + kk];
+            if (aval == 0.0f) continue;  // spikes are sparse; skip zero rows
+            const float* brow = b + kk * n;
+#pragma omp simd
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  // A^T row i is column i of A[k,m]; iterate k-major for streaming access.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a + kk * m;
+      const float* brow = b + kk * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float aval = arow[i];
+        if (aval == 0.0f) continue;
+        float* crow = c + i * n;
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace dtsnn::util

@@ -1,0 +1,26 @@
+// Single-precision GEMM kernels backing the convolution and linear layers.
+//
+// These are cache-blocked, OpenMP-parallel reference kernels — fast enough to
+// train the scaled-down spiking networks used throughout the benches on CPU,
+// while remaining dependency-free and easy to audit.
+
+#pragma once
+
+#include <cstddef>
+
+namespace dtsnn::util {
+
+/// C[m,n] += A[m,k] * B[k,n]   (row-major, C must be pre-initialized).
+/// If `accumulate` is false, C is overwritten instead.
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate = false);
+
+/// C[m,n] (+)= A^T[m,k] * B[k,n] where A is stored row-major as [k,m].
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+/// C[m,n] (+)= A[m,k] * B^T[k,n] where B is stored row-major as [n,k].
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+}  // namespace dtsnn::util

@@ -1,0 +1,27 @@
+// Lightweight leveled logging to stderr. The library itself logs sparingly
+// (training progress, calibration summaries); benches raise the level.
+
+#pragma once
+
+#include <string>
+
+namespace dtsnn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-safe (single write per message).
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+/// printf-style string formatting helper (returns the formatted string).
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define DTSNN_LOG_DEBUG(...) ::dtsnn::util::logf(::dtsnn::util::LogLevel::kDebug, __VA_ARGS__)
+#define DTSNN_LOG_INFO(...) ::dtsnn::util::logf(::dtsnn::util::LogLevel::kInfo, __VA_ARGS__)
+#define DTSNN_LOG_WARN(...) ::dtsnn::util::logf(::dtsnn::util::LogLevel::kWarn, __VA_ARGS__)
+#define DTSNN_LOG_ERROR(...) ::dtsnn::util::logf(::dtsnn::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dtsnn::util

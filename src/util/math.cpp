@@ -1,0 +1,46 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dtsnn::util {
+
+void softmax(std::span<const float> logits, std::span<float> probs) {
+  assert(!logits.empty() && logits.size() == probs.size());
+  const float maxv = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double e = std::exp(static_cast<double>(logits[i] - maxv));
+    probs[i] = static_cast<float>(e);
+    sum += e;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& p : probs) p *= inv;
+}
+
+std::vector<float> softmax(std::span<const float> logits) {
+  std::vector<float> probs(logits.size());
+  softmax(logits, probs);
+  return probs;
+}
+
+double log_sum_exp(std::span<const float> logits) {
+  assert(!logits.empty());
+  const float maxv = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (const float v : logits) sum += std::exp(static_cast<double>(v - maxv));
+  return static_cast<double>(maxv) + std::log(sum);
+}
+
+std::size_t argmax(std::span<const float> values) {
+  assert(!values.empty());
+  return static_cast<std::size_t>(
+      std::distance(values.begin(), std::max_element(values.begin(), values.end())));
+}
+
+bool almost_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::abs(b);
+}
+
+}  // namespace dtsnn::util

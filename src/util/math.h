@@ -1,0 +1,36 @@
+// Small numeric helpers shared across the library: stable softmax,
+// log-sum-exp, clamping and index utilities.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtsnn::util {
+
+/// Numerically stable softmax over `logits`, written into `probs`
+/// (which must have the same length). Safe for any finite input.
+void softmax(std::span<const float> logits, std::span<float> probs);
+
+/// Convenience overload returning a fresh vector.
+std::vector<float> softmax(std::span<const float> logits);
+
+/// Numerically stable log(sum(exp(x))).
+double log_sum_exp(std::span<const float> logits);
+
+/// Index of the maximum element (first one on ties). Requires non-empty input.
+std::size_t argmax(std::span<const float> values);
+
+/// x clamped to [lo, hi].
+inline float clampf(float x, float lo, float hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Ceiling division for non-negative integers.
+inline std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// True if |a - b| <= atol + rtol * |b|.
+bool almost_equal(double a, double b, double rtol = 1e-5, double atol = 1e-8);
+
+}  // namespace dtsnn::util

@@ -1,0 +1,120 @@
+// Deterministic random number generation utilities.
+//
+// Every stochastic component in the library (weight init, dataset synthesis,
+// device-variation injection) takes an explicit seed so that experiments are
+// exactly reproducible. Rng wraps a SplitMix64-seeded xoshiro256++ generator,
+// which is fast, has a 2^256-1 period, and passes BigCrush.
+
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace dtsnn::util {
+
+/// Counter-based seed mixer (SplitMix64). Used to expand one user seed into
+/// independent stream seeds, e.g. one per layer or per dataset shard.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with Gaussian and common integer/real helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    has_cached_gauss_ = false;
+  }
+
+  /// Derive an independent generator; `stream` distinguishes children.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    std::uint64_t sm = state_[0] ^ (0xa076'1d64'78bd'642full * (stream + 1));
+    std::uint64_t derived = sm;
+    return Rng(splitmix64(derived));
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double gaussian() {
+    if (has_cached_gauss_) {
+      has_cached_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gauss_ = 0.0;
+  bool has_cached_gauss_ = false;
+};
+
+}  // namespace dtsnn::util

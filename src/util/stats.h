@@ -1,0 +1,63 @@
+// Streaming statistics and histogram utilities used by the evaluator and
+// the hardware model to aggregate per-sample measurements.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dtsnn::util {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  [[nodiscard]] double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin counting histogram over integer categories [0, num_bins).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins) : counts_(num_bins, 0) {}
+
+  void add(std::size_t bin);
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  /// Fraction of mass in `bin`; 0 if the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+  /// Mean of the bin indices weighted by counts.
+  [[nodiscard]] double mean() const;
+  /// "12.3% 45.6% ..." rendering for reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// p-quantile (linear interpolation) of a sample; input copied and sorted.
+double quantile(std::span<const double> sample, double p);
+
+}  // namespace dtsnn::util

@@ -1,0 +1,257 @@
+// Tests for the DT-SNN core: entropy (Eq. 7), exit rule semantics (Eq. 8),
+// post-hoc vs sequential engine agreement, and threshold calibration.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/engine.h"
+#include "core/entropy.h"
+#include "core/evaluator.h"
+#include "core/exit_policy.h"
+#include "util/math.h"
+
+namespace dtsnn::core {
+namespace {
+
+// ----------------------------------------------------------------- entropy
+
+TEST(Entropy, UniformIsOne) {
+  const std::vector<float> p(8, 0.125f);
+  EXPECT_NEAR(normalized_entropy(p), 1.0, 1e-6);
+}
+
+TEST(Entropy, OneHotIsZero) {
+  std::vector<float> p(5, 0.0f);
+  p[2] = 1.0f;
+  EXPECT_NEAR(normalized_entropy(p), 0.0, 1e-12);
+}
+
+TEST(Entropy, MonotoneInConcentration) {
+  // Sharper distributions have lower entropy.
+  double prev = 1.1;
+  for (const float conf : {0.3f, 0.5f, 0.7f, 0.9f, 0.99f}) {
+    std::vector<float> p(4, (1.0f - conf) / 3.0f);
+    p[0] = conf;
+    const double h = normalized_entropy(p);
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Entropy, NormalizationIndependentOfK) {
+  // Uniform distributions have entropy exactly 1 regardless of class count.
+  for (const std::size_t k : {2u, 10u, 100u}) {
+    std::vector<float> p(k, 1.0f / static_cast<float>(k));
+    EXPECT_NEAR(normalized_entropy(p), 1.0, 1e-6) << k;
+  }
+}
+
+TEST(Entropy, OfLogitsMatchesManualSoftmax) {
+  const std::vector<float> logits{1.0f, 2.0f, 0.5f};
+  const auto probs = util::softmax(logits);
+  EXPECT_NEAR(entropy_of_logits(logits), normalized_entropy(probs), 1e-12);
+}
+
+TEST(Entropy, RowsHelper) {
+  const std::vector<float> logits{0, 0, 10, 0};  // 2 rows of K=2
+  const auto h = entropies_of_logit_rows(logits, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_NEAR(h[0], 1.0, 1e-9);
+  EXPECT_LT(h[1], 0.01);
+}
+
+// ------------------------------------------------------------ exit policies
+
+TEST(ExitPolicy, EntropyThresholdSemantics) {
+  const std::vector<float> confident{10.0f, 0.0f, 0.0f};
+  const std::vector<float> uncertain{0.1f, 0.0f, 0.05f};
+  EntropyExitPolicy tight(0.05);
+  EXPECT_TRUE(tight.should_exit(confident));
+  EXPECT_FALSE(tight.should_exit(uncertain));
+}
+
+TEST(ExitPolicy, ThetaZeroNeverExits) {
+  EntropyExitPolicy never(0.0);
+  const std::vector<float> confident{100.0f, 0.0f};
+  EXPECT_FALSE(never.should_exit(confident));  // entropy >= 0 is never < 0
+}
+
+TEST(ExitPolicy, ThetaAboveOneAlwaysExits) {
+  EntropyExitPolicy always(1.01);
+  const std::vector<float> uniform{1.0f, 1.0f, 1.0f};
+  EXPECT_TRUE(always.should_exit(uniform));
+}
+
+TEST(ExitPolicy, MaxProbAndMargin) {
+  const std::vector<float> confident{5.0f, 0.0f};
+  MaxProbExitPolicy mp(0.9);
+  EXPECT_TRUE(mp.should_exit(confident));
+  EXPECT_FALSE(MaxProbExitPolicy(0.999).should_exit(confident));
+  MarginExitPolicy mg(0.5);
+  EXPECT_TRUE(mg.should_exit(confident));
+  EXPECT_FALSE(MarginExitPolicy(0.999).should_exit(confident));
+}
+
+// --------------------------------------------------- synthetic TimestepOutputs
+
+/// Hand-built outputs: 3 samples, T=3, K=2.
+///  s0: confident-correct from t=1.
+///  s1: uncertain until t=2, then confident-correct.
+///  s2: never confident; correct only at t=3.
+TimestepOutputs fake_outputs() {
+  TimestepOutputs out;
+  out.timesteps = 3;
+  out.samples = 3;
+  out.classes = 2;
+  out.labels = {0, 1, 0};
+  out.cum_logits = snn::Tensor({9, 2});
+  auto set = [&](std::size_t t, std::size_t i, float a, float b) {
+    out.cum_logits.at(t * 3 + i, 0) = a;
+    out.cum_logits.at(t * 3 + i, 1) = b;
+  };
+  set(0, 0, 8, 0);  set(1, 0, 8, 0);  set(2, 0, 8, 0);
+  set(0, 1, 0.1f, 0.0f);  set(1, 1, 0, 8);  set(2, 1, 0, 8);
+  set(0, 2, 0.0f, 0.1f);  set(1, 2, 0.1f, 0.0f);  set(2, 2, 0.2f, 0.0f);
+  return out;
+}
+
+TEST(Engine, StaticAccuracyPerTimestep) {
+  const auto out = fake_outputs();
+  // t=1: s0 correct, s1 predicts 0 (label 1) wrong, s2 predicts 1 wrong -> 1/3.
+  EXPECT_NEAR(static_accuracy(out, 1), 1.0 / 3.0, 1e-12);
+  // t=2: s0 ok, s1 ok, s2 predicts 0 ok -> 3/3.
+  EXPECT_NEAR(static_accuracy(out, 2), 1.0, 1e-12);
+  const auto acc = accuracy_per_timestep(out);
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_NEAR(acc[2], 1.0, 1e-12);
+  EXPECT_THROW(static_accuracy(out, 0), std::invalid_argument);
+  EXPECT_THROW(static_accuracy(out, 4), std::invalid_argument);
+}
+
+TEST(Engine, DtsnnExitRuleEq8) {
+  const auto out = fake_outputs();
+  EntropyExitPolicy policy(0.2);
+  const auto r = evaluate_dtsnn(out, policy);
+  // s0 exits at t=1 (entropy tiny), s1 at t=2, s2 falls back to T=3.
+  EXPECT_EQ(r.exit_timestep[0], 1u);
+  EXPECT_EQ(r.exit_timestep[1], 2u);
+  EXPECT_EQ(r.exit_timestep[2], 3u);
+  EXPECT_NEAR(r.avg_timesteps, 2.0, 1e-12);
+  EXPECT_NEAR(r.accuracy, 1.0, 1e-12);  // all three correct at their exits
+  EXPECT_EQ(r.timestep_histogram.count(0), 1u);
+  EXPECT_EQ(r.timestep_histogram.count(2), 1u);
+}
+
+TEST(Engine, ConservativeThetaUsesFullTimesteps) {
+  const auto out = fake_outputs();
+  const auto r = evaluate_dtsnn(out, EntropyExitPolicy(0.0));
+  EXPECT_NEAR(r.avg_timesteps, 3.0, 1e-12);
+}
+
+TEST(Engine, AggressiveThetaUsesOneTimestep) {
+  const auto out = fake_outputs();
+  const auto r = evaluate_dtsnn(out, EntropyExitPolicy(1.01));
+  EXPECT_NEAR(r.avg_timesteps, 1.0, 1e-12);
+  // Accuracy equals t=1 static accuracy.
+  EXPECT_NEAR(r.accuracy, static_accuracy(out, 1), 1e-12);
+}
+
+TEST(Engine, AvgTimestepsMonotoneInTheta) {
+  const auto out = fake_outputs();
+  double prev = 1e9;
+  for (const double theta : {0.01, 0.1, 0.3, 0.6, 0.9, 1.0}) {
+    const auto r = evaluate_dtsnn(out, EntropyExitPolicy(theta));
+    EXPECT_LE(r.avg_timesteps, prev + 1e-12) << theta;
+    prev = r.avg_timesteps;
+  }
+}
+
+// ------------------------------------------------------------- calibration
+
+TEST(Calibration, PicksLargestAdmissibleTheta) {
+  const auto out = fake_outputs();
+  // Target: full accuracy (1.0). Both theta=0.2 and theta=0.5 achieve it
+  // (the uncertain samples' entropies sit near 1.0, the confident ones near
+  // 0); theta=1.01 forces everything to exit at t=1 and loses accuracy. The
+  // calibrator must keep the largest admissible threshold, 0.5.
+  const auto c = calibrate_theta(out, 1.0, 0.0, {0.05, 0.2, 0.5, 1.01});
+  EXPECT_TRUE(c.met_target);
+  EXPECT_NEAR(c.theta, 0.5, 1e-12);
+  EXPECT_NEAR(c.result.accuracy, 1.0, 1e-12);
+}
+
+TEST(Calibration, FallsBackWhenUnreachable) {
+  const auto out = fake_outputs();
+  const auto c = calibrate_theta(out, 2.0 /* impossible */, 0.0, {0.1, 0.5});
+  EXPECT_FALSE(c.met_target);
+  EXPECT_NEAR(c.theta, 0.1, 1e-12);
+}
+
+TEST(Calibration, SweepAligned) {
+  const auto out = fake_outputs();
+  const std::vector<double> grid{0.05, 0.2, 1.01};
+  const auto sweep = theta_sweep(out, grid);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].theta, 0.05);
+  EXPECT_GE(sweep[0].result.avg_timesteps, sweep[2].result.avg_timesteps);
+}
+
+TEST(Calibration, DefaultGridCoversUnitInterval) {
+  const auto grid = default_theta_grid();
+  EXPECT_GT(grid.size(), 10u);
+  EXPECT_LT(grid.front(), 0.01);
+  EXPECT_GE(grid.back(), 1.0);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+}
+
+// ---------------------------------------------- post-hoc vs sequential engine
+
+TEST(Engine, SequentialMatchesPosthoc) {
+  // Train a micro model briefly, then verify the sequential engine's exit
+  // decisions and predictions equal the post-hoc replay on every sample.
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 3;
+  spec.timesteps = 3;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+
+  const auto outputs = test_outputs(e, 3, /*limit=*/40);
+  EntropyExitPolicy policy(0.3);
+  const auto posthoc = evaluate_dtsnn(outputs, policy);
+
+  SequentialEngine engine(e.net, policy, 3);
+  for (std::size_t i = 0; i < outputs.samples; ++i) {
+    const auto pred = engine.infer(*e.bundle.test, i);
+    EXPECT_EQ(pred.timesteps_used, posthoc.exit_timestep[i]) << "sample " << i;
+    const auto logits = outputs.at(pred.timesteps_used - 1, i);
+    EXPECT_EQ(pred.predicted_class, util::argmax(logits)) << "sample " << i;
+  }
+}
+
+TEST(Evaluator, BundleDispatch) {
+  auto dvs = make_bundle("syndvs", 0.05);
+  EXPECT_EQ(dvs.train->native_frames(), 10u);
+  auto vision = make_bundle("sync10", 0.05);
+  // Static vision presets pre-encode 8 distractor-flicker frames per sample
+  // (DESIGN.md §4.1).
+  EXPECT_EQ(vision.train->native_frames(), 8u);
+  EXPECT_EQ(preset_timesteps("syndvs"), 10u);
+  EXPECT_EQ(preset_timesteps("sync10"), 4u);
+}
+
+TEST(Evaluator, CacheKeyDistinguishesSpecs) {
+  ExperimentSpec a, b;
+  b.loss = LossKind::kMeanLogit;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  ExperimentSpec c;
+  c.seed = 2;
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  EXPECT_EQ(a.cache_key(), ExperimentSpec{}.cache_key());
+}
+
+}  // namespace
+}  // namespace dtsnn::core

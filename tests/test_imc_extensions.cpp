@@ -1,0 +1,196 @@
+// Tests for the IMC extension modules: area model, sequential-vs-pipelined
+// timestep processing analysis, and the tiled full-datapath XbarMatrix.
+
+#include <gtest/gtest.h>
+
+#include "imc/area_model.h"
+#include "imc/pipeline_model.h"
+#include "imc/xbar_functional.h"
+#include "util/rng.h"
+
+namespace dtsnn::imc {
+namespace {
+
+// ------------------------------------------------------------------- area
+
+TEST(AreaModel, PositiveAndDecomposed) {
+  const auto mapping = map_network(vgg16_spec(), ImcConfig{});
+  const auto area = estimate_area(mapping);
+  EXPECT_GT(area.crossbars_mm2, 0.0);
+  EXPECT_GT(area.adcs_mm2, 0.0);
+  EXPECT_GT(area.buffers_mm2, 0.0);
+  EXPECT_GT(area.interconnect_mm2, 0.0);
+  EXPECT_NEAR(area.total_mm2(),
+              area.crossbars_mm2 + area.adcs_mm2 + area.digital_periphery_mm2 +
+                  area.buffers_mm2 + area.interconnect_mm2 + area.lif_mm2 +
+                  area.sigma_e_mm2,
+              1e-9);
+}
+
+TEST(AreaModel, SigmaEIsNegligible) {
+  // The paper's pitch: the DT-SNN control hardware is essentially free.
+  const auto mapping = map_network(vgg16_spec(), ImcConfig{});
+  const auto area = estimate_area(mapping);
+  EXPECT_LT(area.sigma_e_fraction(), 1e-3);
+}
+
+TEST(AreaModel, ScalesWithNetwork) {
+  const auto small = estimate_area(map_network(resnet19_spec(), ImcConfig{}));
+  const auto big = estimate_area(map_network(vgg16_spec(), ImcConfig{}));
+  // Both are large networks; just check they differ and track crossbar count.
+  const auto m_small = map_network(resnet19_spec(), ImcConfig{});
+  const auto m_big = map_network(vgg16_spec(), ImcConfig{});
+  if (m_big.total_crossbars() > m_small.total_crossbars()) {
+    EXPECT_GT(big.crossbars_mm2, small.crossbars_mm2);
+  } else {
+    EXPECT_LE(big.crossbars_mm2, small.crossbars_mm2);
+  }
+}
+
+TEST(AreaModel, AdcSharingReducesAdcArea) {
+  ImcConfig wide;
+  wide.adc_mux_ratio = 16;
+  ImcConfig narrow;
+  narrow.adc_mux_ratio = 4;
+  const auto a_wide = estimate_area(map_network(vgg16_spec(), wide));
+  const auto a_narrow = estimate_area(map_network(vgg16_spec(), narrow));
+  EXPECT_LT(a_wide.adcs_mm2, a_narrow.adcs_mm2);
+}
+
+// --------------------------------------------------------------- pipeline
+
+TEST(PipelineModel, StaticPipeliningCutsLatencyNotEnergy) {
+  const EnergyModel model(map_network(vgg16_spec(), ImcConfig{}));
+  const auto a = analyze_pipeline(model, 4, {});
+  EXPECT_LT(a.pipelined_latency_ns, a.sequential_latency_ns);
+  EXPECT_NEAR(a.pipelined_energy_pj, a.sequential_energy_pj, 1e-6);
+}
+
+TEST(PipelineModel, DtsnnPipeliningWastesEnergy) {
+  const EnergyModel model(map_network(vgg16_spec(), ImcConfig{}));
+  // Typical DT-SNN exit distribution: most samples exit at t=1.
+  std::vector<std::size_t> exits;
+  for (int i = 0; i < 70; ++i) exits.push_back(1);
+  for (int i = 0; i < 20; ++i) exits.push_back(2);
+  for (int i = 0; i < 10; ++i) exits.push_back(4);
+  const auto a = analyze_pipeline(model, 4, exits);
+  // Speculative timesteps in flight burn energy the sequential discipline
+  // never spends.
+  EXPECT_GT(a.dt_pipelined_energy_pj, a.dt_sequential_energy_pj);
+}
+
+TEST(PipelineModel, SequentialMatchesEnergyModel) {
+  const EnergyModel model(map_network(vgg16_spec(), ImcConfig{}));
+  std::vector<std::size_t> exits{1, 2, 3, 4};
+  const auto a = analyze_pipeline(model, 4, exits);
+  EXPECT_NEAR(a.dt_sequential_energy_pj, model.mean_energy_pj(exits, true), 1e-3);
+  EXPECT_NEAR(a.dt_sequential_latency_ns,
+              (model.latency_ns(1) + model.latency_ns(2) + model.latency_ns(3) +
+               model.latency_ns(4)) /
+                  4.0,
+              1e-6);
+}
+
+TEST(PipelineModel, FullExitsNoSpeculativeWaste) {
+  const EnergyModel model(map_network(vgg16_spec(), ImcConfig{}));
+  // Every sample uses the full budget: nothing speculative to flush.
+  std::vector<std::size_t> exits(10, 4);
+  const auto a = analyze_pipeline(model, 4, exits);
+  EXPECT_NEAR(a.dt_pipelined_energy_pj, a.dt_sequential_energy_pj, 1e-6);
+}
+
+// ------------------------------------------------------------- XbarMatrix
+
+TEST(XbarMatrix, TiledIdealMatchesDenseQuantizedDot) {
+  ImcConfig cfg;
+  const std::size_t rows = 150, cols = 40;  // spans multiple crossbars
+  util::Rng rng(81);
+  std::vector<float> w(rows * cols);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  XbarMatrix mat(cfg, rows, cols, w, 7);
+  EXPECT_GT(mat.crossbars(), 1u);
+
+  std::vector<float> spikes(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; i += 2) spikes[i] = 1.0f;
+  const auto out = mat.mvm_ideal(spikes);
+
+  // Per-crossbar quantization scales differ, so compare against a tolerance
+  // derived from per-tile quantization steps rather than exact equality.
+  std::vector<double> ref(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (spikes[r] == 0.0f) continue;
+    for (std::size_t c = 0; c < cols; ++c) ref[c] += w[r * cols + c];
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    EXPECT_NEAR(out[c], ref[c], 0.05) << c;
+  }
+}
+
+TEST(XbarMatrix, AnalogTracksIdealWithModestError) {
+  ImcConfig cfg;
+  cfg.device_sigma_over_mu = 0.0;  // isolate ADC effects
+  cfg.adc_bits = 10;
+  const std::size_t rows = 100, cols = 20;
+  util::Rng rng(82);
+  std::vector<float> w(rows * cols);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  XbarMatrix mat(cfg, rows, cols, w, 11);
+  std::vector<float> spikes(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; i += 3) spikes[i] = 1.0f;
+  const auto ideal = mat.mvm_ideal(spikes);
+  const auto analog = mat.mvm_analog(spikes);
+  double err = 0.0, mag = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    err += std::abs(analog[c] - ideal[c]);
+    mag += std::abs(ideal[c]);
+  }
+  EXPECT_LT(err / mag, 0.25);
+}
+
+TEST(XbarMatrix, DeviceNoiseIncreasesError) {
+  const std::size_t rows = 128, cols = 16;
+  util::Rng rng(83);
+  std::vector<float> w(rows * cols);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  std::vector<float> spikes(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; i += 2) spikes[i] = 1.0f;
+
+  ImcConfig clean;
+  clean.device_sigma_over_mu = 0.0;
+  clean.adc_bits = 12;
+  ImcConfig noisy = clean;
+  noisy.device_sigma_over_mu = 0.2;
+
+  XbarMatrix m_clean(clean, rows, cols, w, 5);
+  XbarMatrix m_noisy(noisy, rows, cols, w, 5);
+  const auto ideal = m_clean.mvm_ideal(spikes);
+  double err_clean = 0.0, err_noisy = 0.0;
+  const auto out_clean = m_clean.mvm_analog(spikes);
+  const auto out_noisy = m_noisy.mvm_analog(spikes);
+  for (std::size_t c = 0; c < cols; ++c) {
+    err_clean += std::abs(out_clean[c] - ideal[c]);
+    err_noisy += std::abs(out_noisy[c] - ideal[c]);
+  }
+  EXPECT_LT(err_clean, err_noisy);
+}
+
+TEST(XbarMatrix, ValidatesInputs) {
+  ImcConfig cfg;
+  std::vector<float> w(10 * 4, 0.1f);
+  EXPECT_THROW(XbarMatrix(cfg, 10, 5, w, 1), std::invalid_argument);  // size mismatch
+  XbarMatrix mat(cfg, 10, 4, w, 1);
+  EXPECT_THROW(mat.mvm_analog(std::vector<float>(9, 0.0f)), std::invalid_argument);
+}
+
+TEST(XbarMatrix, CrossbarCountMatchesMapping) {
+  // 576 x 128 at 64 rows, 16 logical cols per crossbar -> 9 x 8 = 72 tiles,
+  // consistent with the mapper's arithmetic for the same layer.
+  ImcConfig cfg;
+  const std::size_t rows = 576, cols = 128;
+  std::vector<float> w(rows * cols, 0.01f);
+  XbarMatrix mat(cfg, rows, cols, w, 3);
+  EXPECT_EQ(mat.crossbars(), 72u);
+}
+
+}  // namespace
+}  // namespace dtsnn::imc

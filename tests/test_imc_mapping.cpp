@@ -1,0 +1,185 @@
+// Tests for network specs and the layer -> crossbar/tile mapping.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "imc/mapping.h"
+#include "util/math.h"
+
+namespace dtsnn::imc {
+namespace {
+
+TEST(NetworkSpec, Vgg16Structure) {
+  const auto spec = vgg16_spec();
+  EXPECT_EQ(spec.layers.size(), 16u);  // 13 convs + 3 FC
+  EXPECT_EQ(spec.layers.front().in_channels, 3u);
+  EXPECT_EQ(spec.layers.front().out_channels, 64u);
+  EXPECT_TRUE(spec.layers.back().fully_connected);
+  EXPECT_EQ(spec.layers.back().out_channels, 10u);
+  // 32x32 input: first conv evaluates 1024 positions.
+  EXPECT_EQ(spec.layers.front().vectors_per_timestep(), 1024u);
+  // VGG-16 at 32x32 is ~300M MACs per timestep.
+  EXPECT_GT(spec.total_macs_per_timestep(), 250'000'000u);
+  EXPECT_LT(spec.total_macs_per_timestep(), 400'000'000u);
+}
+
+TEST(NetworkSpec, Resnet19Structure) {
+  const auto spec = resnet19_spec();
+  // stem + 16 block convs + 2 projections + fc = 20 mapped weight layers.
+  EXPECT_EQ(spec.layers.size(), 20u);
+  EXPECT_EQ(spec.layers.front().out_channels, 128u);
+  EXPECT_TRUE(spec.layers.back().fully_connected);
+}
+
+TEST(NetworkSpec, LayerMath) {
+  LayerSpec l;
+  l.in_channels = 64;
+  l.out_channels = 128;
+  l.kernel = 3;
+  l.out_h = 16;
+  l.out_w = 16;
+  EXPECT_EQ(l.rows_needed(), 576u);
+  EXPECT_EQ(l.vectors_per_timestep(), 256u);
+  EXPECT_EQ(l.output_neurons(), 128u * 256u);
+  EXPECT_EQ(l.macs_per_timestep(), 576u * 128u * 256u);
+}
+
+TEST(NetworkSpec, ActivityDefaults) {
+  auto spec = vgg16_spec();
+  EXPECT_NEAR(spec.layers[0].input_activity, 1.0, 1e-12);  // analog input layer
+  EXPECT_NEAR(spec.layers[5].input_activity, 0.15, 1e-12);
+  set_uniform_activity(spec, 0.25, 0.9);
+  EXPECT_NEAR(spec.layers[0].input_activity, 0.9, 1e-12);
+  EXPECT_NEAR(spec.layers[7].input_activity, 0.25, 1e-12);
+}
+
+TEST(NetworkSpec, FromLiveNetwork) {
+  snn::ModelConfig mc;
+  mc.num_classes = 10;
+  mc.input_shape = {3, 16, 16};
+  snn::SpikingNetwork net = snn::make_model("vgg_mini", mc);
+  const auto spec = spec_from_network(net, "vgg_mini");
+  // 5 convs + classifier linear.
+  EXPECT_EQ(spec.layers.size(), 6u);
+  EXPECT_EQ(spec.layers[0].out_channels, 32u);
+  EXPECT_EQ(spec.layers[0].out_h, 16u);   // stride-1 pad-1
+  EXPECT_EQ(spec.layers[2].out_h, 8u);    // after first pool
+  EXPECT_TRUE(spec.layers.back().fully_connected);
+  EXPECT_EQ(spec.layers.back().out_channels, 10u);
+}
+
+TEST(NetworkSpec, ActivityOverrideValidated) {
+  snn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.input_shape = {3, 8, 8};
+  snn::SpikingNetwork net = snn::make_model("vgg_micro", mc);
+  EXPECT_THROW(spec_from_network(net, "x", {0.5}), std::invalid_argument);
+  const auto spec = spec_from_network(net, "x", {1.0, 0.2, 0.3});
+  EXPECT_NEAR(spec.layers[1].input_activity, 0.2, 1e-12);
+}
+
+// ----------------------------------------------------------------- mapping
+
+TEST(Mapping, CrossbarCountsExact) {
+  // Layer 576 rows x 128 outputs on 64x64 crossbars, 8-bit weights on 4-bit
+  // cells with differential pairs: 4 device columns per weight.
+  LayerSpec l;
+  l.in_channels = 64;
+  l.out_channels = 128;
+  l.kernel = 3;
+  l.out_h = l.out_w = 16;
+  NetworkSpec spec;
+  spec.name = "one";
+  spec.layers = {l};
+  const ImcConfig cfg;
+  const auto m = map_network(spec, cfg);
+  ASSERT_EQ(m.layers.size(), 1u);
+  EXPECT_EQ(m.layers[0].xbar_rows, util::ceil_div(576u, 64u));      // 9
+  EXPECT_EQ(m.layers[0].device_columns, 128u * 4u);                 // 512
+  EXPECT_EQ(m.layers[0].xbar_cols, util::ceil_div(512u, 64u));      // 8
+  EXPECT_EQ(m.layers[0].crossbars, 72u);
+  EXPECT_EQ(m.layers[0].tiles, 2u);  // 72 crossbars / 64 per tile
+}
+
+TEST(Mapping, FullyConnectedSingleVector) {
+  LayerSpec l;
+  l.in_channels = 512;
+  l.out_channels = 10;
+  l.kernel = 1;
+  l.fully_connected = true;
+  NetworkSpec spec;
+  spec.layers = {l};
+  const auto m = map_network(spec, ImcConfig{});
+  EXPECT_EQ(m.layers[0].spec.vectors_per_timestep(), 1u);
+  EXPECT_EQ(m.layers[0].mvm_reads, m.layers[0].crossbars);
+}
+
+TEST(Mapping, ActivityScalesRowReads) {
+  LayerSpec l;
+  l.in_channels = 64;
+  l.out_channels = 64;
+  l.kernel = 3;
+  l.out_h = l.out_w = 8;
+  NetworkSpec spec;
+  spec.layers = {l};
+  spec.layers[0].input_activity = 0.5;
+  const auto half = map_network(spec, ImcConfig{});
+  spec.layers[0].input_activity = 1.0;
+  const auto full = map_network(spec, ImcConfig{});
+  EXPECT_NEAR(half.layers[0].active_row_reads * 2.0, full.layers[0].active_row_reads, 1e-6);
+  // Activity must not change digital-side counts.
+  EXPECT_EQ(half.layers[0].adc_conversions, full.layers[0].adc_conversions);
+}
+
+TEST(Mapping, Vgg16TotalsPlausible) {
+  const auto m = map_network(vgg16_spec(), ImcConfig{});
+  // VGG-16 has ~15M parameters at 4 device columns each over 64x64 arrays:
+  // lower bound 15M * 4 / 4096 ~ 14k crossbars.
+  EXPECT_GT(m.total_crossbars(), 10'000u);
+  EXPECT_LT(m.total_crossbars(), 40'000u);
+  EXPECT_GT(m.total_tiles(), 100u);
+  EXPECT_GT(m.total_latency_ns(), 0.0);
+}
+
+TEST(Mapping, InvalidConfigRejected) {
+  ImcConfig cfg;
+  cfg.weight_bits = 7;  // not divisible by device_bits=4
+  EXPECT_THROW(map_network(vgg16_spec(), cfg), std::invalid_argument);
+}
+
+TEST(Mapping, LatencyLinearInVectors) {
+  LayerSpec small;
+  small.in_channels = 16;
+  small.out_channels = 16;
+  small.kernel = 3;
+  small.out_h = small.out_w = 4;   // 16 vectors
+  LayerSpec big = small;
+  big.out_h = big.out_w = 8;        // 64 vectors
+  NetworkSpec s1, s2;
+  s1.layers = {small};
+  s2.layers = {big};
+  const ImcConfig cfg;
+  const auto m1 = map_network(s1, cfg);
+  const auto m2 = map_network(s2, cfg);
+  const double v1 = m1.layers[0].latency_ns - cfg.t_layer_overhead_ns;
+  const double v2 = m2.layers[0].latency_ns - cfg.t_layer_overhead_ns;
+  EXPECT_NEAR(v2 / v1, 4.0, 1e-9);
+}
+
+TEST(Mapping, NonDifferentialHalvesColumns) {
+  ImcConfig cfg;
+  cfg.differential_columns = false;
+  LayerSpec l;
+  l.in_channels = 64;
+  l.out_channels = 64;
+  l.kernel = 3;
+  l.out_h = l.out_w = 4;
+  NetworkSpec spec;
+  spec.layers = {l};
+  const auto diff = map_network(spec, ImcConfig{});
+  const auto single = map_network(spec, cfg);
+  EXPECT_EQ(single.layers[0].device_columns * 2, diff.layers[0].device_columns);
+}
+
+}  // namespace
+}  // namespace dtsnn::imc

@@ -1,0 +1,154 @@
+// Unit tests for Eq. 9 / Eq. 10 losses and the cumulative-mean transform:
+// known values plus numerical gradient verification.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "snn/loss.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+namespace {
+
+double numeric_grad(const Loss& loss, Tensor logits, std::span<const int> labels,
+                    std::size_t timesteps, std::size_t index, double eps = 1e-3) {
+  const float orig = logits[index];
+  logits[index] = orig + static_cast<float>(eps);
+  const double up = loss.compute(logits, labels, timesteps).loss;
+  logits[index] = orig - static_cast<float>(eps);
+  const double down = loss.compute(logits, labels, timesteps).loss;
+  return (up - down) / (2.0 * eps);
+}
+
+TEST(CumulativeMean, MatchesDefinition) {
+  // B=1, K=2, T=3 with logits y_t = (t+1, 0).
+  Tensor logits({3, 2}, std::vector<float>{1, 0, 2, 0, 3, 0});
+  Tensor cum = cumulative_mean_logits(logits, 3);
+  EXPECT_FLOAT_EQ(cum.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cum.at(1, 0), 1.5f);
+  EXPECT_FLOAT_EQ(cum.at(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cum.at(2, 1), 0.0f);
+}
+
+TEST(CumulativeMean, TimeMajorBatchLayout) {
+  // B=2: rows are [t0 b0, t0 b1, t1 b0, t1 b1].
+  Tensor logits({4, 1}, std::vector<float>{1, 10, 3, 30});
+  Tensor cum = cumulative_mean_logits(logits, 2);
+  EXPECT_FLOAT_EQ(cum[0], 1.0f);
+  EXPECT_FLOAT_EQ(cum[1], 10.0f);
+  EXPECT_FLOAT_EQ(cum[2], 2.0f);   // (1+3)/2
+  EXPECT_FLOAT_EQ(cum[3], 20.0f);  // (10+30)/2
+}
+
+TEST(MeanLogitCE, KnownValueSingleTimestep) {
+  MeanLogitCrossEntropy loss;
+  Tensor logits({1, 2}, std::vector<float>{2.0f, 0.0f});
+  const std::vector<int> labels{0};
+  const auto r = loss.compute(logits, labels, 1);
+  const double expected = -std::log(std::exp(2.0) / (std::exp(2.0) + 1.0));
+  EXPECT_NEAR(r.loss, expected, 1e-6);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(MeanLogitCE, AveragesLogitsOverTime) {
+  MeanLogitCrossEntropy loss;
+  // Two timesteps whose mean is (1, 0).
+  Tensor logits({2, 2}, std::vector<float>{2, 0, 0, 0});
+  const std::vector<int> labels{0};
+  const auto r = loss.compute(logits, labels, 2);
+  const double expected = -std::log(std::exp(1.0) / (std::exp(1.0) + 1.0));
+  EXPECT_NEAR(r.loss, expected, 1e-6);
+}
+
+TEST(MeanLogitCE, GradientMatchesNumeric) {
+  util::Rng rng(41);
+  MeanLogitCrossEntropy loss;
+  Tensor logits = Tensor::randn({3 * 2, 4}, rng);  // T=3, B=2, K=4
+  const std::vector<int> labels{1, 3};
+  const auto r = loss.compute(logits, labels, 3);
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(r.grad[i], numeric_grad(loss, logits, labels, 3, i), 2e-4) << i;
+  }
+}
+
+TEST(MeanLogitCE, CountsCorrectPredictions) {
+  MeanLogitCrossEntropy loss;
+  Tensor logits({2, 2}, std::vector<float>{3, 0, 0, 3});  // B=2, T=1
+  const std::vector<int> labels{0, 0};
+  EXPECT_EQ(loss.compute(logits, labels, 1).correct, 1u);
+}
+
+TEST(PerTimestepCE, EqualsMeanOfTimestepLosses) {
+  PerTimestepCrossEntropy loss;
+  Tensor logits({2, 2}, std::vector<float>{2, 0, 0, 2});  // T=2, B=1
+  const std::vector<int> labels{0};
+  // f_1 = (2,0); f_2 = (1,1).
+  const double l1 = -std::log(std::exp(2.0) / (std::exp(2.0) + 1.0));
+  const double l2 = -std::log(0.5);
+  EXPECT_NEAR(loss.compute(logits, labels, 2).loss, (l1 + l2) / 2.0, 1e-6);
+}
+
+TEST(PerTimestepCE, GradientMatchesNumeric) {
+  util::Rng rng(42);
+  PerTimestepCrossEntropy loss;
+  Tensor logits = Tensor::randn({4 * 2, 3}, rng);  // T=4, B=2, K=3
+  const std::vector<int> labels{0, 2};
+  const auto r = loss.compute(logits, labels, 4);
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(r.grad[i], numeric_grad(loss, logits, labels, 4, i), 2e-4) << i;
+  }
+}
+
+TEST(PerTimestepCE, ReducesToMeanLogitAtT1) {
+  util::Rng rng(43);
+  Tensor logits = Tensor::randn({3, 5}, rng);  // T=1, B=3
+  const std::vector<int> labels{0, 1, 4};
+  MeanLogitCrossEntropy eq9;
+  PerTimestepCrossEntropy eq10;
+  const auto r9 = eq9.compute(logits, labels, 1);
+  const auto r10 = eq10.compute(logits, labels, 1);
+  EXPECT_NEAR(r9.loss, r10.loss, 1e-9);
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(r9.grad[i], r10.grad[i], 1e-7);
+  }
+}
+
+TEST(PerTimestepCE, EarlyTimestepsReceiveGradient) {
+  // Under Eq. 9 all timesteps get identical gradients; under Eq. 10 the
+  // first timestep's gradient magnitude must exceed the last's (it appears
+  // in every cumulative term).
+  util::Rng rng(44);
+  Tensor logits = Tensor::randn({4, 3}, rng);  // T=4, B=1
+  const std::vector<int> labels{1};
+  PerTimestepCrossEntropy loss;
+  const auto r = loss.compute(logits, labels, 4);
+  auto norm = [&](std::size_t t) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) acc += std::abs(r.grad.at(t, c));
+    return acc;
+  };
+  EXPECT_GT(norm(0), norm(3));
+}
+
+TEST(Loss, InputValidation) {
+  MeanLogitCrossEntropy loss;
+  const std::vector<int> labels{0};
+  EXPECT_THROW(loss.compute(Tensor({3, 2}), labels, 2), std::invalid_argument);
+  EXPECT_THROW(loss.compute(Tensor({4}), labels, 2), std::invalid_argument);
+  const std::vector<int> two_labels{0, 1};
+  EXPECT_THROW(loss.compute(Tensor({2, 2}), two_labels, 2), std::invalid_argument);
+}
+
+TEST(Loss, BatchMeanScaling) {
+  // Doubling the batch with identical rows keeps the loss identical.
+  MeanLogitCrossEntropy loss;
+  Tensor one({1, 2}, std::vector<float>{1, 0});
+  Tensor two({2, 2}, std::vector<float>{1, 0, 1, 0});
+  const std::vector<int> l1{0}, l2{0, 0};
+  EXPECT_NEAR(loss.compute(one, l1, 1).loss, loss.compute(two, l2, 1).loss, 1e-9);
+}
+
+}  // namespace
+}  // namespace dtsnn::snn

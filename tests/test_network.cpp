@@ -1,0 +1,221 @@
+// Tests for network containers, the model zoo, checkpointing, and the
+// end-to-end equivalence of multi-step and sequential (stepped) inference.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "snn/conv.h"
+#include "snn/linear.h"
+#include "snn/models.h"
+#include "snn/norm.h"
+#include "snn/serialize.h"
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig mc;
+  mc.num_classes = 4;
+  mc.input_shape = {3, 8, 8};
+  mc.seed = 5;
+  return mc;
+}
+
+TEST(Sequential, ChainsShapes) {
+  util::Rng rng(51);
+  Sequential seq;
+  seq.append(std::make_unique<Conv2d>(3, 8, 3, 1, 1, false, rng));
+  seq.append(std::make_unique<BatchNorm2d>(8));
+  seq.append(std::make_unique<Lif>(LifConfig{}));
+  EXPECT_EQ(seq.infer_shape({3, 8, 8}), (Shape{8, 8, 8}));
+  EXPECT_EQ(seq.params().size(), 3u);  // conv weight + bn gamma/beta
+}
+
+TEST(Sequential, VisitReachesLeaves) {
+  util::Rng rng(52);
+  Sequential inner;
+  inner.append(std::make_unique<Conv2d>(3, 4, 3, 1, 1, false, rng));
+  Sequential outer;
+  outer.append(std::make_unique<Lif>(LifConfig{}));
+  auto inner_ptr = std::make_unique<Sequential>(std::move(inner));
+  outer.append(std::move(inner_ptr));
+  int count = 0;
+  outer.visit([&count](Layer&) { ++count; });
+  EXPECT_EQ(count, 2);  // Lif + nested Conv (container itself not visited)
+}
+
+TEST(ModelZoo, PresetsBuildAndInfer) {
+  for (const auto& preset : model_presets()) {
+    ModelConfig mc = tiny_config();
+    SpikingNetwork net = make_model(preset, mc);
+    EXPECT_GT(net.parameter_count(), 0u) << preset;
+    Tensor x = Tensor::ones({2 * 2, 3, 8, 8});  // T=2, B=2
+    Tensor logits = net.forward(x, 2, false);
+    EXPECT_EQ(logits.shape(), (Shape{4, 4})) << preset;
+  }
+}
+
+TEST(ModelZoo, UnknownPresetThrows) {
+  EXPECT_THROW(make_model("nope", tiny_config()), std::invalid_argument);
+}
+
+TEST(ModelZoo, SeedsGiveIdenticalInit) {
+  ModelConfig mc = tiny_config();
+  SpikingNetwork a = make_model("vgg_micro", mc);
+  SpikingNetwork b = make_model("vgg_micro", mc);
+  auto pa = a.params(), pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.allclose(pb[i]->value));
+  }
+}
+
+TEST(ModelZoo, DifferentSeedsDiffer) {
+  ModelConfig a = tiny_config(), b = tiny_config();
+  b.seed = 99;
+  SpikingNetwork na = make_model("vgg_micro", a);
+  SpikingNetwork nb = make_model("vgg_micro", b);
+  EXPECT_FALSE(na.params()[0]->value.allclose(nb.params()[0]->value));
+}
+
+TEST(ModelZoo, ResnetHasResidualBlocks) {
+  SpikingNetwork net = make_model("resnet_micro", tiny_config());
+  int lif_count = 0;
+  net.visit([&lif_count](Layer& l) {
+    if (l.name() == "Lif") ++lif_count;
+  });
+  // stem LIF + per-block (inner LIF + output LIF) * 2 blocks = 5.
+  EXPECT_EQ(lif_count, 5);
+}
+
+TEST(ResidualBlock, ProjectionWhenShapeChanges) {
+  SpikingNetwork net = make_model("resnet_micro", tiny_config());
+  int projections = 0;
+  // Count 1x1 convs (projections).
+  net.visit([&projections](Layer& l) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&l)) {
+      if (conv->kernel() == 1) ++projections;
+    }
+  });
+  EXPECT_EQ(projections, 1);  // only the 8->16 stride-2 stage needs one
+}
+
+TEST(SpikingNetwork, SpikeRatesReported) {
+  SpikingNetwork net = make_model("vgg_micro", tiny_config());
+  util::Rng rng(53);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  net.forward(x, 1, false);
+  const auto rates = net.lif_spike_rates();
+  EXPECT_EQ(rates.size(), 2u);  // two conv blocks
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(SpikingNetwork, RejectsIndivisibleBatch) {
+  SpikingNetwork net = make_model("vgg_micro", tiny_config());
+  EXPECT_THROW(net.forward(Tensor({3, 3, 8, 8}), 2, false), std::invalid_argument);
+}
+
+TEST(SpikingNetwork, StepMatchesMultistepVgg) {
+  SpikingNetwork net = make_model("vgg_micro", tiny_config());
+  util::Rng rng(54);
+  const std::size_t timesteps = 3;
+  // Direct encoding: same frame every timestep.
+  Tensor frame = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor x({timesteps, 3, 8, 8});
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    std::copy(frame.data(), frame.data() + frame.numel(), x.data() + t * frame.numel());
+  }
+  Tensor multi = net.forward(x, timesteps, false);
+
+  net.begin_inference(1);
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    Tensor y = net.step(frame);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(y[c], multi.at(t, c), 1e-4) << "t=" << t << " c=" << c;
+    }
+  }
+}
+
+TEST(SpikingNetwork, StepMatchesMultistepResnet) {
+  SpikingNetwork net = make_model("resnet_micro", tiny_config());
+  util::Rng rng(55);
+  const std::size_t timesteps = 4;
+  Tensor frame = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor x({timesteps, 3, 8, 8});
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    std::copy(frame.data(), frame.data() + frame.numel(), x.data() + t * frame.numel());
+  }
+  Tensor multi = net.forward(x, timesteps, false);
+  net.begin_inference(1);
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    Tensor y = net.step(frame);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(y[c], multi.at(t, c), 1e-4) << "t=" << t;
+    }
+  }
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/dtsnn_ckpt_test.bin";
+  SpikingNetwork a = make_model("vgg_micro", tiny_config());
+  // Perturb away from init so the round trip is meaningful.
+  util::Rng rng(56);
+  for (Param* p : a.params()) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] += static_cast<float>(rng.gaussian(0.0, 0.01));
+    }
+  }
+  save_checkpoint(a, path);
+
+  ModelConfig mc = tiny_config();
+  mc.seed = 777;  // different init; load must overwrite
+  SpikingNetwork b = make_model("vgg_micro", mc);
+  load_checkpoint(b, path);
+
+  auto pa = a.params(), pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.allclose(pb[i]->value)) << i;
+  }
+  // Outputs must agree exactly.
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_TRUE(a.forward(x, 1, false).allclose(b.forward(x, 1, false)));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsWrongArchitecture) {
+  const std::string path = testing::TempDir() + "/dtsnn_ckpt_mismatch.bin";
+  SpikingNetwork a = make_model("vgg_micro", tiny_config());
+  save_checkpoint(a, path);
+  SpikingNetwork b = make_model("resnet_micro", tiny_config());
+  EXPECT_THROW(load_checkpoint(b, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, LoadRejectsMissingFile) {
+  SpikingNetwork a = make_model("vgg_micro", tiny_config());
+  EXPECT_THROW(load_checkpoint(a, "/nonexistent/x.bin"), std::runtime_error);
+}
+
+TEST(Checkpoint, PreservesBatchNormRunningStats) {
+  const std::string path = testing::TempDir() + "/dtsnn_ckpt_bn.bin";
+  SpikingNetwork a = make_model("vgg_micro", tiny_config());
+  util::Rng rng(57);
+  Tensor x = Tensor::randn({4, 3, 8, 8}, rng, 2.0f, 1.5f);
+  a.forward(x, 1, true);  // updates running stats
+  save_checkpoint(a, path);
+
+  SpikingNetwork b = make_model("vgg_micro", tiny_config());
+  load_checkpoint(b, path);
+  // Eval outputs depend on running stats; they must match.
+  Tensor probe = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_TRUE(a.forward(probe, 1, false).allclose(b.forward(probe, 1, false)));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dtsnn::snn

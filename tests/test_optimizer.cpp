@@ -1,0 +1,106 @@
+// Unit tests for SGD (momentum, weight decay) and the cosine LR schedule.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "snn/optimizer.h"
+
+namespace dtsnn::snn {
+namespace {
+
+TEST(Sgd, PlainGradientStep) {
+  Param p("w", Tensor({2}, std::vector<float>{1.0f, 2.0f}));
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.0f;
+  Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.0f + 0.1f);
+}
+
+TEST(Sgd, StepClearsGradients) {
+  Param p("w", Tensor({1}, std::vector<float>{1.0f}));
+  p.grad[0] = 1.0f;
+  Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor({1}));
+  Sgd opt({&p}, {.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+  p.grad[0] = 0.0f;
+  opt.step();  // v = 0.75, w = -3.25 (momentum coasting)
+  EXPECT_FLOAT_EQ(p.value[0], -3.25f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p("w", Tensor({1}, std::vector<float>{10.0f}));
+  Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.01f});
+  opt.step();  // grad = 0 + wd * w = 0.1
+  EXPECT_FLOAT_EQ(p.value[0], 10.0f - 0.1f * 0.1f);
+}
+
+TEST(Sgd, NoDecayParamsSkipWeightDecay) {
+  Param p("b", Tensor({1}, std::vector<float>{10.0f}), /*no_decay=*/true);
+  Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.01f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 10.0f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Param p("w", Tensor({2}));
+  p.grad[0] = 3.0f;
+  Sgd opt({&p}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, SetLrTakesEffect) {
+  Param p("w", Tensor({1}, std::vector<float>{1.0f}));
+  Sgd opt({&p}, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.set_lr(1.0f);
+  p.grad[0] = 1.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.0f);
+}
+
+TEST(CosineSchedule, Endpoints) {
+  CosineSchedule sched(0.1f, 100);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.1f);
+  EXPECT_NEAR(sched.lr_at(100), 0.0f, 1e-7f);
+  EXPECT_NEAR(sched.lr_at(50), 0.05f, 1e-7f);
+}
+
+TEST(CosineSchedule, MonotoneDecreasing) {
+  CosineSchedule sched(0.1f, 20);
+  for (std::size_t e = 1; e <= 20; ++e) {
+    EXPECT_LE(sched.lr_at(e), sched.lr_at(e - 1) + 1e-9f);
+  }
+}
+
+TEST(CosineSchedule, MatchesClosedForm) {
+  CosineSchedule sched(0.2f, 40);
+  for (const std::size_t e : {0u, 7u, 13u, 40u}) {
+    const double expected =
+        0.2 * 0.5 * (1.0 + std::cos(std::numbers::pi * static_cast<double>(e) / 40.0));
+    EXPECT_NEAR(sched.lr_at(e), expected, 1e-7);
+  }
+}
+
+TEST(CosineSchedule, ZeroEpochsIsConstant) {
+  CosineSchedule sched(0.3f, 0);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.3f);
+  EXPECT_FLOAT_EQ(sched.lr_at(5), 0.3f);
+}
+
+}  // namespace
+}  // namespace dtsnn::snn

@@ -1,0 +1,144 @@
+// Tests for the fixed-point sigma-E module: agreement with the float
+// reference entropy, decision agreement with the exit policy, LUT precision
+// sweeps, and datapath activity accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/entropy.h"
+#include "core/exit_policy.h"
+#include "imc/sigma_e.h"
+#include "util/rng.h"
+
+namespace dtsnn::imc {
+namespace {
+
+std::vector<float> random_logits(util::Rng& rng, std::size_t k, double scale) {
+  std::vector<float> logits(k);
+  for (auto& v : logits) v = static_cast<float>(rng.gaussian(0.0, scale));
+  return logits;
+}
+
+TEST(SigmaE, UniformLogitsGiveEntropyOne) {
+  SigmaEModule mod;
+  const std::vector<float> logits(10, 0.7f);
+  EXPECT_NEAR(mod.compute_entropy(logits), 1.0, 0.02);
+}
+
+TEST(SigmaE, ConfidentLogitsGiveNearZero) {
+  SigmaEModule mod;
+  std::vector<float> logits(10, 0.0f);
+  logits[3] = 14.0f;
+  EXPECT_LT(mod.compute_entropy(logits), 0.02);
+}
+
+TEST(SigmaE, TracksFloatReferenceOnRandomLogits) {
+  SigmaEModule mod;
+  util::Rng rng(61);
+  double max_err = 0.0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto logits = random_logits(rng, 10, 2.0);
+    const double fixed = mod.compute_entropy(logits);
+    const double ref = core::entropy_of_logits(logits);
+    max_err = std::max(max_err, std::abs(fixed - ref));
+  }
+  EXPECT_LT(max_err, 0.03);  // 8-bit LUT addressing, 14 fraction bits
+}
+
+TEST(SigmaE, DecisionAgreementAtLeast99Percent) {
+  SigmaEModule mod;
+  util::Rng rng(62);
+  const double theta = 0.25;
+  const core::EntropyExitPolicy reference(theta);
+  int agree = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto logits = random_logits(rng, 10, 3.0);
+    const bool hw = mod.should_exit(logits, theta);
+    const bool sw = reference.should_exit(logits);
+    agree += (hw == sw);
+  }
+  EXPECT_GE(agree, trials * 99 / 100);
+}
+
+TEST(SigmaE, PrecisionImprovesWithLutSize) {
+  util::Rng rng(63);
+  SigmaEConfig coarse;
+  coarse.exp_lut_entries = 32;
+  coarse.log_lut_entries = 32;
+  SigmaEConfig fine;
+  fine.exp_lut_entries = 1024;
+  fine.log_lut_entries = 1024;
+  SigmaEModule mod_coarse(coarse), mod_fine(fine);
+  double err_coarse = 0.0, err_fine = 0.0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto logits = random_logits(rng, 10, 2.0);
+    const double ref = core::entropy_of_logits(logits);
+    err_coarse += std::abs(mod_coarse.compute_entropy(logits) - ref);
+    err_fine += std::abs(mod_fine.compute_entropy(logits) - ref);
+  }
+  EXPECT_LT(err_fine, err_coarse);
+}
+
+TEST(SigmaE, StatsCountDatapathActivity) {
+  SigmaEModule mod;
+  const std::vector<float> logits(10, 0.5f);
+  mod.reset_stats();
+  mod.compute_entropy(logits);
+  const auto& s = mod.stats();
+  EXPECT_EQ(s.exp_lut_lookups, 10u);   // one sigma-LUT access per class
+  EXPECT_EQ(s.log_lut_lookups, 1u);    // one log of the sum
+  EXPECT_EQ(s.fifo_pushes, 10u);
+  EXPECT_GE(s.mac_ops, 10u);
+  mod.reset_stats();
+  EXPECT_EQ(mod.stats().exp_lut_lookups, 0u);
+}
+
+TEST(SigmaE, RespectsFifoDepth) {
+  SigmaEConfig cfg;
+  cfg.fifo_depth = 4;
+  SigmaEModule mod(cfg);
+  const std::vector<float> ok(4, 0.1f);
+  EXPECT_NO_THROW((void)mod.compute_entropy(ok));
+  const std::vector<float> too_many(5, 0.1f);
+  EXPECT_THROW((void)mod.compute_entropy(too_many), std::invalid_argument);
+}
+
+TEST(SigmaE, RejectsDegenerateInput) {
+  SigmaEModule mod;
+  const std::vector<float> one{1.0f};
+  EXPECT_THROW((void)mod.compute_entropy(one), std::invalid_argument);
+}
+
+TEST(SigmaE, RejectsBadConfig) {
+  SigmaEConfig cfg;
+  cfg.fraction_bits = 30;
+  EXPECT_THROW(SigmaEModule{cfg}, std::invalid_argument);
+  SigmaEConfig cfg2;
+  cfg2.input_range = -1.0;
+  EXPECT_THROW(SigmaEModule{cfg2}, std::invalid_argument);
+}
+
+TEST(SigmaE, MonotoneAcrossConfidenceLevels) {
+  SigmaEModule mod;
+  double prev = 2.0;
+  for (const float conf : {0.0f, 1.0f, 2.0f, 4.0f, 8.0f}) {
+    std::vector<float> logits(10, 0.0f);
+    logits[0] = conf;
+    const double h = mod.compute_entropy(logits);
+    EXPECT_LE(h, prev + 0.02) << conf;
+    prev = h;
+  }
+}
+
+TEST(SigmaE, WorksForLargeClassCounts) {
+  SigmaEConfig cfg;
+  cfg.fifo_depth = 256;
+  SigmaEModule mod(cfg);
+  util::Rng rng(64);
+  const auto logits = random_logits(rng, 200, 1.5);
+  const double ref = core::entropy_of_logits(logits);
+  EXPECT_NEAR(mod.compute_entropy(logits), ref, 0.05);
+}
+
+}  // namespace
+}  // namespace dtsnn::imc

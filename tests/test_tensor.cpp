@@ -1,0 +1,215 @@
+// Unit tests for the Tensor container and im2col/col2im transforms.
+
+#include <gtest/gtest.h>
+
+#include "snn/im2col.h"
+#include "snn/tensor.h"
+#include "util/rng.h"
+
+namespace dtsnn::snn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillFactories) {
+  EXPECT_EQ(Tensor::ones({2, 2})[3], 1.0f);
+  EXPECT_EQ(Tensor::full({3}, 2.5f)[1], 2.5f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 3, 2});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(2), 2u);
+  EXPECT_EQ(t.row_size(), 6u);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+  t.at(0, 0, 0) = 1.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, RowSpans) {
+  Tensor t({3, 4});
+  t.row(1)[2] = 9.0f;
+  EXPECT_EQ(t[1 * 4 + 2], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t[7], 3.0f);
+  EXPECT_EQ(t.dim(0), 3u);
+}
+
+TEST(Tensor, ReshapeRejectsBadNumel) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapedReturnsCopy) {
+  Tensor t({4});
+  Tensor r = t.reshaped({2, 2});
+  r[0] = 5.0f;
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a.add_(b);
+  EXPECT_EQ(a[0], 5.0f);
+  a.sub_(b);
+  EXPECT_EQ(a[2], 3.0f);
+  a.mul_(b);
+  EXPECT_EQ(a[1], 10.0f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a[0], 2.0f);
+  a.add_scaled_(b, 2.0f);
+  EXPECT_EQ(a[0], 2.0f + 8.0f);
+}
+
+TEST(Tensor, Clamp) {
+  Tensor t({4}, std::vector<float>{-2, -0.5, 0.5, 2});
+  t.clamp_(-1.0f, 1.0f);
+  EXPECT_EQ(t[0], -1.0f);
+  EXPECT_EQ(t[1], -0.5f);
+  EXPECT_EQ(t[3], 1.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -3, 2, 0});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_NEAR(t.density(), 0.75, 1e-12);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(17);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+}
+
+TEST(Tensor, RandUniformRange) {
+  util::Rng rng(18);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b({2}, std::vector<float>{1.0f + 1e-8f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  b[1] = 2.1f;
+  EXPECT_FALSE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor({1, 2}, std::vector<float>{1.0f, 2.0f})));
+}
+
+TEST(ShapeUtils, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+// ---------------------------------------------------------------- im2col
+
+TEST(Im2col, GeometryMath) {
+  ConvGeometry g{3, 8, 8, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_size(), 27u);
+  EXPECT_TRUE(g.valid());
+  ConvGeometry strided{3, 8, 8, 3, 2, 1};
+  EXPECT_EQ(strided.out_h(), 4u);
+}
+
+TEST(Im2col, IdentityKernel) {
+  // 1x1 kernel, no padding: col == channel-major pixels.
+  Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  ConvGeometry g{2, 2, 2, 1, 1, 0};
+  Tensor col;
+  im2col(x, g, col);
+  ASSERT_EQ(col.shape(), (Shape{4, 2}));
+  // Row (y, x) = pixel values per channel.
+  EXPECT_EQ(col.at(0, 0), 0.0f);  // c0 (0,0)
+  EXPECT_EQ(col.at(0, 1), 4.0f);  // c1 (0,0)
+  EXPECT_EQ(col.at(3, 0), 3.0f);  // c0 (1,1)
+}
+
+TEST(Im2col, ZeroPaddingAtBorders) {
+  Tensor x = Tensor::ones({1, 1, 2, 2});
+  ConvGeometry g{1, 2, 2, 3, 1, 1};
+  Tensor col;
+  im2col(x, g, col);
+  ASSERT_EQ(col.shape(), (Shape{4, 9}));
+  // Top-left output pixel: only the bottom-right 2x2 of the kernel overlaps.
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 9; ++i) sum += col.at(0, i);
+  EXPECT_EQ(sum, 4.0f);
+  EXPECT_EQ(col.at(0, 0), 0.0f);  // padded corner
+  EXPECT_EQ(col.at(0, 4), 1.0f);  // kernel center over (0,0)
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining adjoint
+  // property guaranteeing correct convolution gradients.
+  util::Rng rng(23);
+  ConvGeometry g{3, 6, 5, 3, 2, 1};
+  Tensor x = Tensor::randn({2, 3, 6, 5}, rng);
+  Tensor col;
+  im2col(x, g, col);
+  Tensor y = Tensor::randn(col.shape(), rng);
+  Tensor back;
+  col2im(y, g, back);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col.numel(); ++i) {
+    lhs += static_cast<double>(col[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Im2col, BatchLayoutIndependence) {
+  // Two images processed in one batch match per-image processing.
+  util::Rng rng(29);
+  ConvGeometry g{2, 4, 4, 3, 1, 1};
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  Tensor col_batch;
+  im2col(x, g, col_batch);
+
+  for (std::size_t img = 0; img < 2; ++img) {
+    Tensor xi({1, 2, 4, 4});
+    std::copy(x.data() + img * 32, x.data() + (img + 1) * 32, xi.data());
+    Tensor col_i;
+    im2col(xi, g, col_i);
+    for (std::size_t i = 0; i < col_i.numel(); ++i) {
+      EXPECT_EQ(col_i[i], col_batch[img * col_i.numel() + i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtsnn::snn

@@ -1,0 +1,323 @@
+// Unit tests for util: rng, math, stats, csv, gemm.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/gemm.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dtsnn {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  util::Rng rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.uniform_int(8)];
+  for (const int c : counts) EXPECT_GT(c, 700);  // ~1000 each
+}
+
+TEST(Rng, GaussianMoments) {
+  util::Rng rng(6);
+  util::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  util::Rng base(7);
+  util::Rng f1 = base.fork(1);
+  util::Rng f2 = base.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDeterministic) {
+  util::Rng a(8), b(8);
+  EXPECT_EQ(a.fork(5).next_u64(), b.fork(5).next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  util::Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BernoulliRate) {
+  util::Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+// ------------------------------------------------------------------- math
+
+TEST(Math, SoftmaxSumsToOne) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f, -1.0f};
+  const auto p = util::softmax(logits);
+  double sum = 0.0;
+  for (const float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Math, SoftmaxMonotone) {
+  const std::vector<float> logits{0.5f, 1.5f, -0.5f};
+  const auto p = util::softmax(logits);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Math, SoftmaxStableForLargeLogits) {
+  const std::vector<float> logits{1000.0f, 999.0f, 998.0f};
+  const auto p = util::softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-6);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(Math, SoftmaxUniformForEqualLogits) {
+  const std::vector<float> logits(5, 2.5f);
+  const auto p = util::softmax(logits);
+  for (const float v : p) EXPECT_NEAR(v, 0.2, 1e-6);
+}
+
+TEST(Math, LogSumExp) {
+  const std::vector<float> logits{0.0f, 0.0f};
+  EXPECT_NEAR(util::log_sum_exp(logits), std::log(2.0), 1e-9);
+}
+
+TEST(Math, LogSumExpLarge) {
+  const std::vector<float> logits{500.0f, 500.0f};
+  EXPECT_NEAR(util::log_sum_exp(logits), 500.0 + std::log(2.0), 1e-5);
+}
+
+TEST(Math, Argmax) {
+  const std::vector<float> v{0.1f, 0.9f, 0.5f};
+  EXPECT_EQ(util::argmax(v), 1u);
+}
+
+TEST(Math, ArgmaxFirstOnTies) {
+  const std::vector<float> v{0.9f, 0.9f, 0.1f};
+  EXPECT_EQ(util::argmax(v), 0u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(util::ceil_div(10, 3), 4u);
+  EXPECT_EQ(util::ceil_div(9, 3), 3u);
+  EXPECT_EQ(util::ceil_div(1, 64), 1u);
+  EXPECT_EQ(util::ceil_div(0, 5), 0u);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, RunningMeanVariance) {
+  util::RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  util::RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 3 + i * 0.01;
+    (i < 20 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Stats, HistogramFractions) {
+  util::Histogram h(4);
+  h.add(0);
+  h.add(0);
+  h.add(1);
+  h.add(3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.fraction(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.fraction(2), 0.0, 1e-12);
+  EXPECT_NEAR(h.mean(), (0 + 0 + 1 + 3) / 4.0, 1e-12);
+}
+
+TEST(Stats, HistogramThrowsOutOfRange) {
+  util::Histogram h(2);
+  EXPECT_THROW(h.add(2), std::out_of_range);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8};
+  EXPECT_NEAR(util::pearson(x, y), 1.0, 1e-12);
+  for (auto& v : y) v = -v;
+  EXPECT_NEAR(util::pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  std::vector<double> x{1, 1, 1}, y{1, 2, 3};
+  EXPECT_EQ(util::pearson(x, y), 0.0);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_NEAR(util::quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(util::quantile(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(util::quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(util::quantile(v, 0.25), 2.0, 1e-12);
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = testing::TempDir() + "/dtsnn_csv_test.csv";
+  {
+    util::CsvWriter csv(path);
+    csv.write_header({"a", "b"});
+    csv.row("plain", 1.5);
+    csv.row("with,comma", "with\"quote");
+    EXPECT_EQ(csv.rows_written(), 3u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(util::CsvWriter("/nonexistent_dir_zz/file.csv"), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- gemm
+
+void naive_gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmSizes : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(11);
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  util::gemm(a.data(), b.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+TEST_P(GemmSizes, TransposedAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(12);
+  std::vector<float> at(k * m), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : at) v = static_cast<float>(rng.gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  // Build A = at^T for the reference.
+  std::vector<float> a(m * k);
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) a[i * k + kk] = at[kk * m + i];
+  }
+  util::gemm_at(at.data(), b.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+TEST_P(GemmSizes, TransposedBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(13);
+  std::vector<float> a(m * k), bt(n * k), c(m * n), ref(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.gaussian());
+  for (auto& v : bt) v = static_cast<float>(rng.gaussian());
+  std::vector<float> b(k * n);
+  for (int kk = 0; kk < k; ++kk) {
+    for (int j = 0; j < n; ++j) b[kk * n + j] = bt[j * k + kk];
+  }
+  util::gemm_bt(a.data(), bt.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmSizes,
+                         testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(3, 5, 7),
+                                         std::make_tuple(16, 16, 16),
+                                         std::make_tuple(65, 130, 33),
+                                         std::make_tuple(128, 300, 64)));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  std::vector<float> a{1, 2}, b{3, 4}, c{10, 20};  // 1x2 * 2x1... use m=1,k=2,n=1
+  std::vector<float> c1{5};
+  util::gemm(a.data(), b.data(), c1.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c1[0], 5 + 1 * 3 + 2 * 4);
+  (void)c;
+}
+
+TEST(Gemm, SparseRowsSkipped) {
+  // Zero activations (spikes) must behave identically to dense math.
+  util::Rng rng(14);
+  const int m = 8, k = 32, n = 12;
+  std::vector<float> a(m * k, 0.0f), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : b) v = static_cast<float>(rng.gaussian());
+  for (int i = 0; i < m * k; i += 3) a[i] = 1.0f;  // binary sparse input
+  util::gemm(a.data(), b.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+}  // namespace
+}  // namespace dtsnn

@@ -1,0 +1,253 @@
+// Tests for weight quantization, the program-and-read device pipeline, and
+// the bit-accurate functional crossbar MVM.
+
+#include <gtest/gtest.h>
+
+#include "imc/xbar_functional.h"
+#include "snn/models.h"
+#include "util/stats.h"
+
+namespace dtsnn::imc {
+namespace {
+
+TEST(Quantize, RoundTripWithinHalfStep) {
+  util::Rng rng(71);
+  std::vector<float> w(256);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.1));
+  const auto qt = quantize_symmetric(w, 8);
+  const auto back = dequantize(qt);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(back[i], w[i], qt.scale * 0.5f + 1e-7f);
+  }
+}
+
+TEST(Quantize, SymmetricRange) {
+  std::vector<float> w{-1.0f, 0.0f, 1.0f};
+  const auto qt = quantize_symmetric(w, 8);
+  EXPECT_EQ(qt.q[0], -127);
+  EXPECT_EQ(qt.q[1], 0);
+  EXPECT_EQ(qt.q[2], 127);
+}
+
+TEST(Quantize, FewerBitsCoarser) {
+  util::Rng rng(72);
+  std::vector<float> w(512);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian());
+  double err8 = 0.0, err4 = 0.0;
+  const auto q8 = quantize_symmetric(w, 8);
+  const auto q4 = quantize_symmetric(w, 4);
+  const auto b8 = dequantize(q8);
+  const auto b4 = dequantize(q4);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    err8 += std::abs(b8[i] - w[i]);
+    err4 += std::abs(b4[i] - w[i]);
+  }
+  EXPECT_LT(err8, err4);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  std::vector<float> w{1.0f};
+  EXPECT_THROW(quantize_symmetric(w, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_symmetric(w, 17), std::invalid_argument);
+}
+
+TEST(Quantize, AllZerosStable) {
+  std::vector<float> w(16, 0.0f);
+  const auto qt = quantize_symmetric(w, 8);
+  for (const int q : qt.q) EXPECT_EQ(q, 0);
+  EXPECT_GT(qt.scale, 0.0f);
+}
+
+// --------------------------------------------------------- program & read
+
+TEST(ProgramRead, NoiselessIsExact) {
+  ImcConfig cfg;
+  cfg.device_sigma_over_mu = 0.0;
+  util::Rng rng(73);
+  for (const int q : {-127, -16, -1, 0, 1, 15, 16, 127}) {
+    const float w = program_and_read_weight(q, 0.01f, cfg, rng);
+    EXPECT_NEAR(w, q * 0.01f, 1e-5f) << q;
+  }
+}
+
+TEST(ProgramRead, NoiseIsUnbiasedAndScaled) {
+  ImcConfig cfg;  // sigma/mu = 20%
+  util::Rng rng(74);
+  util::RunningStats stats;
+  const int q = 100;
+  const float scale = 0.01f;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add(program_and_read_weight(q, scale, cfg, rng));
+  }
+  EXPECT_NEAR(stats.mean(), q * scale, 0.01);
+  EXPECT_GT(stats.stddev(), 0.0);
+  // More noise with higher sigma.
+  ImcConfig noisy = cfg;
+  noisy.device_sigma_over_mu = 0.4;
+  util::Rng rng2(74);
+  util::RunningStats stats2;
+  for (int i = 0; i < 4000; ++i) {
+    stats2.add(program_and_read_weight(q, scale, noisy, rng2));
+  }
+  EXPECT_GT(stats2.stddev(), stats.stddev());
+}
+
+TEST(ProgramRead, DeterministicGivenRngState) {
+  ImcConfig cfg;
+  util::Rng a(75), b(75);
+  EXPECT_EQ(program_and_read_weight(42, 0.02f, cfg, a),
+            program_and_read_weight(42, 0.02f, cfg, b));
+}
+
+TEST(DeviceVariation, PerturbsOnlyWeights) {
+  snn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.input_shape = {3, 8, 8};
+  snn::SpikingNetwork net = snn::make_model("vgg_micro", mc);
+
+  // Snapshot all params.
+  std::vector<snn::Tensor> before;
+  for (snn::Param* p : net.params()) before.push_back(p->value);
+
+  ImcConfig cfg;
+  const std::size_t n = apply_device_variation(net, cfg, 123);
+  EXPECT_GT(n, 0u);
+
+  auto params = net.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const bool is_weight = params[i]->name.find("weight") != std::string::npos;
+    if (is_weight) {
+      EXPECT_FALSE(params[i]->value.allclose(before[i])) << params[i]->name;
+    } else {
+      EXPECT_TRUE(params[i]->value.allclose(before[i])) << params[i]->name;
+    }
+  }
+}
+
+TEST(DeviceVariation, DeterministicBySeed) {
+  snn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.input_shape = {3, 8, 8};
+  snn::SpikingNetwork a = snn::make_model("vgg_micro", mc);
+  snn::SpikingNetwork b = snn::make_model("vgg_micro", mc);
+  ImcConfig cfg;
+  apply_device_variation(a, cfg, 5);
+  apply_device_variation(b, cfg, 5);
+  auto pa = a.params(), pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.allclose(pb[i]->value));
+  }
+}
+
+TEST(DeviceVariation, ZeroSigmaOnlyQuantizes) {
+  snn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.input_shape = {3, 8, 8};
+  snn::SpikingNetwork net = snn::make_model("vgg_micro", mc);
+  snn::Tensor before = net.params()[0]->value;
+  ImcConfig cfg;
+  cfg.device_sigma_over_mu = 0.0;
+  apply_device_variation(net, cfg, 9);
+  // With no noise the only change is 8-bit quantization: small and bounded.
+  const snn::Tensor& after = net.params()[0]->value;
+  float max_dev = 0.0f;
+  for (std::size_t i = 0; i < after.numel(); ++i) {
+    max_dev = std::max(max_dev, std::abs(after[i] - before[i]));
+  }
+  EXPECT_LT(max_dev, before.abs_max() / 127.0f + 1e-5f);
+}
+
+// ------------------------------------------------------ functional crossbar
+
+TEST(FunctionalCrossbar, FitsCheck) {
+  const ImcConfig cfg;  // 64x64, 4 device cols per weight -> max 16 logical
+  EXPECT_NO_THROW(FunctionalCrossbar(cfg, 64, 16, 1));
+  EXPECT_THROW(FunctionalCrossbar(cfg, 65, 8, 1), std::invalid_argument);
+  EXPECT_THROW(FunctionalCrossbar(cfg, 64, 17, 1), std::invalid_argument);
+}
+
+TEST(FunctionalCrossbar, IdealMatchesQuantizedDot) {
+  ImcConfig cfg;
+  FunctionalCrossbar xbar(cfg, 32, 8, 2);
+  util::Rng rng(76);
+  std::vector<float> w(32 * 8);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  xbar.program(w);
+
+  std::vector<float> spikes(32, 0.0f);
+  for (std::size_t i = 0; i < 32; i += 2) spikes[i] = 1.0f;
+  const auto out = xbar.mvm_ideal(spikes);
+  // Reference: quantized weights dot spikes.
+  const auto qt = quantize_symmetric(w, cfg.weight_bits);
+  for (std::size_t c = 0; c < 8; ++c) {
+    float ref = 0.0f;
+    for (std::size_t r = 0; r < 32; ++r) {
+      ref += static_cast<float>(qt.q[r * 8 + c]) * qt.scale * spikes[r];
+    }
+    EXPECT_NEAR(out[c], ref, 1e-4f);
+  }
+}
+
+TEST(FunctionalCrossbar, AnalogTracksIdealWithoutNoise) {
+  ImcConfig cfg;
+  cfg.device_sigma_over_mu = 0.0;
+  cfg.adc_bits = 12;  // fine ADC isolates device path
+  FunctionalCrossbar xbar(cfg, 16, 4, 3);
+  util::Rng rng(77);
+  std::vector<float> w(16 * 4);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  xbar.program(w);
+  std::vector<float> spikes(16, 1.0f);
+  const auto ideal = xbar.mvm_ideal(spikes);
+  const auto analog = xbar.mvm_analog(spikes);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(analog[c], ideal[c], std::abs(ideal[c]) * 0.1f + xbar.scale() * 4.0f) << c;
+  }
+}
+
+TEST(FunctionalCrossbar, CoarseAdcDegradesAccuracy) {
+  ImcConfig fine_cfg;
+  fine_cfg.device_sigma_over_mu = 0.0;
+  fine_cfg.adc_bits = 12;
+  ImcConfig coarse_cfg = fine_cfg;
+  coarse_cfg.adc_bits = 3;
+
+  util::Rng rng(78);
+  std::vector<float> w(32 * 4);
+  for (auto& v : w) v = static_cast<float>(rng.gaussian(0.0, 0.05));
+  std::vector<float> spikes(32, 0.0f);
+  for (std::size_t i = 0; i < 32; i += 3) spikes[i] = 1.0f;
+
+  FunctionalCrossbar fine(fine_cfg, 32, 4, 5);
+  FunctionalCrossbar coarse(coarse_cfg, 32, 4, 5);
+  fine.program(w);
+  coarse.program(w);
+  const auto ideal = fine.mvm_ideal(spikes);
+  double err_fine = 0.0, err_coarse = 0.0;
+  const auto out_fine = fine.mvm_analog(spikes);
+  const auto out_coarse = coarse.mvm_analog(spikes);
+  for (std::size_t c = 0; c < 4; ++c) {
+    err_fine += std::abs(out_fine[c] - ideal[c]);
+    err_coarse += std::abs(out_coarse[c] - ideal[c]);
+  }
+  EXPECT_LE(err_fine, err_coarse);
+}
+
+TEST(FunctionalCrossbar, ZeroSpikesGiveZeroOutput) {
+  ImcConfig cfg;
+  FunctionalCrossbar xbar(cfg, 8, 2, 6);
+  std::vector<float> w(16, 0.1f);
+  xbar.program(w);
+  const std::vector<float> silent(8, 0.0f);
+  for (const float v : xbar.mvm_ideal(silent)) EXPECT_FLOAT_EQ(v, 0.0f);
+  for (const float v : xbar.mvm_analog(silent)) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(FunctionalCrossbar, ProgramValidatesSize) {
+  ImcConfig cfg;
+  FunctionalCrossbar xbar(cfg, 8, 2, 7);
+  EXPECT_THROW(xbar.program(std::vector<float>(15)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtsnn::imc
