@@ -21,6 +21,7 @@ using namespace dtsnn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
+  bench::BenchReport report("ablation_early_exit", options);
 
   auto bundle = core::make_bundle("sync10", options.scale);
   snn::ModelConfig mc;
@@ -71,8 +72,11 @@ int main(int argc, char** argv) {
                  bench::fmt("%.2f", r.avg_exit_depth)});
       csv.row(row.name, theta, 100 * r.accuracy, r.avg_cost, r.avg_exit_time,
               r.avg_exit_depth);
+      report.set(bench::fmt("%s_theta%.2f_accuracy", row.name, theta), r.accuracy);
+      report.set(bench::fmt("%s_theta%.2f_cost", row.name, theta), r.avg_cost);
     }
   }
+  report.set("static_accuracy", static_r.accuracy);
   std::printf("\nExpected: time-only > depth-only in cost saved at iso-accuracy;\n"
               "joint <= min(time-only, depth-only) in cost (complementarity).\n");
   return 0;

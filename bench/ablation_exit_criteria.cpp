@@ -11,6 +11,7 @@ using namespace dtsnn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
+  bench::BenchReport report("ablation_exit_criteria", options);
 
   core::ExperimentSpec spec;
   spec.model = "vgg_mini";
@@ -50,6 +51,11 @@ int main(int argc, char** argv) {
     csv.row("margin", m, r.avg_timesteps, 100 * r.accuracy);
   }
   std::printf("static T=4 reference accuracy: %.2f%%\n", 100 * full_acc);
+  report.set("static_t4_accuracy", full_acc);
+  {
+    const auto r = core::evaluate_dtsnn(outputs, core::EntropyExitPolicy(0.3));
+    report.set_result(r.accuracy, r.avg_timesteps);
+  }
 
   bench::banner("Ablation: hard (paper) vs soft (subtractive) LIF reset");
   bench::TablePrinter reset_table({"Reset", "T=1", "T=2", "T=3", "T=4"});

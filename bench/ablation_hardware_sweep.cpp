@@ -14,7 +14,7 @@ using namespace dtsnn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
-  (void)options;
+  bench::BenchReport report("ablation_hardware_sweep", options);
 
   bench::banner("Hardware sweep: crossbar size (VGG-16 mapping, T=4)");
   util::CsvWriter csv(options.csv_dir + "/ablation_hardware_sweep.csv");
@@ -86,6 +86,10 @@ int main(int argc, char** argv) {
     lut_table.row({bench::fmt("%zu", entries), bench::fmt("%.4f", err / trials),
                    bench::fmt("%.2f%%", 100.0 * agree / trials)});
     csv.row("sigma_e_lut", entries, err / trials, 100.0 * agree / trials, 0);
+    if (entries == 256u) {
+      report.set("lut256_mean_abs_entropy_err", err / trials);
+      report.set("lut256_decision_agreement", static_cast<double>(agree) / trials);
+    }
   }
   std::printf("\nExpected: Table I's 256-entry (3KB) LUTs already give >99%% decision\n"
               "agreement; smaller crossbars cost interconnect energy, larger ADC mux\n"

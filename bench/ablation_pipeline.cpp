@@ -18,6 +18,7 @@ using namespace dtsnn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
+  bench::BenchReport report("ablation_pipeline", options);
 
   core::ExperimentSpec spec;
   spec.model = "vgg_mini";
@@ -78,6 +79,10 @@ int main(int argc, char** argv) {
   arow("sigma-E module", area.sigma_e_mm2);
   std::printf("total: %.2f mm^2 (sigma-E share: %.4f%%)\n", area.total_mm2(),
               100.0 * area.sigma_e_fraction());
+  report.set_result(calib.result.accuracy, calib.result.avg_timesteps);
+  report.set("dt_pipelined_energy_norm", analysis.dt_pipelined_energy_pj / e0);
+  report.set("dt_sequential_energy_norm", analysis.dt_sequential_energy_pj / e0);
+  report.set("chip_area_mm2", area.total_mm2());
   std::printf("\nExpected: pipelining wins latency for static inference but loses\n"
               "energy for DT-SNN (speculative flush); sigma-E area is negligible.\n");
   return 0;

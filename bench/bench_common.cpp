@@ -1,9 +1,12 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 
 #include "data/dataset.h"
 #include "util/logging.h"
@@ -82,6 +85,85 @@ imc::EnergyModel paper_scale_energy_model(const std::string& model_preset,
                               : imc::vgg16_spec();
   imc::set_uniform_activity(spec, activity, /*first_layer_activity=*/1.0);
   return imc::EnergyModel(imc::map_network(spec, config));
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name, const BenchOptions& options)
+    : name_(std::move(name)),
+      dir_(options.csv_dir),
+      start_(std::chrono::steady_clock::now()) {
+  set("scale", options.scale);
+}
+
+BenchReport::~BenchReport() {
+  try {
+    write();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "BenchReport: %s\n", e.what());
+  }
+}
+
+void BenchReport::set(const std::string& key, double value) {
+  // NaN/inf are not valid JSON numbers; serialize them as strings.
+  std::string encoded;
+  if (std::isfinite(value)) {
+    encoded = fmt("%.6g", value);
+  } else {
+    encoded = '"';
+    encoded += fmt("%g", value);
+    encoded += '"';
+  }
+  fields_.emplace_back(key, std::move(encoded));
+}
+
+void BenchReport::set(const std::string& key, const std::string& value) {
+  std::string encoded;
+  encoded = '"';
+  encoded += json_escape(value);
+  encoded += '"';
+  fields_.emplace_back(key, std::move(encoded));
+}
+
+void BenchReport::set_result(double accuracy, double avg_timesteps) {
+  set("accuracy", accuracy);
+  set("avg_timesteps", avg_timesteps);
+}
+
+void BenchReport::write() {
+  if (written_) return;
+  written_ = true;
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                    start_)
+                          .count();
+  const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+  out << "{\n  \"name\": \"" << json_escape(name_) << "\",\n";
+  out << "  \"wall_seconds\": " << fmt("%.3f", wall);
+  for (const auto& [key, value] : fields_) {
+    out << ",\n  \"" << json_escape(key) << "\": " << value;
+  }
+  out << "\n}\n";
+  if (!out) throw std::runtime_error("BenchReport: write failed for " + path);
+  std::printf("[bench] wrote %s\n", path.c_str());
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)

@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -47,6 +49,36 @@ imc::EnergyModel paper_scale_energy_model(const std::string& model_preset,
 
 /// Mean spike activity over the hidden LIF layers of a trained net.
 double mean_hidden_activity(core::Experiment& experiment);
+
+// ---------------------------------------------------------------- reporting
+
+/// Machine-readable bench result. Accumulates metrics and writes
+/// `<csv_dir>/BENCH_<name>.json` containing the bench name, wall-clock
+/// seconds since construction, and every metric set — so the perf/accuracy
+/// trajectory of each bench can be tracked across PRs. Writes at destruction
+/// unless write() was already called.
+class BenchReport {
+ public:
+  BenchReport(std::string name, const BenchOptions& options);
+  ~BenchReport();
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+
+  /// Convenience for the conventional metrics every bench should report.
+  void set_result(double accuracy, double avg_timesteps);
+
+  void write();
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> fields_;  ///< key -> JSON value
+  bool written_ = false;
+};
 
 // ---------------------------------------------------------------- printing
 

@@ -15,6 +15,7 @@ using namespace dtsnn;
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
+  bench::BenchReport report("fig1_energy_breakdown", options);
   const imc::ImcConfig cfg;
   bench::banner("Table I: hardware implementation parameters");
   std::printf("  Technology                 32nm CMOS (calibrated macro-model)\n");
@@ -67,5 +68,11 @@ int main(int argc, char** argv) {
               "(paper: ~2e-5)\n",
               model.breakdown().sigma_e_per_timestep_pj /
                   model.breakdown().per_timestep.total());
+  report.set("digital_peripherals_share", shares.digital_peripherals);
+  report.set("crossbar_adc_share", shares.crossbar_adc);
+  report.set("energy_norm_t8", model.energy_pj(8) / e1);
+  report.set("sigma_e_overhead",
+             model.breakdown().sigma_e_per_timestep_pj /
+                 model.breakdown().per_timestep.total());
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
   bench::banner("Fig. 2: accuracy vs #timesteps (spiking VGG, Eq. 9 training)");
+  bench::BenchReport report("fig2_accuracy_vs_timesteps", options);
   util::CsvWriter csv(options.csv_dir + "/fig2_accuracy_vs_timesteps.csv");
   csv.write_header({"dataset", "timesteps", "accuracy"});
 
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
       table.row({bench::fmt("%zu", t), bench::fmt("%.2f%%", 100.0 * acc[t - 1])});
       csv.row(dataset, t, 100.0 * acc[t - 1]);
     }
+    report.set(dataset + "_t1_accuracy", acc.front());
+    report.set(dataset + "_full_t_accuracy", acc.back());
     std::printf("\n");
   }
   std::printf("Shape check: accuracy should increase with T and saturate near T=4,\n"

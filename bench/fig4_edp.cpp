@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
   bench::banner("Fig. 4: normalized EDP, DT-SNN vs static SNN");
+  bench::BenchReport report("fig4_edp", options);
   util::CsvWriter csv(options.csv_dir + "/fig4_edp.csv");
   csv.write_header({"model", "dataset", "edp_percent", "paper_percent"});
 
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
       table.row({model, dataset, bench::fmt("%.1f%%", percent),
                  bench::fmt("%.1f%%", paper)});
       csv.row(model, dataset, percent, paper);
+      report.set(model + "_" + dataset + "_edp_percent", percent);
+      report.set(model + "_" + dataset + "_accuracy", calib.result.accuracy);
+      report.set(model + "_" + dataset + "_avg_timesteps", calib.result.avg_timesteps);
       ++di;
     }
   }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
   bench::banner("Fig. 5: accuracy vs EDP (normalized to 1-timestep static SNN)");
+  bench::BenchReport report("fig5_accuracy_edp_curve", options);
   util::CsvWriter csv(options.csv_dir + "/fig5_accuracy_edp.csv");
   csv.write_header({"model", "dataset", "method", "theta", "avg_timesteps", "accuracy",
                     "edp_norm", "pie_t1", "pie_t2", "pie_t3", "pie_t4"});
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
         csv.row(model, dataset, "DT-SNN", theta, r.avg_timesteps, 100 * r.accuracy, edp,
                 r.timestep_histogram.fraction(0), r.timestep_histogram.fraction(1),
                 r.timestep_histogram.fraction(2), r.timestep_histogram.fraction(3));
+        report.set(model + "_" + dataset + bench::fmt("_theta%.2f", theta) + "_accuracy",
+                   r.accuracy);
+        report.set(model + "_" + dataset + bench::fmt("_theta%.2f", theta) + "_edp",
+                   edp);
       }
       std::printf("\n");
     }

@@ -49,6 +49,7 @@ Curve eval_curve(const std::string& name, core::Experiment& e, std::size_t max_t
 
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
+  bench::BenchReport report("fig6_prior_and_noise", options);
   const std::size_t max_t = 6;
 
   core::ExperimentSpec ours;
@@ -117,6 +118,11 @@ int main(int argc, char** argv) {
   csv_b.row("dtsnn", ours_curve.dt_avg_t, 100 * ours_curve.dt_acc);
   csv_b.row("dtsnn_ni", ni_curve.dt_avg_t, 100 * ni_curve.dt_acc);
 
+  report.set_result(ours_curve.dt_acc, ours_curve.dt_avg_t);
+  report.set("tdbn_t1_accuracy", tdbn_curve.static_acc[0]);
+  report.set("dspike_t1_accuracy", dspike_curve.static_acc[0]);
+  report.set("ni_dtsnn_accuracy", ni_curve.dt_acc);
+  report.set("ni_dtsnn_avg_timesteps", ni_curve.dt_avg_t);
   std::printf("\nShape check: NI curves sit slightly below ideal ones; DT-SNN keeps\n"
               "its accuracy advantage at reduced average timesteps (paper Fig. 6B).\n");
   return 0;

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
   bench::banner("Fig. 7: Eq. 9 vs Eq. 10 training loss (spiking VGG, sync10)");
+  bench::BenchReport report("fig7_loss_ablation", options);
   util::CsvWriter csv(options.csv_dir + "/fig7_loss_ablation.csv");
   csv.write_header({"loss", "timesteps", "accuracy"});
 
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
             calib.result.timestep_histogram.to_string()});
     csv.row(is_eq10 ? "eq10_dtsnn" : "eq9_dtsnn", calib.result.avg_timesteps,
             100 * calib.result.accuracy);
+    const std::string key = is_eq10 ? "eq10" : "eq9";
+    report.set(key + "_t1_accuracy", is_eq10 ? acc10[0] : acc9[0]);
+    report.set(key + "_dtsnn_accuracy", calib.result.accuracy);
+    report.set(key + "_dtsnn_avg_timesteps", calib.result.avg_timesteps);
   }
   std::printf("\nShape check: Eq. 10 must lift T=1 accuracy sharply (paper: +15pp),\n"
               "shifting DT-SNN exits toward t=1 and reducing average timesteps.\n");

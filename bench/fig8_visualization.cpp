@@ -44,6 +44,7 @@ void render(const data::ArrayDataset& ds, std::size_t sample) {
 int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
+  bench::BenchReport report("fig8_visualization", options);
   core::ExperimentSpec spec;
   spec.model = "vgg_mini";
   spec.dataset = "sync10";
@@ -103,6 +104,14 @@ int main(int argc, char** argv) {
                 outputs.timesteps, ds->difficulty(hardest), ds->label(hardest));
     render(*ds, hardest);
   }
+  const double first_bin =
+      diff_n[0] ? diff_sum[0] / static_cast<double>(diff_n[0]) : 0.0;
+  const std::size_t last = outputs.timesteps - 1;
+  const double last_bin =
+      diff_n[last] ? diff_sum[last] / static_cast<double>(diff_n[last]) : 0.0;
+  report.set_result(r.accuracy, r.avg_timesteps);
+  report.set("difficulty_at_t1", first_bin);
+  report.set("difficulty_at_full_t", last_bin);
   std::printf("\nShape check: mean hidden difficulty must rise with T-hat — the\n"
               "entropy rule finds hard inputs without access to the generator.\n");
   return 0;

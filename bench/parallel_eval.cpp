@@ -1,0 +1,124 @@
+// Parallel post-hoc evaluation runtime: single-thread versus OpenMP path.
+//
+// Measures the three stages behind every threshold sweep and calibration:
+//   1. collect_outputs        (record cumulative-mean logits over the test set)
+//   2. theta_sweep            (replay Eq. 8 on the default theta grid)
+//   3. calibrate_theta        (pick theta matching the static-T accuracy)
+// each once forced to one thread and once on all available cores, and checks
+// that both paths produce bitwise-identical recorded logits and identical
+// sweep decisions. Emits BENCH_parallel_eval.json with the speedups so the
+// scaling trajectory is tracked across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_common.h"
+#include "core/calibration.h"
+
+using namespace dtsnn;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+template <typename Fn>
+double timed(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return seconds_since(start);
+}
+
+void set_omp_threads(std::size_t n) {
+#ifdef _OPENMP
+  omp_set_num_threads(static_cast<int>(n));
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_options(argc, argv);
+  const std::size_t threads = core::evaluation_threads();
+
+  bench::banner(bench::fmt("Parallel post-hoc evaluation (1 vs %zu threads)", threads));
+  bench::BenchReport report("parallel_eval", options);
+  report.set("threads", static_cast<double>(threads));
+
+  core::ExperimentSpec spec;
+  spec.model = "vgg_mini";
+  spec.dataset = "sync10";
+  spec.timesteps = 4;
+  spec.epochs = 12;
+  spec.loss = core::LossKind::kPerTimestep;
+  core::Experiment e = bench::run(spec, options);
+
+  // --- stage 1: output recording, serial vs worker-replica parallel path.
+  core::TimestepOutputs serial_out, parallel_out;
+  const double collect_serial_s =
+      timed([&] { serial_out = core::test_outputs(e, 0, 0, /*num_threads=*/1); });
+  const double collect_parallel_s =
+      timed([&] { parallel_out = core::test_outputs(e, 0, 0, /*num_threads=*/0); });
+  const bool collect_identical =
+      serial_out.samples == parallel_out.samples &&
+      std::memcmp(serial_out.cum_logits.data(), parallel_out.cum_logits.data(),
+                  serial_out.cum_logits.numel() * sizeof(float)) == 0 &&
+      serial_out.labels == parallel_out.labels;
+
+  // --- stages 2+3: threshold sweep and calibration replay.
+  const auto grid = core::default_theta_grid();
+  const double target = core::static_accuracy(serial_out, serial_out.timesteps);
+  std::vector<core::SweepPoint> sweep_1t, sweep_nt;
+  core::CalibrationResult calib;
+
+  set_omp_threads(1);
+  const double sweep_serial_s =
+      timed([&] { sweep_1t = core::theta_sweep(serial_out, grid); });
+  set_omp_threads(threads);
+  const double sweep_parallel_s =
+      timed([&] { sweep_nt = core::theta_sweep(serial_out, grid); });
+  const double calibrate_s =
+      timed([&] { calib = core::calibrate_theta(serial_out, target); });
+
+  bool sweep_identical = sweep_1t.size() == sweep_nt.size();
+  for (std::size_t i = 0; sweep_identical && i < sweep_1t.size(); ++i) {
+    sweep_identical = sweep_1t[i].result.exit_timestep == sweep_nt[i].result.exit_timestep;
+  }
+
+  bench::TablePrinter table({"Stage", "1 thread (s)", "parallel (s)", "speedup"},
+                            {18, 14, 14, 10});
+  const auto emit = [&](const char* stage, double serial_s, double parallel_s) {
+    table.row({stage, bench::fmt("%.4f", serial_s), bench::fmt("%.4f", parallel_s),
+               bench::fmt("%.2fx", parallel_s > 0 ? serial_s / parallel_s : 0.0)});
+  };
+  emit("collect_outputs", collect_serial_s, collect_parallel_s);
+  emit("theta_sweep", sweep_serial_s, sweep_parallel_s);
+  std::printf("\ncalibrate_theta: %.4f s -> theta=%.3f (acc %.2f%%, avgT %.2f)\n",
+              calibrate_s, calib.theta, 100.0 * calib.result.accuracy,
+              calib.result.avg_timesteps);
+  std::printf("consistency: collect %s, sweep %s\n",
+              collect_identical ? "identical" : "MISMATCH",
+              sweep_identical ? "identical" : "MISMATCH");
+
+  report.set("samples", static_cast<double>(serial_out.samples));
+  report.set("collect_serial_s", collect_serial_s);
+  report.set("collect_parallel_s", collect_parallel_s);
+  report.set("collect_speedup",
+             collect_parallel_s > 0 ? collect_serial_s / collect_parallel_s : 0.0);
+  report.set("sweep_serial_s", sweep_serial_s);
+  report.set("sweep_parallel_s", sweep_parallel_s);
+  report.set("sweep_speedup",
+             sweep_parallel_s > 0 ? sweep_serial_s / sweep_parallel_s : 0.0);
+  report.set("calibrate_s", calibrate_s);
+  report.set("consistent", collect_identical && sweep_identical ? "yes" : "NO");
+  report.set_result(calib.result.accuracy, calib.result.avg_timesteps);
+  return collect_identical && sweep_identical ? 0 : 1;
+}

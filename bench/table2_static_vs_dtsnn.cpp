@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions options = bench::parse_options(argc, argv);
 
   bench::banner("Table II: static SNN vs DT-SNN (T / accuracy / normalized energy)");
+  bench::BenchReport report("table2_static_vs_dtsnn", options);
   util::CsvWriter csv(options.csv_dir + "/table2_static_vs_dtsnn.csv");
   csv.write_header({"model", "dataset", "method", "timesteps", "accuracy",
                     "energy_norm", "theta"});
@@ -63,6 +64,10 @@ int main(int argc, char** argv) {
       csv.row(model, dataset, "SNN", timesteps, 100 * static_acc, 1.0, 0.0);
       csv.row(model, dataset, "DT-SNN", calib.result.avg_timesteps,
               100 * calib.result.accuracy, dt_energy / static_energy, calib.theta);
+      const std::string key = model + "_" + dataset;
+      report.set(key + "_accuracy", calib.result.accuracy);
+      report.set(key + "_avg_timesteps", calib.result.avg_timesteps);
+      report.set(key + "_energy_norm", dt_energy / static_energy);
     }
   }
   std::printf("\nShape check (paper Table II): DT-SNN should match static accuracy with\n"

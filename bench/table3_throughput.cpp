@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   const std::size_t samples = static_cast<std::size_t>(512 * options.scale) + 64;
 
   bench::banner("Table III: batch-1 throughput, static SNN vs DT-SNN (CPU substrate)");
+  bench::BenchReport report("table3_throughput", options);
   util::CsvWriter csv(options.csv_dir + "/table3_throughput.csv");
   csv.write_header({"model", "method", "setting", "avg_timesteps", "accuracy",
                     "images_per_sec"});
@@ -90,6 +91,11 @@ int main(int argc, char** argv) {
                  bench::fmt("%.1f", r.images_per_sec)});
       csv.row(model, "DT-SNN", bench::fmt("theta=%.2f", theta), r.avg_timesteps,
               100 * r.accuracy, r.images_per_sec);
+      report.set(model + bench::fmt("_theta%.2f_images_per_sec", theta),
+                 r.images_per_sec);
+      report.set(model + bench::fmt("_theta%.2f_accuracy", theta), r.accuracy);
+      report.set(model + bench::fmt("_theta%.2f_avg_timesteps", theta),
+                 r.avg_timesteps);
     }
     std::printf("\n");
   }

@@ -2,9 +2,9 @@
 // for the library — the "user-facing tool" of the repository.
 //
 // Usage:
-//   train_cli train --model vgg_mini --dataset sync10 --epochs 12 \
+//   train_cli train --model vgg_mini --dataset sync10 --epochs 12
 //             --timesteps 4 --loss eq10 --out model.ckpt
-//   train_cli eval  --model vgg_mini --dataset sync10 --timesteps 4 \
+//   train_cli eval  --model vgg_mini --dataset sync10 --timesteps 4
 //             --ckpt model.ckpt [--theta 0.25] [--noise]
 //
 // `eval` reports static per-timestep accuracy; with --theta it additionally

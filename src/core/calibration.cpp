@@ -6,11 +6,13 @@ namespace dtsnn::core {
 
 std::vector<SweepPoint> theta_sweep(const TimestepOutputs& outputs,
                                     const std::vector<double>& thetas) {
+  // Softmax+entropy of every (t, sample) row is computed once; each theta
+  // then replays against the table in O(N*T) comparisons.
+  const std::vector<double> entropies = entropy_table(outputs);
   std::vector<SweepPoint> points;
   points.reserve(thetas.size());
   for (const double theta : thetas) {
-    const EntropyExitPolicy policy(theta);
-    points.push_back({theta, evaluate_dtsnn(outputs, policy)});
+    points.push_back({theta, evaluate_dtsnn_with_table(outputs, entropies, theta)});
   }
   return points;
 }
@@ -29,13 +31,13 @@ CalibrationResult calibrate_theta(const TimestepOutputs& outputs, double target_
                                   double tolerance, const std::vector<double>& grid) {
   std::vector<double> sorted = grid;
   std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> entropies = entropy_table(outputs);
 
   CalibrationResult best;
   best.target_accuracy = target_accuracy;
   bool found = false;
   for (const double theta : sorted) {
-    const EntropyExitPolicy policy(theta);
-    DtsnnResult r = evaluate_dtsnn(outputs, policy);
+    DtsnnResult r = evaluate_dtsnn_with_table(outputs, entropies, theta);
     if (r.accuracy + 1e-12 >= target_accuracy - tolerance) {
       // Larger theta exits earlier; keep the largest admissible one.
       best.theta = theta;
@@ -47,9 +49,8 @@ CalibrationResult calibrate_theta(const TimestepOutputs& outputs, double target_
   if (!found) {
     // Nothing met the target: fall back to the most conservative threshold.
     const double theta = sorted.front();
-    const EntropyExitPolicy policy(theta);
     best.theta = theta;
-    best.result = evaluate_dtsnn(outputs, policy);
+    best.result = evaluate_dtsnn_with_table(outputs, entropies, theta);
     best.met_target = false;
   }
   return best;

@@ -1,10 +1,16 @@
 #include "core/engine.h"
 
 #include <cassert>
+#include <memory>
 #include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "core/entropy.h"
 #include "snn/loss.h"
+#include "snn/serialize.h"
 #include "util/math.h"
 
 namespace dtsnn::core {
@@ -14,35 +20,103 @@ std::span<const float> TimestepOutputs::at(std::size_t t, std::size_t i) const {
   return {cum_logits.data() + (t * samples + i) * classes, classes};
 }
 
-TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& dataset,
-                                std::size_t timesteps, std::size_t batch_size,
-                                std::size_t limit) {
-  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
-  const std::size_t k = net.num_classes();
+std::size_t evaluation_threads() {
+#ifdef _OPENMP
+  return static_cast<std::size_t>(std::max(1, omp_get_max_threads()));
+#else
+  return 1;
+#endif
+}
+
+namespace {
+
+/// Runs one batch [start, start+b) through `net` and scatters cumulative-mean
+/// logits and labels into `out`. Writes only rows of this batch, so disjoint
+/// batches can be processed concurrently on separate networks.
+void record_batch(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                  TimestepOutputs& out, std::size_t start, std::size_t b) {
+  const std::size_t k = out.classes;
+  const std::size_t n = out.samples;
+  std::vector<std::size_t> indices(b);
+  for (std::size_t i = 0; i < b; ++i) indices[i] = start + i;
+  snn::EncodedBatch batch = data::materialize_batch(dataset, indices, out.timesteps);
+
+  snn::Tensor logits = net.forward(batch.x, out.timesteps, /*train=*/false);
+  snn::Tensor cum = snn::cumulative_mean_logits(logits, out.timesteps);
+  for (std::size_t t = 0; t < out.timesteps; ++t) {
+    for (std::size_t i = 0; i < b; ++i) {
+      const float* src = cum.data() + (t * b + i) * k;
+      float* dst = out.cum_logits.data() + (t * n + start + i) * k;
+      std::copy(src, src + k, dst);
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) out.labels[start + i] = batch.labels[i];
+}
+
+TimestepOutputs make_outputs(std::size_t timesteps, std::size_t n, std::size_t k) {
   TimestepOutputs out;
   out.timesteps = timesteps;
   out.samples = n;
   out.classes = k;
   out.cum_logits = snn::Tensor({timesteps * n, k});
   out.labels.resize(n);
+  return out;
+}
 
+}  // namespace
+
+TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                                std::size_t timesteps, std::size_t batch_size,
+                                std::size_t limit) {
+  if (batch_size == 0) throw std::invalid_argument("collect_outputs: batch_size == 0");
+  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
+  TimestepOutputs out = make_outputs(timesteps, n, net.num_classes());
   for (std::size_t start = 0; start < n; start += batch_size) {
-    const std::size_t b = std::min(batch_size, n - start);
-    std::vector<std::size_t> indices(b);
-    for (std::size_t i = 0; i < b; ++i) indices[i] = start + i;
-    snn::EncodedBatch batch = data::materialize_batch(dataset, indices, timesteps);
-
-    snn::Tensor logits = net.forward(batch.x, timesteps, /*train=*/false);
-    snn::Tensor cum = snn::cumulative_mean_logits(logits, timesteps);
-    for (std::size_t t = 0; t < timesteps; ++t) {
-      for (std::size_t i = 0; i < b; ++i) {
-        const float* src = cum.data() + (t * b + i) * k;
-        float* dst = out.cum_logits.data() + (t * n + start + i) * k;
-        std::copy(src, src + k, dst);
-      }
-    }
-    for (std::size_t i = 0; i < b; ++i) out.labels[start + i] = batch.labels[i];
+    record_batch(net, dataset, out, start, std::min(batch_size, n - start));
   }
+  return out;
+}
+
+TimestepOutputs collect_outputs_parallel(snn::SpikingNetwork& net,
+                                         const NetworkFactory& make_replica,
+                                         const data::Dataset& dataset,
+                                         std::size_t timesteps, std::size_t batch_size,
+                                         std::size_t limit, std::size_t num_threads) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("collect_outputs_parallel: batch_size == 0");
+  }
+  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
+  const std::size_t num_batches = (n + batch_size - 1) / batch_size;
+  std::size_t threads = num_threads ? num_threads : evaluation_threads();
+  threads = std::min(threads, std::max<std::size_t>(num_batches, 1));
+#ifndef _OPENMP
+  threads = 1;
+#endif
+  if (threads <= 1) return collect_outputs(net, dataset, timesteps, batch_size, limit);
+
+  TimestepOutputs out = make_outputs(timesteps, n, net.num_classes());
+
+  // Worker replicas are stamped out serially (the factory and the source
+  // network need not be thread-safe); thread 0 reuses the caller's network.
+  std::vector<std::unique_ptr<snn::SpikingNetwork>> replicas;
+  for (std::size_t i = 1; i < threads; ++i) {
+    auto replica = std::make_unique<snn::SpikingNetwork>(make_replica());
+    snn::copy_network_state(net, *replica);
+    replicas.push_back(std::move(replica));
+  }
+
+#ifdef _OPENMP
+#pragma omp parallel num_threads(static_cast<int>(threads))
+  {
+    const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+    snn::SpikingNetwork& worker = tid == 0 ? net : *replicas[tid - 1];
+#pragma omp for schedule(dynamic)
+    for (std::size_t batch = 0; batch < num_batches; ++batch) {
+      const std::size_t start = batch * batch_size;
+      record_batch(worker, dataset, out, start, std::min(batch_size, n - start));
+    }
+  }
+#endif
   return out;
 }
 
@@ -68,35 +142,81 @@ std::vector<double> accuracy_per_timestep(const TimestepOutputs& outputs) {
   return acc;
 }
 
-DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy) {
+namespace {
+
+/// Shared tail of the post-hoc evaluators: per-sample exit decisions are
+/// made by `choose_exit(i)` (called concurrently when OpenMP is available);
+/// accuracy, histogram and averages are accumulated serially afterwards.
+template <typename ChooseExit>
+DtsnnResult replay_exits(const TimestepOutputs& outputs, ChooseExit&& choose_exit) {
   DtsnnResult result;
   result.timestep_histogram = util::Histogram(outputs.timesteps);
   result.exit_timestep.resize(outputs.samples);
   result.correct.resize(outputs.samples);
 
+  // Per-sample scratch: exit_timestep rows are disjoint, but vector<bool> is
+  // bit-packed, so correctness flags go through a byte buffer.
+  std::vector<unsigned char> ok(outputs.samples, 0);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t i = 0; i < outputs.samples; ++i) {
+    const std::size_t chosen = choose_exit(i);
+    const auto logits = outputs.at(chosen - 1, i);
+    result.exit_timestep[i] = chosen;
+    ok[i] = util::argmax(logits) == static_cast<std::size_t>(outputs.labels[i]) ? 1 : 0;
+  }
+
   std::size_t correct = 0;
   double total_t = 0.0;
   for (std::size_t i = 0; i < outputs.samples; ++i) {
-    // Eq. (8): first t whose policy fires; fall back to T.
-    std::size_t chosen = outputs.timesteps;
-    for (std::size_t t = 0; t + 1 < outputs.timesteps; ++t) {
-      if (policy.should_exit(outputs.at(t, i))) {
-        chosen = t + 1;
-        break;
-      }
-    }
-    const auto logits = outputs.at(chosen - 1, i);
-    const bool ok = util::argmax(logits) == static_cast<std::size_t>(outputs.labels[i]);
-    result.exit_timestep[i] = chosen;
-    result.correct[i] = ok;
-    result.timestep_histogram.add(chosen - 1);
-    correct += ok;
-    total_t += static_cast<double>(chosen);
+    result.correct[i] = ok[i] != 0;
+    result.timestep_histogram.add(result.exit_timestep[i] - 1);
+    correct += ok[i];
+    total_t += static_cast<double>(result.exit_timestep[i]);
   }
   const double n = static_cast<double>(outputs.samples);
   result.accuracy = outputs.samples ? static_cast<double>(correct) / n : 0.0;
   result.avg_timesteps = outputs.samples ? total_t / n : 0.0;
   return result;
+}
+
+}  // namespace
+
+DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy) {
+  return replay_exits(outputs, [&](std::size_t i) {
+    // Eq. (8): first t whose policy fires; fall back to T.
+    for (std::size_t t = 0; t + 1 < outputs.timesteps; ++t) {
+      if (policy.should_exit(outputs.at(t, i))) return t + 1;
+    }
+    return outputs.timesteps;
+  });
+}
+
+std::vector<double> entropy_table(const TimestepOutputs& outputs) {
+  const std::size_t rows = outputs.timesteps * outputs.samples;
+  std::vector<double> table(rows);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t r = 0; r < rows; ++r) {
+    table[r] = entropy_of_logits(
+        {outputs.cum_logits.data() + r * outputs.classes, outputs.classes});
+  }
+  return table;
+}
+
+DtsnnResult evaluate_dtsnn_with_table(const TimestepOutputs& outputs,
+                                      std::span<const double> entropies, double theta) {
+  if (entropies.size() != outputs.timesteps * outputs.samples) {
+    throw std::invalid_argument("evaluate_dtsnn_with_table: entropy table size mismatch");
+  }
+  return replay_exits(outputs, [&](std::size_t i) {
+    for (std::size_t t = 0; t + 1 < outputs.timesteps; ++t) {
+      if (entropies[t * outputs.samples + i] < theta) return t + 1;
+    }
+    return outputs.timesteps;
+  });
 }
 
 SequentialPrediction SequentialEngine::infer(const data::Dataset& dataset,

@@ -42,6 +42,29 @@ TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& d
                                 std::size_t timesteps, std::size_t batch_size = 256,
                                 std::size_t limit = 0);
 
+/// Factory producing architecturally identical (untrained) replicas of the
+/// network under evaluation; trained state is stamped in with
+/// snn::copy_network_state. Must be safe to call from the calling thread.
+using NetworkFactory = std::function<snn::SpikingNetwork()>;
+
+/// OpenMP-parallel collect_outputs: dataset batches are distributed over
+/// worker threads, each owning its own network replica, so recording scales
+/// with cores. Batch boundaries match the serial path, so the recorded
+/// logits are bitwise identical to collect_outputs. `num_threads` 0 means
+/// use all available cores; without OpenMP (or with 1 thread) this runs the
+/// serial path on `net` and never invokes the factory.
+TimestepOutputs collect_outputs_parallel(snn::SpikingNetwork& net,
+                                         const NetworkFactory& make_replica,
+                                         const data::Dataset& dataset,
+                                         std::size_t timesteps,
+                                         std::size_t batch_size = 256,
+                                         std::size_t limit = 0,
+                                         std::size_t num_threads = 0);
+
+/// Number of evaluation worker threads `num_threads = 0` resolves to
+/// (1 without OpenMP).
+std::size_t evaluation_threads();
+
 /// Static-SNN evaluation: accuracy using exactly `t` timesteps (1-based).
 double static_accuracy(const TimestepOutputs& outputs, std::size_t t);
 
@@ -56,8 +79,21 @@ struct DtsnnResult {
   std::vector<bool> correct;              ///< per sample
 };
 
-/// Replay the exit policy over recorded outputs (post-hoc mode).
+/// Replay the exit policy over recorded outputs (post-hoc mode). Samples are
+/// replayed on OpenMP threads when available (the policy must be stateless,
+/// which all shipped policies are).
 DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy);
+
+/// Normalized entropy of every recorded (t, sample) cumulative logit row,
+/// laid out like cum_logits ([T * N], time-major). Computed in parallel.
+/// Replaying an entropy threshold against this table is O(1) per decision,
+/// so theta sweeps touch the softmax only once.
+std::vector<double> entropy_table(const TimestepOutputs& outputs);
+
+/// Replay the Eq. 8 entropy rule at `theta` against a precomputed table
+/// (semantically identical to evaluate_dtsnn with EntropyExitPolicy(theta)).
+DtsnnResult evaluate_dtsnn_with_table(const TimestepOutputs& outputs,
+                                      std::span<const double> entropies, double theta);
 
 /// Sequential early-exit inference of one sample. Returns (prediction,
 /// timesteps used). The network must be one the outputs were trained on;

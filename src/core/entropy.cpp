@@ -8,7 +8,9 @@
 namespace dtsnn::core {
 
 double normalized_entropy(std::span<const float> probs) {
-  assert(probs.size() >= 2);
+  // A 0/1-class distribution has no uncertainty; log(k) below would be 0
+  // (division by zero) and the assert guarding it compiles out under NDEBUG.
+  if (probs.size() < 2) return 0.0;
   double h = 0.0;
   for (const float p : probs) {
     if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
@@ -22,7 +24,8 @@ double entropy_of_logits(std::span<const float> logits) {
 }
 
 std::vector<double> entropies_of_logit_rows(std::span<const float> logits, std::size_t k) {
-  assert(k >= 2 && logits.size() % k == 0);
+  if (k < 2) return std::vector<double>(k ? logits.size() / k : 0, 0.0);
+  assert(logits.size() % k == 0);
   const std::size_t n = logits.size() / k;
   std::vector<double> out(n);
   std::vector<float> probs(k);

@@ -86,9 +86,15 @@ Experiment train_or_load(const ExperimentSpec& spec, const std::string& cache_di
   return e;
 }
 
-TimestepOutputs test_outputs(Experiment& e, std::size_t timesteps, std::size_t limit) {
+NetworkFactory replica_factory(const Experiment& e) {
+  return [&e] { return build_net(e.spec, *e.bundle.train); };
+}
+
+TimestepOutputs test_outputs(Experiment& e, std::size_t timesteps, std::size_t limit,
+                             std::size_t num_threads) {
   const std::size_t t = timesteps ? timesteps : e.spec.timesteps;
-  return collect_outputs(e.net, *e.bundle.test, t, /*batch_size=*/256, limit);
+  return collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test, t,
+                                  /*batch_size=*/256, limit, num_threads);
 }
 
 }  // namespace dtsnn::core

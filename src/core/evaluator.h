@@ -61,8 +61,15 @@ Experiment run_experiment(const ExperimentSpec& spec);
 /// is deterministic and fast).
 Experiment train_or_load(const ExperimentSpec& spec, const std::string& cache_dir);
 
-/// Convenience: record test-set outputs of an experiment's network.
+/// Convenience: record test-set outputs of an experiment's network. Dataset
+/// batches run on OpenMP worker threads (each with its own network replica)
+/// when available; `num_threads` 0 uses all cores, 1 forces the serial path.
 TimestepOutputs test_outputs(Experiment& e, std::size_t timesteps = 0,
-                             std::size_t limit = 0);
+                             std::size_t limit = 0, std::size_t num_threads = 0);
+
+/// Factory producing untrained, architecturally identical replicas of the
+/// experiment's network (for collect_outputs_parallel worker threads). The
+/// returned callable borrows `e`; it must not outlive the experiment.
+NetworkFactory replica_factory(const Experiment& e);
 
 }  // namespace dtsnn::core

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -127,6 +128,26 @@ void load_checkpoint(SpikingNetwork& net, const std::string& path) {
     in.read(reinterpret_cast<char*>(tensor->data()),
             static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
     if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+  }
+}
+
+void copy_network_state(SpikingNetwork& src, SpikingNetwork& dst) {
+  auto src_entries = checkpoint_entries(src);
+  auto dst_entries = checkpoint_entries(dst);
+  if (src_entries.size() != dst_entries.size()) {
+    throw std::runtime_error("copy_network_state: entry count mismatch (src " +
+                             std::to_string(src_entries.size()) + ", dst " +
+                             std::to_string(dst_entries.size()) + ")");
+  }
+  for (std::size_t i = 0; i < src_entries.size(); ++i) {
+    auto& [src_name, src_tensor] = src_entries[i];
+    auto& [dst_name, dst_tensor] = dst_entries[i];
+    if (src_name != dst_name || src_tensor->shape() != dst_tensor->shape()) {
+      throw std::runtime_error("copy_network_state: entry mismatch at '" + src_name +
+                               "' vs '" + dst_name + "'");
+    }
+    std::copy(src_tensor->data(), src_tensor->data() + src_tensor->numel(),
+              dst_tensor->data());
   }
 }
 

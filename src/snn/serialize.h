@@ -22,4 +22,9 @@ void save_checkpoint(SpikingNetwork& net, const std::string& path);
 /// structured network. Throws on mismatch or I/O failure.
 void load_checkpoint(SpikingNetwork& net, const std::string& path);
 
+/// Copies all parameters and normalization buffers from `src` into the
+/// architecturally identical `dst` (names and shapes are checked). Used to
+/// stamp out per-thread worker replicas for parallel evaluation.
+void copy_network_state(SpikingNetwork& src, SpikingNetwork& dst);
+
 }  // namespace dtsnn::snn

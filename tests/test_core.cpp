@@ -54,6 +54,18 @@ TEST(Entropy, OfLogitsMatchesManualSoftmax) {
   EXPECT_NEAR(entropy_of_logits(logits), normalized_entropy(probs), 1e-12);
 }
 
+TEST(Entropy, DegenerateDistributionsAreZero) {
+  // k < 2 would divide by log(k) <= 0; the guard must hold in release builds
+  // (the old assert compiled out under NDEBUG).
+  const std::vector<float> one{1.0f};
+  EXPECT_EQ(normalized_entropy(one), 0.0);
+  EXPECT_EQ(normalized_entropy({}), 0.0);
+  const auto rows = entropies_of_logit_rows(one, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0.0);
+  EXPECT_TRUE(entropies_of_logit_rows({}, 0).empty());
+}
+
 TEST(Entropy, RowsHelper) {
   const std::vector<float> logits{0, 0, 10, 0};  // 2 rows of K=2
   const auto h = entropies_of_logit_rows(logits, 2);
@@ -206,6 +218,22 @@ TEST(Calibration, DefaultGridCoversUnitInterval) {
   EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
 }
 
+TEST(Engine, EntropyTableReplayMatchesPolicy) {
+  const auto out = fake_outputs();
+  const auto table = entropy_table(out);
+  ASSERT_EQ(table.size(), out.timesteps * out.samples);
+  for (const double theta : {0.0, 0.05, 0.2, 0.5, 0.9, 1.01}) {
+    const auto via_policy = evaluate_dtsnn(out, EntropyExitPolicy(theta));
+    const auto via_table = evaluate_dtsnn_with_table(out, table, theta);
+    EXPECT_EQ(via_policy.exit_timestep, via_table.exit_timestep) << theta;
+    EXPECT_EQ(via_policy.correct, via_table.correct) << theta;
+    EXPECT_NEAR(via_policy.accuracy, via_table.accuracy, 1e-12) << theta;
+    EXPECT_NEAR(via_policy.avg_timesteps, via_table.avg_timesteps, 1e-12) << theta;
+  }
+  EXPECT_THROW(evaluate_dtsnn_with_table(out, std::span<const double>(table).first(2), 0.5),
+               std::invalid_argument);
+}
+
 // ---------------------------------------------- post-hoc vs sequential engine
 
 TEST(Engine, SequentialMatchesPosthoc) {
@@ -230,6 +258,75 @@ TEST(Engine, SequentialMatchesPosthoc) {
     const auto logits = outputs.at(pred.timesteps_used - 1, i);
     EXPECT_EQ(pred.predicted_class, util::argmax(logits)) << "sample " << i;
   }
+}
+
+/// Regression: both engines claim to implement Eq. 8 identically. Post-hoc
+/// evaluate_dtsnn and SequentialEngine::infer_frames must agree on the exit
+/// timestep and the predicted class for every sample of a small synthetic
+/// dataset, across thresholds.
+TEST(Engine, PosthocAndSequentialAgreeOnEverySample) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 2;
+  spec.timesteps = 3;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+
+  const auto& ds = *e.bundle.test;
+  const auto outputs = test_outputs(e, spec.timesteps);
+  ASSERT_EQ(outputs.samples, ds.size());
+  const snn::Shape fs = ds.frame_shape();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+
+  for (const double theta : {0.15, 0.5}) {
+    EntropyExitPolicy policy(theta);
+    const auto posthoc = evaluate_dtsnn(outputs, policy);
+    SequentialEngine engine(e.net, policy, spec.timesteps);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      snn::Tensor frames({spec.timesteps, fs[0], fs[1], fs[2]});
+      for (std::size_t t = 0; t < spec.timesteps; ++t) {
+        ds.write_frame(i, t, {frames.data() + t * frame_numel, frame_numel});
+      }
+      const auto pred = engine.infer_frames(frames);
+      EXPECT_EQ(pred.timesteps_used, posthoc.exit_timestep[i])
+          << "theta " << theta << " sample " << i;
+      const std::size_t posthoc_class = util::argmax(outputs.at(pred.timesteps_used - 1, i));
+      EXPECT_EQ(pred.predicted_class, posthoc_class)
+          << "theta " << theta << " sample " << i;
+    }
+  }
+}
+
+TEST(Engine, ParallelCollectMatchesSerial) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 1;
+  spec.timesteps = 3;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+
+  const auto serial =
+      collect_outputs(e.net, *e.bundle.test, spec.timesteps, /*batch_size=*/8);
+  // Small batches + forced 2 threads exercise the replica path even on one
+  // core; batch boundaries match, so the recording is bitwise identical.
+  const auto parallel =
+      collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test,
+                               spec.timesteps, /*batch_size=*/8, /*limit=*/0,
+                               /*num_threads=*/2);
+  ASSERT_EQ(parallel.samples, serial.samples);
+  ASSERT_EQ(parallel.labels, serial.labels);
+  ASSERT_EQ(parallel.cum_logits.numel(), serial.cum_logits.numel());
+  for (std::size_t j = 0; j < serial.cum_logits.numel(); ++j) {
+    ASSERT_EQ(parallel.cum_logits.data()[j], serial.cum_logits.data()[j]) << j;
+  }
+
+  EXPECT_THROW(collect_outputs(e.net, *e.bundle.test, spec.timesteps, 0),
+               std::invalid_argument);
+  EXPECT_THROW(collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test,
+                                        spec.timesteps, 0),
+               std::invalid_argument);
 }
 
 TEST(Evaluator, BundleDispatch) {

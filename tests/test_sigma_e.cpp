@@ -83,7 +83,7 @@ TEST(SigmaE, StatsCountDatapathActivity) {
   SigmaEModule mod;
   const std::vector<float> logits(10, 0.5f);
   mod.reset_stats();
-  mod.compute_entropy(logits);
+  (void)mod.compute_entropy(logits);
   const auto& s = mod.stats();
   EXPECT_EQ(s.exp_lut_lookups, 10u);   // one sigma-LUT access per class
   EXPECT_EQ(s.log_lut_lookups, 1u);    // one log of the sum
