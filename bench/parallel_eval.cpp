@@ -1,13 +1,16 @@
-// Parallel post-hoc evaluation runtime: single-thread versus OpenMP path.
+// Parallel/batched evaluation runtime: single-thread versus OpenMP path,
+// and batch-1 versus batched sequential execution.
 //
-// Measures the three stages behind every threshold sweep and calibration:
+// Measures the stages behind every threshold sweep and calibration:
 //   1. collect_outputs        (record cumulative-mean logits over the test set)
 //   2. theta_sweep            (replay Eq. 8 on the default theta grid)
 //   3. calibrate_theta        (pick theta matching the static-T accuracy)
-// each once forced to one thread and once on all available cores, and checks
-// that both paths produce bitwise-identical recorded logits and identical
-// sweep decisions. Emits BENCH_parallel_eval.json with the speedups so the
-// scaling trajectory is tracked across PRs.
+//   4. sequential engines     (true early termination: batch-1 vs batched
+//                              with live-batch compaction, unified API)
+// checks that parallel recording is bitwise identical to serial, that sweep
+// decisions match, and that the batched engine's decisions are identical to
+// batch-1. Emits BENCH_parallel_eval.json with the speedups so the scaling
+// trajectory is tracked across PRs.
 
 #include <chrono>
 #include <cstdio>
@@ -93,6 +96,27 @@ int main(int argc, char** argv) {
     sweep_identical = sweep_1t[i].result.exit_timestep == sweep_nt[i].result.exit_timestep;
   }
 
+  // --- stage 4: true early-termination engines through the unified API,
+  // batch-1 SequentialEngine vs BatchedSequentialEngine (batch 32).
+  const core::EntropyExitPolicy engine_policy(0.3);
+  core::SequentialEngine batch1_engine(e.net, engine_policy, serial_out.timesteps);
+  core::BatchedSequentialEngine batched_engine(e.net, engine_policy,
+                                               serial_out.timesteps, /*batch_size=*/32);
+  const core::InferenceRequest engine_request =
+      core::InferenceRequest::first_n(std::min<std::size_t>(serial_out.samples, 256));
+  std::vector<core::InferenceResult> batch1_results, batched_results;
+  const double batch1_s = timed(
+      [&] { batch1_results = batch1_engine.run(*e.bundle.test, engine_request); });
+  const double batched_s = timed(
+      [&] { batched_results = batched_engine.run(*e.bundle.test, engine_request); });
+  bool engines_identical = batch1_results.size() == batched_results.size();
+  for (std::size_t i = 0; engines_identical && i < batch1_results.size(); ++i) {
+    engines_identical =
+        batch1_results[i].predicted_class == batched_results[i].predicted_class &&
+        batch1_results[i].exit_timestep == batched_results[i].exit_timestep &&
+        batch1_results[i].final_entropy == batched_results[i].final_entropy;
+  }
+
   bench::TablePrinter table({"Stage", "1 thread (s)", "parallel (s)", "speedup"},
                             {18, 14, 14, 10});
   const auto emit = [&](const char* stage, double serial_s, double parallel_s) {
@@ -104,9 +128,14 @@ int main(int argc, char** argv) {
   std::printf("\ncalibrate_theta: %.4f s -> theta=%.3f (acc %.2f%%, avgT %.2f)\n",
               calibrate_s, calib.theta, 100.0 * calib.result.accuracy,
               calib.result.avg_timesteps);
-  std::printf("consistency: collect %s, sweep %s\n",
+  std::printf("sequential engines (%zu samples, theta=0.3): batch-1 %.4f s, "
+              "batched(32) %.4f s -> %.2fx\n",
+              engine_request.samples.size(), batch1_s, batched_s,
+              batched_s > 0 ? batch1_s / batched_s : 0.0);
+  std::printf("consistency: collect %s, sweep %s, batched-engine %s\n",
               collect_identical ? "identical" : "MISMATCH",
-              sweep_identical ? "identical" : "MISMATCH");
+              sweep_identical ? "identical" : "MISMATCH",
+              engines_identical ? "identical" : "MISMATCH");
 
   report.set("samples", static_cast<double>(serial_out.samples));
   report.set("collect_serial_s", collect_serial_s);
@@ -118,7 +147,11 @@ int main(int argc, char** argv) {
   report.set("sweep_speedup",
              sweep_parallel_s > 0 ? sweep_serial_s / sweep_parallel_s : 0.0);
   report.set("calibrate_s", calibrate_s);
-  report.set("consistent", collect_identical && sweep_identical ? "yes" : "NO");
+  report.set("sequential_batch1_s", batch1_s);
+  report.set("sequential_batch32_s", batched_s);
+  report.set("sequential_batch32_speedup", batched_s > 0 ? batch1_s / batched_s : 0.0);
+  const bool consistent = collect_identical && sweep_identical && engines_identical;
+  report.set("consistent", consistent ? "yes" : "NO");
   report.set_result(calib.result.accuracy, calib.result.avg_timesteps);
-  return collect_identical && sweep_identical ? 0 : 1;
+  return consistent ? 0 : 1;
 }

@@ -65,19 +65,17 @@ int main() {
                                                                     : "WRONG");
   }
 
-  // Aggregate view via the engine API.
+  // Aggregate view via the unified inference API: the batched engine steps
+  // 32 samples together, re-evaluating Eq. 8 per sample each timestep and
+  // compacting the live batch as samples exit — same decisions as the
+  // batch-1 loop above, at batch throughput.
   const core::EntropyExitPolicy policy(theta);
-  core::SequentialEngine engine(e.net, policy, spec.timesteps);
-  std::size_t correct = 0;
-  double total_t = 0.0;
-  const std::size_t n = std::min<std::size_t>(256, ds.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto pred = engine.infer(ds, i);
-    correct += pred.predicted_class == static_cast<std::size_t>(ds.label(i));
-    total_t += static_cast<double>(pred.timesteps_used);
-  }
-  std::printf("Over %zu samples: %.2f%% accuracy at %.2f average timesteps.\n", n,
-              100.0 * static_cast<double>(correct) / static_cast<double>(n),
-              total_t / static_cast<double>(n));
+  core::BatchedSequentialEngine engine(e.net, policy, spec.timesteps, /*batch_size=*/32);
+  const core::InferenceRequest request =
+      core::InferenceRequest::first_n(std::min<std::size_t>(256, ds.size()));
+  const core::DtsnnResult r = core::evaluate_engine(engine, ds, request);
+  std::printf("Over %zu samples (%s): %.2f%% accuracy at %.2f average timesteps.\n",
+              request.samples.size(), engine.name().c_str(), 100.0 * r.accuracy,
+              r.avg_timesteps);
   return 0;
 }

@@ -4,7 +4,9 @@
 //  2. Train a small spiking VGG with the per-timestep loss (Eq. 10).
 //  3. Record per-timestep outputs on the test set.
 //  4. Calibrate the entropy threshold to the static 4-timestep accuracy.
-//  5. Report accuracy, average timesteps, and IMC energy/EDP savings.
+//  5. Run true early-termination inference at the calibrated threshold
+//     through the unified engine API (batched, with live-batch compaction).
+//  6. Report accuracy, average timesteps, and IMC energy/EDP savings.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
@@ -47,7 +49,20 @@ int main() {
   std::printf("Exit distribution (T-hat = 1..%zu): %s\n", spec.timesteps,
               calib.result.timestep_histogram.to_string().c_str());
 
-  // 5. Hardware impact on the paper-scale IMC chip (VGG-16 mapping).
+  // 5. True early termination at the calibrated threshold: the batched
+  // sequential engine makes the same exit decisions as the post-hoc replay,
+  // but actually stops computing (and compacts the batch) as samples exit.
+  const core::EntropyExitPolicy policy(calib.theta);
+  core::BatchedSequentialEngine engine(experiment.net, policy, spec.timesteps);
+  const core::InferenceRequest request =
+      core::InferenceRequest::first_n(std::min<std::size_t>(outputs.samples, 256));
+  const core::DtsnnResult live = core::evaluate_engine(engine, *experiment.bundle.test,
+                                                       request);
+  std::printf("Sequential check (%s, %zu samples): %.2f%% accuracy, %.2f avg timesteps\n",
+              engine.name().c_str(), request.samples.size(), 100.0 * live.accuracy,
+              live.avg_timesteps);
+
+  // 6. Hardware impact on the paper-scale IMC chip (VGG-16 mapping).
   imc::NetworkSpec hw_spec = imc::vgg16_spec();
   const imc::EnergyModel hw(imc::map_network(hw_spec, imc::ImcConfig{}));
   const double e_static = hw.energy_pj(4);

@@ -69,6 +69,7 @@ TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& d
                                 std::size_t timesteps, std::size_t batch_size,
                                 std::size_t limit) {
   if (batch_size == 0) throw std::invalid_argument("collect_outputs: batch_size == 0");
+  if (timesteps == 0) throw std::invalid_argument("collect_outputs: timesteps == 0");
   const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
   TimestepOutputs out = make_outputs(timesteps, n, net.num_classes());
   for (std::size_t start = 0; start < n; start += batch_size) {
@@ -84,6 +85,9 @@ TimestepOutputs collect_outputs_parallel(snn::SpikingNetwork& net,
                                          std::size_t limit, std::size_t num_threads) {
   if (batch_size == 0) {
     throw std::invalid_argument("collect_outputs_parallel: batch_size == 0");
+  }
+  if (timesteps == 0) {
+    throw std::invalid_argument("collect_outputs_parallel: timesteps == 0");
   }
   const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
   const std::size_t num_batches = (n + batch_size - 1) / batch_size;
@@ -219,6 +223,16 @@ DtsnnResult evaluate_dtsnn_with_table(const TimestepOutputs& outputs,
   });
 }
 
+// ---------------------------------------------------------- SequentialEngine
+
+SequentialEngine::SequentialEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
+                                   std::size_t max_timesteps)
+    : net_(net), policy_(policy), max_timesteps_(max_timesteps) {
+  if (max_timesteps_ == 0) {
+    throw std::invalid_argument("SequentialEngine: max_timesteps == 0");
+  }
+}
+
 SequentialPrediction SequentialEngine::infer(const data::Dataset& dataset,
                                              std::size_t sample) {
   const snn::Shape fs = dataset.frame_shape();
@@ -248,17 +262,68 @@ SequentialPrediction SequentialEngine::infer_frames(const snn::Tensor& frames) {
               frame.data());
     snn::Tensor y = net_.step(frame);
     assert(y.numel() == k);
-    for (std::size_t c = 0; c < k; ++c) {
-      acc[c] += y[c];
-      cum[c] = static_cast<float>(acc[c] / static_cast<double>(t + 1));
+    snn::cumulative_mean_step(y.data(), acc.data(), cum.data(), k, t);
+    // Last timestep exits unconditionally (Eq. 8 fallback to T); the forced
+    // exit reports the same quantities an early exit would — prediction and
+    // entropy of the cumulative-mean logits at *this* timestep.
+    if (t + 1 == timesteps || policy_.should_exit(cum)) {
+      pred.timesteps_used = t + 1;
+      pred.predicted_class = util::argmax(cum);
+      pred.final_entropy = entropy_of_logits(cum);
+      break;
     }
-    pred.timesteps_used = t + 1;
-    // Last timestep exits unconditionally (Eq. 8 fallback to T).
-    if (t + 1 == timesteps || policy_.should_exit(cum)) break;
   }
-  pred.predicted_class = util::argmax(cum);
-  pred.final_entropy = entropy_of_logits(cum);
   return pred;
+}
+
+InferenceResult SequentialEngine::infer_one(const data::Dataset& dataset,
+                                            std::size_t sample, const ExitPolicy& policy,
+                                            std::size_t budget, bool record_logits) {
+  const snn::Shape fs = dataset.frame_shape();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+  const std::size_t k = net_.num_classes();
+
+  net_.begin_inference(/*batch=*/1);
+  std::vector<double> acc(k, 0.0);
+  std::vector<float> cum(k);
+  std::vector<float> history;
+  InferenceResult result;
+  result.sample = sample;
+  // Frames are encoded lazily, one timestep at a time, so an early exit
+  // skips the encoding of the remaining timesteps as well.
+  snn::Tensor frame({1, fs[0], fs[1], fs[2]});
+  for (std::size_t t = 0; t < budget; ++t) {
+    dataset.write_frame(sample, t, {frame.data(), frame_numel});
+    snn::Tensor y = net_.step(frame);
+    snn::cumulative_mean_step(y.data(), acc.data(), cum.data(), k, t);
+    if (record_logits) history.insert(history.end(), cum.begin(), cum.end());
+    if (t + 1 == budget || policy.should_exit(cum)) {
+      result.exit_timestep = t + 1;
+      result.predicted_class = util::argmax(cum);
+      result.final_entropy = entropy_of_logits(cum);
+      break;
+    }
+  }
+  if (record_logits) {
+    result.timestep_logits = snn::Tensor({result.exit_timestep, k}, std::move(history));
+  }
+  return result;
+}
+
+void SequentialEngine::run_streaming(const data::Dataset& dataset,
+                                     const InferenceRequest& request,
+                                     const ResultSink& sink) {
+  const ExitPolicy& policy = request.policy ? *request.policy : policy_;
+  const std::size_t budget = request.max_timesteps ? request.max_timesteps : max_timesteps_;
+  for (std::size_t i = 0; i < request.samples.size(); ++i) {
+    if (request.samples[i] >= dataset.size()) {
+      throw std::out_of_range("SequentialEngine: request sample out of range");
+    }
+    InferenceResult r =
+        infer_one(dataset, request.samples[i], policy, budget, request.record_logits);
+    r.request_index = i;
+    sink(r);
+  }
 }
 
 }  // namespace dtsnn::core

@@ -1,22 +1,32 @@
 // DT-SNN inference engines.
 //
-// Two execution modes with identical decisions:
+// Three execution modes with identical decisions, all behind the
+// core::InferenceEngine interface (core/inference.h):
 //
-//  * Post-hoc mode: run the network once for the maximum T over a dataset,
+//  * PostHocEngine: run the network once for the maximum T over a dataset,
 //    record the cumulative-mean logits f_t for every timestep, then replay
 //    the exit rule (Eq. 8) for any policy/threshold without re-running the
 //    network. This is how threshold sweeps and calibration are done cheaply.
 //
-//  * Sequential mode: true early termination — the network is stepped one
+//  * SequentialEngine: true early termination — the network is stepped one
 //    timestep at a time (batch 1) and computation stops at the exit decision.
-//    Used for wall-clock throughput measurement (Table III) and as the model
-//    of the on-chip control flow.
+//    Kept as the reference oracle for the batched engine and as the model of
+//    the on-chip control flow.
+//
+//  * BatchedSequentialEngine: true early termination at batch granularity —
+//    a live pool is stepped together, the exit rule is evaluated per sample
+//    each timestep, finished samples are compacted out and their slots
+//    refilled with waiting samples (continuous batching, via
+//    snn::Layer::compact_state) so compute follows the live batch.
+//    Decision-identical to SequentialEngine; used for throughput
+//    (Table III) and as the substrate for a serving layer.
 
 #pragma once
 
 #include <functional>
 
 #include "core/exit_policy.h"
+#include "core/inference.h"
 #include "data/dataset.h"
 #include "snn/network.h"
 #include "util/stats.h"
@@ -38,6 +48,7 @@ struct TimestepOutputs {
 
 /// Run the network in eval mode over `dataset` (optionally only the first
 /// `limit` samples), recording cumulative-mean logits; processes in batches.
+/// Throws std::invalid_argument for batch_size == 0 or timesteps == 0.
 TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& dataset,
                                 std::size_t timesteps, std::size_t batch_size = 256,
                                 std::size_t limit = 0);
@@ -71,17 +82,10 @@ double static_accuracy(const TimestepOutputs& outputs, std::size_t t);
 /// Accuracy at every t = 1..T.
 std::vector<double> accuracy_per_timestep(const TimestepOutputs& outputs);
 
-struct DtsnnResult {
-  double accuracy = 0.0;
-  double avg_timesteps = 0.0;
-  util::Histogram timestep_histogram{1};  ///< bin t-1 = count of samples exiting at t
-  std::vector<std::size_t> exit_timestep; ///< per sample, 1-based
-  std::vector<bool> correct;              ///< per sample
-};
-
 /// Replay the exit policy over recorded outputs (post-hoc mode). Samples are
 /// replayed on OpenMP threads when available (the policy must be stateless,
 /// which all shipped policies are).
+[[deprecated("use PostHocEngine + evaluate_engine (core/inference.h)")]]
 DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy);
 
 /// Normalized entropy of every recorded (t, sample) cumulative logit row,
@@ -91,9 +95,39 @@ DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& pol
 std::vector<double> entropy_table(const TimestepOutputs& outputs);
 
 /// Replay the Eq. 8 entropy rule at `theta` against a precomputed table
-/// (semantically identical to evaluate_dtsnn with EntropyExitPolicy(theta)).
+/// (semantically identical to PostHocEngine with EntropyExitPolicy(theta)).
+/// This is the fast path behind theta_sweep / calibrate_theta.
 DtsnnResult evaluate_dtsnn_with_table(const TimestepOutputs& outputs,
                                       std::span<const double> entropies, double theta);
+
+/// Post-hoc replay engine: exit decisions are replayed against recorded
+/// per-timestep outputs instead of stepping the network. Constructed either
+/// from an existing recording (replay mode — request samples index the
+/// recorded rows) or from a network + dataset recording budget (the
+/// recording happens lazily per request).
+class PostHocEngine final : public InferenceEngine {
+ public:
+  /// Replay mode over an existing recording (borrowed; must outlive this).
+  PostHocEngine(const TimestepOutputs& outputs, const ExitPolicy& policy);
+
+  /// Record-on-demand mode: requested samples are forwarded through `net`
+  /// for the full budget, then replayed.
+  PostHocEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
+                std::size_t max_timesteps, std::size_t batch_size = 256);
+
+  void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
+                     const ResultSink& sink) override;
+  [[nodiscard]] std::string name() const override { return "posthoc"; }
+  [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
+  [[nodiscard]] std::size_t sample_limit(const data::Dataset& dataset) const override;
+
+ private:
+  const TimestepOutputs* outputs_ = nullptr;  ///< replay mode
+  snn::SpikingNetwork* net_ = nullptr;        ///< record-on-demand mode
+  const ExitPolicy& policy_;
+  std::size_t max_timesteps_;
+  std::size_t batch_size_ = 256;
+};
 
 /// Sequential early-exit inference of one sample. Returns (prediction,
 /// timesteps used). The network must be one the outputs were trained on;
@@ -104,11 +138,13 @@ struct SequentialPrediction {
   double final_entropy = 0.0;
 };
 
-class SequentialEngine {
+/// Batch-1 true early termination; the reference oracle the batched engine
+/// is tested against.
+class SequentialEngine final : public InferenceEngine {
  public:
+  /// Throws std::invalid_argument when max_timesteps == 0.
   SequentialEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
-                   std::size_t max_timesteps)
-      : net_(net), policy_(policy), max_timesteps_(max_timesteps) {}
+                   std::size_t max_timesteps);
 
   /// Run one sample with true early termination.
   SequentialPrediction infer(const data::Dataset& dataset, std::size_t sample);
@@ -116,10 +152,46 @@ class SequentialEngine {
   /// Run one pre-encoded frame sequence [T, C, H, W].
   SequentialPrediction infer_frames(const snn::Tensor& frames);
 
+  void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
+                     const ResultSink& sink) override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
+
+ private:
+  InferenceResult infer_one(const data::Dataset& dataset, std::size_t sample,
+                            const ExitPolicy& policy, std::size_t budget,
+                            bool record_logits);
+
+  snn::SpikingNetwork& net_;
+  const ExitPolicy& policy_;
+  std::size_t max_timesteps_;
+};
+
+/// Batched true early termination with continuous batching: a live pool of
+/// up to `batch_size` samples steps together (each at its own timestep —
+/// LIF state is per-row, so mixed-timestep batches are exact), the exit
+/// rule is evaluated per sample each step, finished samples are emitted to
+/// the sink immediately, and their slots are compacted out and refilled
+/// with waiting samples (snn::Layer::compact_state with kFreshRow) so every
+/// step runs as full as the remaining work allows. Decisions, predictions
+/// and entropies are bitwise identical to SequentialEngine.
+class BatchedSequentialEngine final : public InferenceEngine {
+ public:
+  /// Throws std::invalid_argument when max_timesteps == 0 or batch_size == 0.
+  BatchedSequentialEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
+                          std::size_t max_timesteps, std::size_t batch_size = 32);
+
+  void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
+                     const ResultSink& sink) override;
+  [[nodiscard]] std::string name() const override { return "batched-sequential"; }
+  [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+
  private:
   snn::SpikingNetwork& net_;
   const ExitPolicy& policy_;
   std::size_t max_timesteps_;
+  std::size_t batch_size_;
 };
 
 }  // namespace dtsnn::core

@@ -61,6 +61,14 @@ Experiment run_experiment(const ExperimentSpec& spec);
 /// is deterministic and fast).
 Experiment train_or_load(const ExperimentSpec& spec, const std::string& cache_dir);
 
+/// Post-hoc dynamic evaluation of recorded outputs through the unified
+/// inference API: replays `policy` with a PostHocEngine and aggregates with
+/// evaluate_engine. Replaces the deprecated evaluate_dtsnn free function
+/// (`dataset` supplies the labels, so it must be the dataset the outputs
+/// were recorded from).
+DtsnnResult evaluate_recorded(const TimestepOutputs& outputs, const ExitPolicy& policy,
+                              const data::Dataset& dataset);
+
 /// Convenience: record test-set outputs of an experiment's network. Dataset
 /// batches run on OpenMP worker threads (each with its own network replica)
 /// when available; `num_threads` 0 uses all cores, 1 forces the serial path.

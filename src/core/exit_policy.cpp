@@ -17,6 +17,10 @@ std::string EntropyExitPolicy::name() const {
   return util::format("entropy(theta=%.4f)", theta_);
 }
 
+bool NeverExitPolicy::should_exit(std::span<const float>) const { return false; }
+
+std::string NeverExitPolicy::name() const { return "never"; }
+
 bool MaxProbExitPolicy::should_exit(std::span<const float> cum_logits) const {
   const std::vector<float> probs = util::softmax(cum_logits);
   return *std::max_element(probs.begin(), probs.end()) > p_min_;

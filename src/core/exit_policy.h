@@ -34,6 +34,15 @@ class EntropyExitPolicy final : public ExitPolicy {
   double theta_;
 };
 
+/// Never exits before the timestep budget — runs the network for the full T,
+/// turning any InferenceEngine into a static-SNN evaluator (Table III's
+/// fixed-timestep rows and the throughput baselines use this).
+class NeverExitPolicy final : public ExitPolicy {
+ public:
+  [[nodiscard]] bool should_exit(std::span<const float> cum_logits) const override;
+  [[nodiscard]] std::string name() const override;
+};
+
 /// Exit when max softmax probability > p_min.
 class MaxProbExitPolicy final : public ExitPolicy {
  public:

@@ -1,0 +1,300 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/engine.h"
+#include "core/entropy.h"
+#include "snn/loss.h"
+#include "util/math.h"
+
+namespace dtsnn::core {
+
+InferenceRequest InferenceRequest::first_n(std::size_t n) {
+  InferenceRequest request;
+  request.samples.resize(n);
+  std::iota(request.samples.begin(), request.samples.end(), 0);
+  return request;
+}
+
+std::vector<InferenceResult> InferenceEngine::run(const data::Dataset& dataset,
+                                                  const InferenceRequest& request) {
+  InferenceRequest req = request;
+  if (req.samples.empty()) {
+    req.samples.resize(std::min(dataset.size(), sample_limit(dataset)));
+    std::iota(req.samples.begin(), req.samples.end(), 0);
+  }
+  std::vector<InferenceResult> results(req.samples.size());
+  std::vector<unsigned char> seen(req.samples.size(), 0);
+  run_streaming(dataset, req, [&](const InferenceResult& r) {
+    results.at(r.request_index) = r;
+    seen.at(r.request_index) = 1;
+  });
+  for (const unsigned char s : seen) {
+    if (!s) throw std::logic_error(name() + ": engine dropped a requested sample");
+  }
+  return results;
+}
+
+DtsnnResult evaluate_engine(InferenceEngine& engine, const data::Dataset& dataset,
+                            const InferenceRequest& request) {
+  const std::size_t budget =
+      request.max_timesteps ? request.max_timesteps : engine.max_timesteps();
+  const std::vector<InferenceResult> results = engine.run(dataset, request);
+
+  DtsnnResult out;
+  out.timestep_histogram = util::Histogram(std::max<std::size_t>(budget, 1));
+  out.exit_timestep.resize(results.size());
+  out.correct.resize(results.size());
+  std::size_t correct = 0;
+  double total_t = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const InferenceResult& r = results[i];
+    const bool ok =
+        r.predicted_class == static_cast<std::size_t>(dataset.label(r.sample));
+    out.exit_timestep[i] = r.exit_timestep;
+    out.correct[i] = ok;
+    out.timestep_histogram.add(r.exit_timestep - 1);
+    correct += ok;
+    total_t += static_cast<double>(r.exit_timestep);
+  }
+  const double n = static_cast<double>(results.size());
+  out.accuracy = results.empty() ? 0.0 : static_cast<double>(correct) / n;
+  out.avg_timesteps = results.empty() ? 0.0 : total_t / n;
+  return out;
+}
+
+// ------------------------------------------------------------- PostHocEngine
+
+PostHocEngine::PostHocEngine(const TimestepOutputs& outputs, const ExitPolicy& policy)
+    : outputs_(&outputs), policy_(policy), max_timesteps_(outputs.timesteps) {
+  if (outputs.timesteps == 0) {
+    throw std::invalid_argument("PostHocEngine: recording has no timesteps");
+  }
+}
+
+PostHocEngine::PostHocEngine(snn::SpikingNetwork& net, const ExitPolicy& policy,
+                             std::size_t max_timesteps, std::size_t batch_size)
+    : net_(&net), policy_(policy), max_timesteps_(max_timesteps),
+      batch_size_(batch_size) {
+  if (max_timesteps_ == 0) {
+    throw std::invalid_argument("PostHocEngine: max_timesteps == 0");
+  }
+  if (batch_size_ == 0) throw std::invalid_argument("PostHocEngine: batch_size == 0");
+}
+
+std::size_t PostHocEngine::sample_limit(const data::Dataset& dataset) const {
+  return outputs_ ? outputs_->samples : dataset.size();
+}
+
+namespace {
+
+/// Eq. (8) over one sample's recorded rows: first t in [1, budget) whose
+/// policy fires, else the forced exit at `budget`.
+template <typename RowAt>
+InferenceResult replay_rows(const ExitPolicy& policy, std::size_t budget,
+                            std::size_t classes, bool record_logits,
+                            const RowAt& row_at) {
+  InferenceResult r;
+  r.exit_timestep = budget;
+  for (std::size_t t = 0; t + 1 < budget; ++t) {
+    if (policy.should_exit(row_at(t))) {
+      r.exit_timestep = t + 1;
+      break;
+    }
+  }
+  const std::span<const float> exit_row = row_at(r.exit_timestep - 1);
+  r.predicted_class = util::argmax(exit_row);
+  r.final_entropy = entropy_of_logits(exit_row);
+  if (record_logits) {
+    r.timestep_logits = snn::Tensor({r.exit_timestep, classes});
+    for (std::size_t t = 0; t < r.exit_timestep; ++t) {
+      const auto row = row_at(t);
+      std::copy(row.begin(), row.end(), r.timestep_logits.data() + t * classes);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+void PostHocEngine::run_streaming(const data::Dataset& dataset,
+                                  const InferenceRequest& request,
+                                  const ResultSink& sink) {
+  const ExitPolicy& policy = request.policy ? *request.policy : policy_;
+  const std::size_t budget =
+      request.max_timesteps ? request.max_timesteps : max_timesteps_;
+  if (budget == 0) throw std::invalid_argument("PostHocEngine: zero timestep budget");
+
+  if (outputs_) {
+    // Replay mode: request samples index the recorded rows.
+    if (budget > outputs_->timesteps) {
+      throw std::invalid_argument("PostHocEngine: budget exceeds recorded timesteps");
+    }
+    for (std::size_t i = 0; i < request.samples.size(); ++i) {
+      const std::size_t s = request.samples[i];
+      if (s >= outputs_->samples) {
+        throw std::out_of_range("PostHocEngine: request sample outside recording");
+      }
+      InferenceResult r =
+          replay_rows(policy, budget, outputs_->classes, request.record_logits,
+                      [&](std::size_t t) { return outputs_->at(t, s); });
+      r.request_index = i;
+      r.sample = s;
+      sink(r);
+    }
+    return;
+  }
+
+  // Record-on-demand mode: forward requested samples for the full budget in
+  // batches, then replay the exit rule on the recorded rows.
+  const std::size_t k = net_->num_classes();
+  for (std::size_t start = 0; start < request.samples.size(); start += batch_size_) {
+    const std::size_t b = std::min(batch_size_, request.samples.size() - start);
+    const std::span<const std::size_t> chunk(request.samples.data() + start, b);
+    for (const std::size_t s : chunk) {
+      if (s >= dataset.size()) {
+        throw std::out_of_range("PostHocEngine: request sample out of range");
+      }
+    }
+    snn::EncodedBatch batch = data::materialize_batch(dataset, chunk, budget);
+    snn::Tensor logits = net_->forward(batch.x, budget, /*train=*/false);
+    snn::Tensor cum = snn::cumulative_mean_logits(logits, budget);
+    for (std::size_t i = 0; i < b; ++i) {
+      InferenceResult r =
+          replay_rows(policy, budget, k, request.record_logits, [&](std::size_t t) {
+            return std::span<const float>(cum.data() + (t * b + i) * k, k);
+          });
+      r.request_index = start + i;
+      r.sample = chunk[i];
+      sink(r);
+    }
+  }
+}
+
+// -------------------------------------------------- BatchedSequentialEngine
+
+BatchedSequentialEngine::BatchedSequentialEngine(snn::SpikingNetwork& net,
+                                                 const ExitPolicy& policy,
+                                                 std::size_t max_timesteps,
+                                                 std::size_t batch_size)
+    : net_(net), policy_(policy), max_timesteps_(max_timesteps),
+      batch_size_(batch_size) {
+  if (max_timesteps_ == 0) {
+    throw std::invalid_argument("BatchedSequentialEngine: max_timesteps == 0");
+  }
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("BatchedSequentialEngine: batch_size == 0");
+  }
+}
+
+void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
+                                            const InferenceRequest& request,
+                                            const ResultSink& sink) {
+  const ExitPolicy& policy = request.policy ? *request.policy : policy_;
+  const std::size_t budget =
+      request.max_timesteps ? request.max_timesteps : max_timesteps_;
+  const snn::Shape fs = dataset.frame_shape();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+  const std::size_t k = net_.num_classes();
+
+  for (const std::size_t s : request.samples) {
+    if (s >= dataset.size()) {
+      throw std::out_of_range("BatchedSequentialEngine: request sample out of range");
+    }
+  }
+  if (request.samples.empty()) return;
+
+  // Continuous batching: a live pool of up to batch_size_ samples, each at
+  // its own timestep (LIF state is per-row, so mixed-timestep batches are
+  // exact). When a sample exits, its slot is immediately refilled with the
+  // next waiting sample (Layer::kFreshRow resets the slot's membrane), so
+  // every step() runs as full as the remaining work allows instead of
+  // draining half-empty chunks. Per-sample trajectories are independent of
+  // the batch composition, so decisions, entropies and logits stay bitwise
+  // identical to the batch-1 engine.
+  struct Live {
+    std::size_t request_index = 0;
+    std::size_t t = 0;  ///< this sample's current (0-based) timestep
+  };
+  std::vector<Live> live;
+  std::vector<double> acc;  // [live, K] accumulators, SequentialEngine arithmetic
+  std::vector<std::vector<float>> history(request.record_logits ? batch_size_ : 0);
+  std::size_t next = 0;  // next request position awaiting admission
+
+  const std::size_t initial = std::min(batch_size_, request.samples.size());
+  for (; next < initial; ++next) live.push_back({next, 0});
+  acc.assign(initial * k, 0.0);
+  net_.begin_inference(initial);
+
+  std::vector<float> cum(k);
+  std::vector<std::size_t> keep;
+  while (!live.empty()) {
+    // Encode each live sample's own next frame.
+    snn::Tensor x({live.size(), fs[0], fs[1], fs[2]});
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      dataset.write_frame(request.samples[live[j].request_index], live[j].t,
+                          {x.data() + j * frame_numel, frame_numel});
+    }
+    snn::Tensor y = net_.step(x);  // [live, K]
+
+    keep.clear();
+    for (std::size_t j = 0; j < live.size(); ++j) {
+      const std::size_t t = live[j].t;
+      snn::cumulative_mean_step(y.data() + j * k, acc.data() + j * k, cum.data(), k, t);
+      if (request.record_logits) {
+        history[j].insert(history[j].end(), cum.begin(), cum.end());
+      }
+      if (t + 1 == budget || policy.should_exit(cum)) {
+        InferenceResult r;
+        r.request_index = live[j].request_index;
+        r.sample = request.samples[live[j].request_index];
+        r.exit_timestep = t + 1;
+        r.predicted_class = util::argmax(cum);
+        r.final_entropy = entropy_of_logits(cum);
+        if (request.record_logits) {
+          r.timestep_logits = snn::Tensor({t + 1, k}, std::move(history[j]));
+          history[j].clear();
+        }
+        sink(r);
+      } else {
+        live[j].t = t + 1;
+        keep.push_back(j);
+      }
+    }
+
+    // Compact survivors and refill the freed slots with waiting samples.
+    // (live.size() < batch_size_ implies the waiting queue is empty — the
+    // initial fill and every refill top the pool up — so refilling is only
+    // ever possible when someone just exited.)
+    const std::size_t survivors = keep.size();
+    if (survivors != live.size()) {
+      // Gather survivors to the front (keep is ascending, so src >= j and
+      // in-place forward copies are safe).
+      for (std::size_t j = 0; j < survivors; ++j) {
+        const std::size_t src = keep[j];
+        live[j] = live[src];
+        if (j != src) {
+          std::copy(acc.data() + src * k, acc.data() + (src + 1) * k,
+                    acc.data() + j * k);
+          if (request.record_logits) history[j] = std::move(history[src]);
+        }
+      }
+      live.resize(survivors);
+      while (live.size() < batch_size_ && next < request.samples.size()) {
+        keep.push_back(snn::Layer::kFreshRow);
+        live.push_back({next++, 0});
+      }
+      if (live.empty()) break;
+      net_.compact_inference_state(keep);
+      acc.resize(live.size() * k);
+      std::fill(acc.begin() + static_cast<std::ptrdiff_t>(survivors * k), acc.end(), 0.0);
+      if (request.record_logits) {
+        for (std::size_t j = survivors; j < live.size(); ++j) history[j].clear();
+      }
+    }
+  }
+}
+
+}  // namespace dtsnn::core

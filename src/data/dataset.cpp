@@ -59,6 +59,12 @@ std::span<const float> ArrayDataset::frame_data(std::size_t sample, std::size_t 
 snn::EncodedBatch materialize_batch(const Dataset& dataset,
                                     std::span<const std::size_t> indices,
                                     std::size_t timesteps) {
+  if (indices.empty()) {
+    throw std::invalid_argument("materialize_batch: empty indices");
+  }
+  if (timesteps == 0) {
+    throw std::invalid_argument("materialize_batch: timesteps == 0");
+  }
   const snn::Shape fs = dataset.frame_shape();
   const std::size_t b = indices.size();
   const std::size_t frame_numel = snn::shape_numel(fs);

@@ -86,6 +86,8 @@ class ArrayDataset final : public Dataset {
 };
 
 /// Encode samples `indices` into a time-major batch [T*B, C, H, W].
+/// Throws std::invalid_argument for empty `indices` or timesteps == 0 (a
+/// zero-sized encoded tensor is never meaningful downstream).
 snn::EncodedBatch materialize_batch(const Dataset& dataset,
                                     std::span<const std::size_t> indices,
                                     std::size_t timesteps);

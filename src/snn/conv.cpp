@@ -25,6 +25,79 @@ void pixels_to_nchw(const Tensor& pix, std::size_t n, std::size_t c, std::size_t
   }
 }
 
+/// Direct sparse convolution into the [N*OHW, Cout] row-per-pixel layout:
+/// iterate nonzero input pixels (c, y, x ascending) and scatter-accumulate
+/// the matching weight columns into the touched output pixels. For every
+/// output element this applies contributions in ascending (c, ky, kx) order
+/// with zero inputs skipped — exactly the order and skip rule of the
+/// A-stationary im2col GEMM — so the result is bitwise identical to
+/// util::gemm on the im2col matrix, while the im2col materialization (the
+/// dominant memory traffic at spike-level sparsity) is skipped entirely.
+/// `wt` is W^T, [Cin*K*K, Cout]. Templated on the compile-time stride
+/// (0 = generic runtime stride) so the hot loops carry no divisibility
+/// checks for stride-1 convs and strength-reduced ones for stride-2.
+template <std::size_t kStride>
+void sparse_conv_scatter_impl(const Tensor& x, const float* wt, const ConvGeometry& g,
+                              std::size_t cout, Tensor& pix) {
+  const std::size_t n = x.dim(0);
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const auto stride =
+      static_cast<std::ptrdiff_t>(kStride ? kStride : g.stride);
+  const auto pad = static_cast<std::ptrdiff_t>(g.padding);
+  const auto kk = static_cast<std::ptrdiff_t>(g.kernel);
+  // The (ky, kx) loops only enumerate which outputs an input touches; the
+  // per-output accumulation order is fixed by the (c, y, x) input visit
+  // order alone, so the stride-specialized bounds below don't affect the
+  // bitwise result.
+#pragma omp parallel for schedule(static)
+  for (std::size_t img = 0; img < n; ++img) {
+    const float* xp = x.data() + img * g.in_channels * g.in_h * g.in_w;
+    float* pp = pix.data() + img * oh * ow * cout;
+    for (std::size_t c = 0; c < g.in_channels; ++c) {
+      const float* wc = wt + c * static_cast<std::size_t>(kk * kk) * cout;
+      for (std::size_t y = 0; y < g.in_h; ++y) {
+        const auto ypad = static_cast<std::ptrdiff_t>(y) + pad;
+        // oy = (y + pad - ky) / stride with exact division and 0 <= oy < oh.
+        const std::ptrdiff_t ky_lo =
+            std::max<std::ptrdiff_t>(0, ypad - stride * (static_cast<std::ptrdiff_t>(oh) - 1));
+        const std::ptrdiff_t ky_hi = std::min<std::ptrdiff_t>(kk - 1, ypad);
+        for (std::size_t xx = 0; xx < g.in_w; ++xx) {
+          const float v = xp[(c * g.in_h + y) * g.in_w + xx];
+          if (v == 0.0f) continue;
+          const auto xpad = static_cast<std::ptrdiff_t>(xx) + pad;
+          const std::ptrdiff_t kx_lo = std::max<std::ptrdiff_t>(
+              0, xpad - stride * (static_cast<std::ptrdiff_t>(ow) - 1));
+          const std::ptrdiff_t kx_hi = std::min<std::ptrdiff_t>(kk - 1, xpad);
+          for (std::ptrdiff_t ky = ky_lo; ky <= ky_hi; ++ky) {
+            if (kStride != 1 && (ypad - ky) % stride != 0) continue;
+            const auto oy = static_cast<std::size_t>((ypad - ky) / stride);
+            float* prow = pp + oy * ow * cout;
+            const float* wky = wc + static_cast<std::size_t>(ky * kk) * cout;
+            for (std::ptrdiff_t kx = kx_lo; kx <= kx_hi; ++kx) {
+              if (kStride != 1 && (xpad - kx) % stride != 0) continue;
+              const auto ox = static_cast<std::size_t>((xpad - kx) / stride);
+              float* dst = prow + ox * cout;
+              const float* wrow = wky + static_cast<std::size_t>(kx) * cout;
+#pragma omp simd
+              for (std::size_t j = 0; j < cout; ++j) dst[j] += v * wrow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void sparse_conv_scatter(const Tensor& x, const float* wt, const ConvGeometry& g,
+                         std::size_t cout, Tensor& pix) {
+  switch (g.stride) {
+    case 1: sparse_conv_scatter_impl<1>(x, wt, g, cout, pix); break;
+    case 2: sparse_conv_scatter_impl<2>(x, wt, g, cout, pix); break;
+    default: sparse_conv_scatter_impl<0>(x, wt, g, cout, pix); break;
+  }
+}
+
 /// NCHW [N, C, OH, OW] -> [N*OHW, C] row-per-pixel layout.
 void nchw_to_pixels(const Tensor& x, Tensor& pix) {
   const std::size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
@@ -61,6 +134,16 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
   }
 }
 
+void Conv2d::set_time(std::size_t timesteps, std::size_t batch) {
+  Layer::set_time(timesteps, batch);
+  wt_dirty_ = true;
+}
+
+void Conv2d::begin_steps(std::size_t batch) {
+  Layer::begin_steps(batch);
+  wt_dirty_ = true;
+}
+
 Tensor Conv2d::forward(const Tensor& x, bool train) {
   if (x.rank() != 4 || x.dim(1) != in_channels_) {
     throw std::invalid_argument("Conv2d: bad input shape " + shape_to_string(x.shape()));
@@ -70,13 +153,44 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
 
-  Tensor col;
-  im2col(x, geom_, col);
-
   // pix[N*OHW, Cout] = col[N*OHW, CKK] * W^T[CKK, Cout]
   Tensor pix({n * oh * ow, out_channels_});
-  util::gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow,
-                geom_.patch_size(), out_channels_);
+  const std::size_t patch = geom_.patch_size();
+  Tensor col;
+  if (train) {
+    im2col(x, geom_, col);
+    util::gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow, patch,
+                  out_channels_);
+  } else {
+    // Inference path: LIF spike activations are mostly zeros, so the cost
+    // scales with spike density instead of the dense FLOP count. Both eval
+    // kernels skip zero inputs and accumulate every output element in
+    // ascending (c, ky, kx) order, so they are bitwise identical to each
+    // other and independent of the batch size — batched and batch-1
+    // stepping agree bitwise even if they pick different kernels. Needs
+    // W^T materialized; cached across the steps of one sequence (set_time
+    // and begin_steps mark it dirty, and weights only change between them).
+    if (wt_dirty_ || wt_scratch_.numel() != patch * out_channels_) {
+      if (wt_scratch_.numel() != patch * out_channels_) {
+        wt_scratch_ = Tensor({patch, out_channels_});
+      }
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* src = weight_.value.data() + c * patch;
+        for (std::size_t p = 0; p < patch; ++p) {
+          wt_scratch_[p * out_channels_ + c] = src[p];
+        }
+      }
+      wt_dirty_ = false;
+    }
+    if (x.density() < 0.35) {
+      // Sparse enough that skipping the im2col materialization wins.
+      sparse_conv_scatter(x, wt_scratch_.data(), geom_, out_channels_, pix);
+    } else {
+      im2col(x, geom_, col);
+      util::gemm(col.data(), wt_scratch_.data(), pix.data(), n * oh * ow, patch,
+                 out_channels_);
+    }
+  }
   if (has_bias_) {
     const float* b = bias_.value.data();
 #pragma omp parallel for schedule(static)

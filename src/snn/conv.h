@@ -15,6 +15,8 @@ class Conv2d final : public Layer {
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
          std::size_t stride, std::size_t padding, bool bias, util::Rng& rng);
 
+  void set_time(std::size_t timesteps, std::size_t batch) override;
+  void begin_steps(std::size_t batch) override;
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
@@ -42,6 +44,13 @@ class Conv2d final : public Layer {
   ConvGeometry geom_;
   Tensor col_cache_;   // [N*OH*OW, Cin*K*K]
   bool have_cache_ = false;
+
+  // Eval-time scratch: W^T [Cin*K*K, Cout] for the spike-sparse kernels.
+  // Weights can only change between sequences/forward passes, both of which
+  // are preceded by set_time or begin_steps, so those mark it dirty and the
+  // transpose is reused across the steps of one inference sequence.
+  Tensor wt_scratch_;
+  bool wt_dirty_ = true;
 };
 
 }  // namespace dtsnn::snn

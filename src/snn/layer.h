@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,24 @@ class Layer {
     Tensor out = forward(x, /*train=*/false);
     timesteps_ = saved_t;
     return out;
+  }
+
+  /// Entry in a compact_state() gather meaning "fresh sample": the row is
+  /// reset to the begin_steps() state (zero membrane) instead of copied
+  /// from an existing row. Lets the batched engine admit new samples into
+  /// slots freed by exits (continuous batching).
+  static constexpr std::size_t kFreshRow = static_cast<std::size_t>(-1);
+
+  /// Re-shape the single-step batch to rows `keep[j]` of the current batch,
+  /// in the given order (a general gather; entries may repeat, and
+  /// kFreshRow entries become fresh zero-state rows). The batched
+  /// early-exit engine calls this between step()s to drop samples that
+  /// exited and admit waiting ones, so compute follows the live batch.
+  /// Stateless layers only adjust their announced batch; temporal layers
+  /// (LIF) gather their persistent state rows. Only meaningful between
+  /// begin_steps() and the next step().
+  virtual void compact_state(std::span<const std::size_t> keep) {
+    batch_ = keep.size();
   }
 
   /// Learnable parameters (empty for parameter-free layers).

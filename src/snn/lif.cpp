@@ -102,6 +102,27 @@ void Lif::begin_steps(std::size_t batch) {
   stepping_ = true;
 }
 
+void Lif::compact_state(std::span<const std::size_t> keep) {
+  if (stepping_ && !membrane_.empty()) {
+    const std::size_t rows = membrane_.dim(0);
+    const std::size_t row_numel = membrane_.row_size();
+    Shape shape = membrane_.shape();
+    shape[0] = keep.size();
+    Tensor next(shape);  // zero-initialized: kFreshRow rows stay fresh
+    for (std::size_t j = 0; j < keep.size(); ++j) {
+      if (keep[j] == kFreshRow) continue;
+      if (keep[j] >= rows) {
+        throw std::out_of_range("Lif::compact_state: keep index out of range");
+      }
+      std::copy(membrane_.data() + keep[j] * row_numel,
+                membrane_.data() + (keep[j] + 1) * row_numel,
+                next.data() + j * row_numel);
+    }
+    membrane_ = std::move(next);
+  }
+  Layer::compact_state(keep);
+}
+
 Tensor Lif::step(const Tensor& x) {
   if (!stepping_) begin_steps(x.dim(0));
   if (membrane_.empty()) membrane_ = Tensor(x.shape());

@@ -37,6 +37,7 @@ class Lif final : public Layer {
 
   void begin_steps(std::size_t batch) override;
   Tensor step(const Tensor& x) override;
+  void compact_state(std::span<const std::size_t> keep) override;
 
   [[nodiscard]] std::string name() const override { return "Lif"; }
   [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override {

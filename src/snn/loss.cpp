@@ -30,11 +30,7 @@ Tensor cumulative_mean_logits(const Tensor& logits, std::size_t timesteps) {
     for (std::size_t t = 0; t < timesteps; ++t) {
       const float* src = logits.data() + (t * b + i) * k;
       float* dst = out.data() + (t * b + i) * k;
-      const double inv = 1.0 / static_cast<double>(t + 1);
-      for (std::size_t c = 0; c < k; ++c) {
-        acc[c] += src[c];
-        dst[c] = static_cast<float>(acc[c] * inv);
-      }
+      cumulative_mean_step(src, acc.data(), dst, k, t);
     }
   }
   return out;

@@ -51,6 +51,21 @@ class PerTimestepCrossEntropy final : public Loss {
   [[nodiscard]] std::string name() const override { return "per-timestep-ce"; }
 };
 
+/// One timestep of the cumulative-mean recurrence: acc += y_t, then
+/// cum = float(acc * (1/(t+1))) (t is 0-based). This is THE definition of
+/// f_t(x) — cumulative_mean_logits and every core inference engine call it,
+/// so the post-hoc, batch-1, and batched execution paths produce bitwise
+/// identical logits by construction (note: reciprocal-multiply, not
+/// division — the two round differently for t+1 = 3).
+inline void cumulative_mean_step(const float* y, double* acc, float* cum,
+                                 std::size_t k, std::size_t t) {
+  const double inv = 1.0 / static_cast<double>(t + 1);
+  for (std::size_t c = 0; c < k; ++c) {
+    acc[c] += y[c];
+    cum[c] = static_cast<float>(acc[c] * inv);
+  }
+}
+
 /// Cumulative-mean logits: out[t] = (1/(t+1)) * sum_{tau<=t} y_tau.
 /// Input and output are [T*B, K] time-major. This is the quantity the
 /// DT-SNN exit rule thresholds at each timestep.

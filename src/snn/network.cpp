@@ -34,6 +34,11 @@ Tensor Sequential::step(const Tensor& x) {
   return a;
 }
 
+void Sequential::compact_state(std::span<const std::size_t> keep) {
+  Layer::compact_state(keep);
+  for (auto& l : layers_) l->compact_state(keep);
+}
+
 std::vector<Param*> Sequential::params() {
   std::vector<Param*> ps;
   for (auto& l : layers_) {
@@ -110,6 +115,13 @@ Tensor ResidualBlock::step(const Tensor& x) {
   return out_lif_.step(m);
 }
 
+void ResidualBlock::compact_state(std::span<const std::size_t> keep) {
+  Layer::compact_state(keep);
+  main_.compact_state(keep);
+  shortcut_.compact_state(keep);
+  out_lif_.compact_state(keep);
+}
+
 std::vector<Param*> ResidualBlock::params() {
   std::vector<Param*> ps = main_.params();
   for (Param* p : shortcut_.params()) ps.push_back(p);
@@ -146,6 +158,10 @@ void SpikingNetwork::backward(const Tensor& grad_logits) { body_.backward(grad_l
 void SpikingNetwork::begin_inference(std::size_t batch) { body_.begin_steps(batch); }
 
 Tensor SpikingNetwork::step(const Tensor& x_t) { return body_.step(x_t); }
+
+void SpikingNetwork::compact_inference_state(std::span<const std::size_t> keep) {
+  body_.compact_state(keep);
+}
 
 std::vector<Param*> SpikingNetwork::params() { return body_.params(); }
 

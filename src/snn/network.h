@@ -31,6 +31,7 @@ class Sequential : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void begin_steps(std::size_t batch) override;
   Tensor step(const Tensor& x) override;
+  void compact_state(std::span<const std::size_t> keep) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
   [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override;
@@ -56,6 +57,7 @@ class ResidualBlock final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   void begin_steps(std::size_t batch) override;
   Tensor step(const Tensor& x) override;
+  void compact_state(std::span<const std::size_t> keep) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "ResidualBlock"; }
   [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override;
@@ -90,6 +92,13 @@ class SpikingNetwork {
   /// timestep at a time. Returns this timestep's raw classifier output y_t.
   void begin_inference(std::size_t batch);
   Tensor step(const Tensor& x_t);
+
+  /// Shrink the sequential-inference batch to rows `keep[j]` of the current
+  /// batch (a general gather, in the given order): every layer's temporal
+  /// state (LIF membranes) is gathered accordingly. The batched early-exit
+  /// engine calls this as samples exit so the remaining step()s run on the
+  /// live samples only.
+  void compact_inference_state(std::span<const std::size_t> keep);
 
   std::vector<Param*> params();
   Sequential& body() { return body_; }

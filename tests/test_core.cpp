@@ -10,6 +10,7 @@
 #include "core/entropy.h"
 #include "core/evaluator.h"
 #include "core/exit_policy.h"
+#include "core/inference.h"
 #include "util/math.h"
 
 namespace dtsnn::core {
@@ -129,6 +130,20 @@ TimestepOutputs fake_outputs() {
   return out;
 }
 
+/// Dataset whose labels match fake_outputs(); frames are dummies (the
+/// replay engine never reads them).
+data::ArrayDataset fake_dataset() {
+  data::ArrayDataset ds({1, 1, 1}, 1, 2);
+  for (const int label : {0, 1, 0}) ds.add_sample({0.0f}, label, 0.0);
+  return ds;
+}
+
+/// evaluate_recorded = PostHocEngine + evaluate_engine over fake_outputs.
+DtsnnResult fake_eval(const TimestepOutputs& out, const ExitPolicy& policy) {
+  const data::ArrayDataset ds = fake_dataset();
+  return evaluate_recorded(out, policy, ds);
+}
+
 TEST(Engine, StaticAccuracyPerTimestep) {
   const auto out = fake_outputs();
   // t=1: s0 correct, s1 predicts 0 (label 1) wrong, s2 predicts 1 wrong -> 1/3.
@@ -145,7 +160,7 @@ TEST(Engine, StaticAccuracyPerTimestep) {
 TEST(Engine, DtsnnExitRuleEq8) {
   const auto out = fake_outputs();
   EntropyExitPolicy policy(0.2);
-  const auto r = evaluate_dtsnn(out, policy);
+  const auto r = fake_eval(out, policy);
   // s0 exits at t=1 (entropy tiny), s1 at t=2, s2 falls back to T=3.
   EXPECT_EQ(r.exit_timestep[0], 1u);
   EXPECT_EQ(r.exit_timestep[1], 2u);
@@ -158,13 +173,13 @@ TEST(Engine, DtsnnExitRuleEq8) {
 
 TEST(Engine, ConservativeThetaUsesFullTimesteps) {
   const auto out = fake_outputs();
-  const auto r = evaluate_dtsnn(out, EntropyExitPolicy(0.0));
+  const auto r = fake_eval(out, EntropyExitPolicy(0.0));
   EXPECT_NEAR(r.avg_timesteps, 3.0, 1e-12);
 }
 
 TEST(Engine, AggressiveThetaUsesOneTimestep) {
   const auto out = fake_outputs();
-  const auto r = evaluate_dtsnn(out, EntropyExitPolicy(1.01));
+  const auto r = fake_eval(out, EntropyExitPolicy(1.01));
   EXPECT_NEAR(r.avg_timesteps, 1.0, 1e-12);
   // Accuracy equals t=1 static accuracy.
   EXPECT_NEAR(r.accuracy, static_accuracy(out, 1), 1e-12);
@@ -174,7 +189,7 @@ TEST(Engine, AvgTimestepsMonotoneInTheta) {
   const auto out = fake_outputs();
   double prev = 1e9;
   for (const double theta : {0.01, 0.1, 0.3, 0.6, 0.9, 1.0}) {
-    const auto r = evaluate_dtsnn(out, EntropyExitPolicy(theta));
+    const auto r = fake_eval(out, EntropyExitPolicy(theta));
     EXPECT_LE(r.avg_timesteps, prev + 1e-12) << theta;
     prev = r.avg_timesteps;
   }
@@ -223,7 +238,7 @@ TEST(Engine, EntropyTableReplayMatchesPolicy) {
   const auto table = entropy_table(out);
   ASSERT_EQ(table.size(), out.timesteps * out.samples);
   for (const double theta : {0.0, 0.05, 0.2, 0.5, 0.9, 1.01}) {
-    const auto via_policy = evaluate_dtsnn(out, EntropyExitPolicy(theta));
+    const auto via_policy = fake_eval(out, EntropyExitPolicy(theta));
     const auto via_table = evaluate_dtsnn_with_table(out, table, theta);
     EXPECT_EQ(via_policy.exit_timestep, via_table.exit_timestep) << theta;
     EXPECT_EQ(via_policy.correct, via_table.correct) << theta;
@@ -249,7 +264,7 @@ TEST(Engine, SequentialMatchesPosthoc) {
 
   const auto outputs = test_outputs(e, 3, /*limit=*/40);
   EntropyExitPolicy policy(0.3);
-  const auto posthoc = evaluate_dtsnn(outputs, policy);
+  const auto posthoc = evaluate_recorded(outputs, policy, *e.bundle.test);
 
   SequentialEngine engine(e.net, policy, 3);
   for (std::size_t i = 0; i < outputs.samples; ++i) {
@@ -281,7 +296,7 @@ TEST(Engine, PosthocAndSequentialAgreeOnEverySample) {
 
   for (const double theta : {0.15, 0.5}) {
     EntropyExitPolicy policy(theta);
-    const auto posthoc = evaluate_dtsnn(outputs, policy);
+    const auto posthoc = evaluate_recorded(outputs, policy, *e.bundle.test);
     SequentialEngine engine(e.net, policy, spec.timesteps);
     for (std::size_t i = 0; i < ds.size(); ++i) {
       snn::Tensor frames({spec.timesteps, fs[0], fs[1], fs[2]});
@@ -327,6 +342,107 @@ TEST(Engine, ParallelCollectMatchesSerial) {
   EXPECT_THROW(collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test,
                                         spec.timesteps, 0),
                std::invalid_argument);
+  EXPECT_THROW(collect_outputs(e.net, *e.bundle.test, /*timesteps=*/0),
+               std::invalid_argument);
+  EXPECT_THROW(collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test,
+                                        /*timesteps=*/0),
+               std::invalid_argument);
+}
+
+/// The deprecated evaluate_dtsnn free function must stay decision-identical
+/// to its replacement (PostHocEngine + evaluate_engine) while it exists.
+TEST(Engine, DeprecatedEvaluateDtsnnMatchesEngine) {
+  const auto out = fake_outputs();
+  for (const double theta : {0.05, 0.2, 0.5, 1.01}) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto legacy = evaluate_dtsnn(out, EntropyExitPolicy(theta));
+#pragma GCC diagnostic pop
+    const auto engine = fake_eval(out, EntropyExitPolicy(theta));
+    EXPECT_EQ(legacy.exit_timestep, engine.exit_timestep) << theta;
+    EXPECT_EQ(legacy.correct, engine.correct) << theta;
+    EXPECT_NEAR(legacy.accuracy, engine.accuracy, 1e-12) << theta;
+    EXPECT_NEAR(legacy.avg_timesteps, engine.avg_timesteps, 1e-12) << theta;
+  }
+}
+
+/// Satellite regression: when the timestep budget runs out without the exit
+/// rule firing, the forced-exit prediction must carry the entropy of the
+/// cumulative-mean logits at the final timestep — the same value an entropy
+/// table lookup at t = T gives — never a stale or zero value.
+TEST(Engine, ForcedExitCarriesLastEntropy) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 1;
+  spec.timesteps = 3;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+
+  const auto outputs = test_outputs(e, spec.timesteps, /*limit=*/12);
+  const NeverExitPolicy never;
+  SequentialEngine engine(e.net, never, spec.timesteps);
+  for (std::size_t i = 0; i < outputs.samples; ++i) {
+    const auto pred = engine.infer(*e.bundle.test, i);
+    ASSERT_EQ(pred.timesteps_used, spec.timesteps) << "sample " << i;
+    const double expected = entropy_of_logits(outputs.at(spec.timesteps - 1, i));
+    // The step path and the recording path accumulate identically, so the
+    // forced-exit entropy must match the recorded final-timestep entropy
+    // exactly (and in particular must not be 0 or left over from t=1).
+    EXPECT_EQ(pred.final_entropy, expected) << "sample " << i;
+    EXPECT_GT(pred.final_entropy, 0.0) << "sample " << i;
+  }
+}
+
+TEST(Engine, ZeroTimestepBudgetIsRejected) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 0;
+  spec.timesteps = 2;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+  const EntropyExitPolicy policy(0.3);
+  EXPECT_THROW(SequentialEngine(e.net, policy, 0), std::invalid_argument);
+  EXPECT_THROW(BatchedSequentialEngine(e.net, policy, 0), std::invalid_argument);
+  EXPECT_THROW(BatchedSequentialEngine(e.net, policy, 2, 0), std::invalid_argument);
+  EXPECT_THROW(PostHocEngine(e.net, policy, 0), std::invalid_argument);
+}
+
+/// PostHocEngine in record-on-demand mode must make the same decisions as
+/// replaying a collect_outputs recording of the same samples.
+TEST(Engine, PostHocRecordOnDemandMatchesReplay) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = "sync10";
+  spec.epochs = 2;
+  spec.timesteps = 3;
+  spec.data_scale = 0.06;
+  Experiment e = run_experiment(spec);
+
+  const auto outputs = test_outputs(e, spec.timesteps, /*limit=*/24);
+  const EntropyExitPolicy policy(0.3);
+  PostHocEngine replay(outputs, policy);
+  PostHocEngine on_demand(e.net, policy, spec.timesteps, /*batch_size=*/7);
+
+  InferenceRequest request = InferenceRequest::first_n(outputs.samples);
+  request.record_logits = true;
+  const auto a = replay.run(*e.bundle.test, request);
+  const auto b = on_demand.run(*e.bundle.test, request);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].predicted_class, b[i].predicted_class) << i;
+    EXPECT_EQ(a[i].exit_timestep, b[i].exit_timestep) << i;
+    EXPECT_EQ(a[i].final_entropy, b[i].final_entropy) << i;
+    ASSERT_EQ(a[i].timestep_logits.shape(), b[i].timestep_logits.shape()) << i;
+    for (std::size_t j = 0; j < a[i].timestep_logits.numel(); ++j) {
+      ASSERT_EQ(a[i].timestep_logits[j], b[i].timestep_logits[j]) << i;
+    }
+  }
+  // Replay beyond the recorded budget is an error, not an extrapolation.
+  InferenceRequest too_deep = request;
+  too_deep.max_timesteps = spec.timesteps + 1;
+  EXPECT_THROW(replay.run(*e.bundle.test, too_deep), std::invalid_argument);
 }
 
 TEST(Evaluator, BundleDispatch) {

@@ -62,6 +62,20 @@ TEST(Materialize, TimeMajorLayout) {
   EXPECT_EQ(batch.labels, (std::vector<int>{0, 1}));
 }
 
+TEST(Materialize, RejectsDegenerateRequests) {
+  // A zero-sized encoded tensor is never meaningful downstream, so empty
+  // index lists and zero timesteps are errors, not silent empties (mirrors
+  // the collect_outputs batch_size/timesteps guards).
+  ArrayDataset ds({1, 1, 1}, 1, 2);
+  ds.add_sample({10.0f}, 0, 0.0);
+  const std::vector<std::size_t> none;
+  const std::vector<std::size_t> one{0};
+  EXPECT_THROW(materialize_batch(ds, none, 2), std::invalid_argument);
+  EXPECT_THROW(materialize_batch(ds, one, 0), std::invalid_argument);
+  EXPECT_THROW(materialize_all(ds, 0), std::invalid_argument);
+  EXPECT_NO_THROW(materialize_batch(ds, one, 1));
+}
+
 TEST(ShuffledBatchSource, CoversDatasetOnceReshuffled) {
   ArrayDataset ds({1, 1, 1}, 1, 2);
   for (int i = 0; i < 10; ++i) ds.add_sample({static_cast<float>(i)}, i % 2, 0.0);

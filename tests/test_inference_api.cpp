@@ -1,0 +1,214 @@
+// Unified inference API tests: the batched early-exit engine must be
+// decision- and value-identical to the legacy batch-1 SequentialEngine (the
+// reference oracle) on every dataset preset and exit policy, including
+// ragged batches, all-exit-at-t=1 batches, per-request overrides, and the
+// recorded per-timestep logits.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/exit_policy.h"
+#include "core/inference.h"
+
+namespace dtsnn::core {
+namespace {
+
+Experiment micro_experiment(const std::string& dataset, std::size_t timesteps,
+                            std::uint64_t seed = 1) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = dataset;
+  spec.epochs = 1;
+  spec.timesteps = timesteps;
+  spec.data_scale = 0.05;
+  spec.seed = seed;
+  return run_experiment(spec);
+}
+
+InferenceRequest first_n(std::size_t n, bool record_logits = false) {
+  InferenceRequest request = InferenceRequest::first_n(n);
+  request.record_logits = record_logits;
+  return request;
+}
+
+/// Bitwise comparison of two engines' results on the same request.
+void expect_identical(const std::vector<InferenceResult>& a,
+                      const std::vector<InferenceResult>& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sample, b[i].sample) << context << " sample " << i;
+    EXPECT_EQ(a[i].predicted_class, b[i].predicted_class) << context << " sample " << i;
+    EXPECT_EQ(a[i].exit_timestep, b[i].exit_timestep) << context << " sample " << i;
+    EXPECT_EQ(a[i].final_entropy, b[i].final_entropy) << context << " sample " << i;
+    ASSERT_EQ(a[i].timestep_logits.shape(), b[i].timestep_logits.shape())
+        << context << " sample " << i;
+    for (std::size_t j = 0; j < a[i].timestep_logits.numel(); ++j) {
+      ASSERT_EQ(a[i].timestep_logits[j], b[i].timestep_logits[j])
+          << context << " sample " << i << " logit " << j;
+    }
+  }
+}
+
+/// The core acceptance property: BatchedSequentialEngine is bitwise
+/// identical to batch-1 SequentialEngine — predictions, exit timesteps,
+/// entropies, and the full cumulative-logit trajectories — on every dataset
+/// preset, for both shipped exit-policy families, with a batch size that
+/// does not divide the sample count.
+TEST(BatchedEngine, BitwiseIdenticalToBatch1AcrossPresets) {
+  for (const std::string preset : {"sync10", "sync100", "syntin", "syndvs"}) {
+    const std::size_t timesteps = preset == "syndvs" ? 5 : 3;
+    Experiment e = micro_experiment(preset, timesteps);
+    const auto& ds = *e.bundle.test;
+    // 30 samples with batch 7: four full batches plus a ragged tail of 2.
+    const auto request = first_n(std::min<std::size_t>(30, ds.size()), true);
+
+    const EntropyExitPolicy entropy(0.35);
+    const MaxProbExitPolicy maxprob(0.6);
+    for (const ExitPolicy* policy : {static_cast<const ExitPolicy*>(&entropy),
+                                     static_cast<const ExitPolicy*>(&maxprob)}) {
+      SequentialEngine batch1(e.net, *policy, timesteps);
+      BatchedSequentialEngine batched(e.net, *policy, timesteps, /*batch_size=*/7);
+      const auto a = batch1.run(ds, request);
+      const auto b = batched.run(ds, request);
+      expect_identical(a, b, preset + "/" + policy->name());
+    }
+  }
+}
+
+TEST(BatchedEngine, WholeBatchExitsAtFirstTimestep) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  // theta > 1 exits every sample at t=1: each step exits the entire live
+  // pool and refills it with fresh samples; timesteps beyond t=1 never run.
+  const EntropyExitPolicy always(1.01);
+  SequentialEngine batch1(e.net, always, 3);
+  BatchedSequentialEngine batched(e.net, always, 3, /*batch_size=*/8);
+  const auto request = first_n(std::min<std::size_t>(16, ds.size()));
+  const auto a = batch1.run(ds, request);
+  const auto b = batched.run(ds, request);
+  expect_identical(a, b, "all-exit-at-1");
+  for (const auto& r : b) EXPECT_EQ(r.exit_timestep, 1u);
+}
+
+TEST(BatchedEngine, PerRequestPolicyAndBudgetOverrides) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const EntropyExitPolicy engine_default(1.01);  // would exit everything at t=1
+  BatchedSequentialEngine batched(e.net, engine_default, 3, /*batch_size=*/5);
+
+  // Policy override: never exit -> every sample runs the full budget.
+  const NeverExitPolicy never;
+  InferenceRequest request = first_n(std::min<std::size_t>(11, ds.size()));
+  request.policy = &never;
+  for (const auto& r : batched.run(ds, request)) EXPECT_EQ(r.exit_timestep, 3u);
+
+  // Budget override on top: forced exit moves to t=2.
+  request.max_timesteps = 2;
+  for (const auto& r : batched.run(ds, request)) EXPECT_EQ(r.exit_timestep, 2u);
+
+  // The override must match a batch-1 engine built with those settings.
+  SequentialEngine batch1(e.net, never, 2);
+  expect_identical(batch1.run(ds, first_n(11)), batched.run(ds, request),
+                   "override vs dedicated engine");
+}
+
+TEST(BatchedEngine, StreamsEachSampleExactlyOnce) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const EntropyExitPolicy policy(0.5);
+  BatchedSequentialEngine batched(e.net, policy, 3, /*batch_size=*/4);
+  const auto request = first_n(std::min<std::size_t>(10, ds.size()));
+
+  std::vector<std::size_t> seen(request.samples.size(), 0);
+  std::size_t emissions = 0;
+  batched.run_streaming(ds, request, [&](const InferenceResult& r) {
+    ++emissions;
+    ASSERT_LT(r.request_index, seen.size());
+    ++seen[r.request_index];
+    EXPECT_EQ(r.sample, request.samples[r.request_index]);
+    EXPECT_GE(r.exit_timestep, 1u);
+    EXPECT_LE(r.exit_timestep, 3u);
+  });
+  EXPECT_EQ(emissions, request.samples.size());
+  for (const std::size_t count : seen) EXPECT_EQ(count, 1u);
+
+  // run() reorders into request order, also with duplicate samples.
+  InferenceRequest dupes;
+  dupes.samples = {3, 1, 3, 0};
+  const auto results = batched.run(ds, dupes);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].request_index, i);
+    EXPECT_EQ(results[i].sample, dupes.samples[i]);
+  }
+  EXPECT_EQ(results[0].predicted_class, results[2].predicted_class);
+  EXPECT_EQ(results[0].final_entropy, results[2].final_entropy);
+}
+
+TEST(BatchedEngine, RecordedLogitsMatchPostHocRows) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const auto outputs = test_outputs(e, 3, /*limit=*/12);
+  const EntropyExitPolicy policy(0.4);
+  BatchedSequentialEngine batched(e.net, policy, 3, /*batch_size=*/5);
+  const auto results = batched.run(ds, first_n(outputs.samples, true));
+  for (const auto& r : results) {
+    ASSERT_EQ(r.timestep_logits.dim(0), r.exit_timestep);
+    ASSERT_EQ(r.timestep_logits.dim(1), outputs.classes);
+    // The stepped cumulative-mean logits reproduce the recorded post-hoc
+    // rows bitwise (same accumulation, reciprocal-multiply normalization).
+    for (std::size_t t = 0; t < r.exit_timestep; ++t) {
+      const auto row = outputs.at(t, r.sample);
+      for (std::size_t c = 0; c < outputs.classes; ++c) {
+        ASSERT_EQ(r.timestep_logits.at(t, c), row[c])
+            << "sample " << r.sample << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(BatchedEngine, EmptyAndInvalidRequests) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const EntropyExitPolicy policy(0.3);
+  BatchedSequentialEngine batched(e.net, policy, 3);
+
+  // Explicitly empty streaming request: nothing to do, no throw.
+  std::size_t emissions = 0;
+  InferenceRequest empty;
+  batched.run_streaming(ds, empty, [&](const InferenceResult&) { ++emissions; });
+  EXPECT_EQ(emissions, 0u);
+
+  // Out-of-range sample indices are rejected up front.
+  InferenceRequest bad;
+  bad.samples = {ds.size()};
+  EXPECT_THROW(batched.run(ds, bad), std::out_of_range);
+
+  // An empty request passed to run()/evaluate_engine expands to the whole
+  // dataset.
+  const DtsnnResult all = evaluate_engine(batched, ds);
+  EXPECT_EQ(all.exit_timestep.size(), ds.size());
+}
+
+/// evaluate_engine aggregates exactly like the legacy post-hoc evaluator.
+TEST(BatchedEngine, EvaluateEngineMatchesPostHocAggregation) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto outputs = test_outputs(e, 3);
+  const EntropyExitPolicy policy(0.3);
+  const DtsnnResult posthoc = evaluate_recorded(outputs, policy, *e.bundle.test);
+
+  BatchedSequentialEngine batched(e.net, policy, 3, /*batch_size=*/9);
+  const DtsnnResult live = evaluate_engine(batched, *e.bundle.test);
+  EXPECT_EQ(posthoc.exit_timestep, live.exit_timestep);
+  EXPECT_EQ(posthoc.correct, live.correct);
+  EXPECT_NEAR(posthoc.accuracy, live.accuracy, 1e-12);
+  EXPECT_NEAR(posthoc.avg_timesteps, live.avg_timesteps, 1e-12);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(posthoc.timestep_histogram.count(t), live.timestep_histogram.count(t));
+  }
+}
+
+}  // namespace
+}  // namespace dtsnn::core

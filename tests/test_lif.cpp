@@ -3,6 +3,9 @@
 // so the backward pass is checked against hand-computed surrogate recurrences
 // rather than finite differences.
 
+#include <span>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "snn/lif.h"
@@ -274,6 +277,95 @@ TEST(LifBackward, ZeroUpstreamGivesZero) {
   lif.forward(x, true);
   Tensor dx = lif.backward(Tensor({6, 4}));
   for (std::size_t i = 0; i < dx.numel(); ++i) EXPECT_FLOAT_EQ(dx[i], 0.0f);
+}
+
+// ----------------------------------------------------- state compaction
+
+/// Rows `keep` of a [B, F] tensor, in the given order.
+Tensor gather_rows(const Tensor& x, std::span<const std::size_t> keep) {
+  Shape shape = x.shape();
+  shape[0] = keep.size();
+  Tensor out(shape);
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    const auto row = x.row(keep[j]);
+    std::copy(row.begin(), row.end(), out.data() + j * x.row_size());
+  }
+  return out;
+}
+
+/// compact_state to a *permuted* subset mid-sequence must equal running the
+/// kept samples alone from scratch: the membrane is per-sample state, so
+/// gathering its rows is exact, not approximate.
+TEST(Lif, CompactStateEqualsRerunningKeptSamples) {
+  util::Rng rng(97);
+  const LifConfig cfg{.vth = 0.6f, .tau = 0.7f};
+  const std::size_t batch = 5;
+  const std::vector<std::size_t> keep{3, 0, 4};  // permuted subset
+
+  std::vector<Tensor> inputs;
+  for (std::size_t t = 0; t < 4; ++t) {
+    inputs.push_back(Tensor::randn({batch, 6}, rng, 0.4f, 0.8f));
+  }
+
+  Lif full(cfg);
+  full.begin_steps(batch);
+  full.step(inputs[0]);
+  full.step(inputs[1]);
+  full.compact_state(keep);
+
+  Lif solo(cfg);
+  solo.begin_steps(keep.size());
+  solo.step(gather_rows(inputs[0], keep));
+  solo.step(gather_rows(inputs[1], keep));
+
+  for (std::size_t t = 2; t < 4; ++t) {
+    const Tensor x = gather_rows(inputs[t], keep);
+    const Tensor a = full.step(x);
+    const Tensor b = solo.step(x);
+    ASSERT_EQ(a.shape(), b.shape()) << t;
+    for (std::size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]) << t;
+  }
+}
+
+/// kFreshRow entries in the gather become zero-membrane rows — admitting a
+/// new sample into a freed slot equals starting it in a fresh engine.
+TEST(Lif, CompactStateFreshRowEqualsFreshStart) {
+  util::Rng rng(98);
+  const LifConfig cfg{.vth = 0.5f, .tau = 0.6f};
+  const Tensor x0 = Tensor::randn({2, 4}, rng, 0.4f, 0.7f);
+  const Tensor x1 = Tensor::randn({2, 4}, rng, 0.4f, 0.7f);
+
+  Lif pool(cfg);
+  pool.begin_steps(2);
+  pool.step(x0);
+  // Keep row 1, admit a fresh sample into slot 1.
+  const std::vector<std::size_t> gather{1, Layer::kFreshRow};
+  pool.compact_state(gather);
+  const Tensor a = pool.step(x1);
+
+  Lif solo(cfg);
+  solo.begin_steps(1);
+  // The fresh slot sees x1's row 1 as its first input ever.
+  const Tensor b =
+      solo.step(Tensor({1, 4}, std::vector<float>(x1.row(1).begin(), x1.row(1).end())));
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(a.at(1, i), b[i]) << i;
+}
+
+TEST(Lif, CompactStateValidatesIndices) {
+  Lif lif{LifConfig{}};
+  lif.begin_steps(3);
+  lif.step(Tensor::ones({3, 2}));
+  const std::vector<std::size_t> bad{0, 3};
+  EXPECT_THROW(lif.compact_state(bad), std::out_of_range);
+}
+
+TEST(Lif, CompactStateBeforeFirstStepIsHarmless) {
+  Lif lif{LifConfig{}};
+  lif.begin_steps(4);
+  const std::vector<std::size_t> keep{1, 2};
+  lif.compact_state(keep);  // no membrane allocated yet: only batch shrinks
+  const Tensor y = lif.step(Tensor::ones({2, 3}));
+  EXPECT_EQ(y.dim(0), 2u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // end-to-end equivalence of multi-step and sequential (stepped) inference.
 
 #include <filesystem>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -158,6 +159,71 @@ TEST(SpikingNetwork, StepMatchesMultistepResnet) {
       EXPECT_NEAR(y[c], multi.at(t, c), 1e-4) << "t=" << t;
     }
   }
+}
+
+// ----------------------------------------------------- state compaction
+
+/// Rows `keep` of a [B, C, H, W] tensor, in the given order.
+Tensor gather_batch_rows(const Tensor& x, std::span<const std::size_t> keep) {
+  Shape shape = x.shape();
+  shape[0] = keep.size();
+  Tensor out(shape);
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    const auto row = x.row(keep[j]);
+    std::copy(row.begin(), row.end(), out.data() + j * x.row_size());
+  }
+  return out;
+}
+
+/// Network-level compact_inference_state over a *permuted* subset must be
+/// exact: the compacted network's subsequent steps equal running the kept
+/// samples alone from scratch. Exercised on both model families so the
+/// gather recurses through Sequential, ResidualBlock and every Lif.
+TEST(SpikingNetwork, CompactedStateEqualsRerunningKeptSamples) {
+  for (const std::string preset : {"vgg_micro", "resnet_micro"}) {
+    SpikingNetwork full = make_model(preset, tiny_config());
+    SpikingNetwork solo = make_model(preset, tiny_config());
+    copy_network_state(full, solo);
+
+    util::Rng rng(58);
+    const std::size_t batch = 4;
+    const std::vector<std::size_t> keep{2, 0, 3};  // permuted subset
+    std::vector<Tensor> frames;
+    for (std::size_t t = 0; t < 4; ++t) {
+      frames.push_back(Tensor::randn({batch, 3, 8, 8}, rng, 0.0f, 1.0f));
+    }
+
+    full.begin_inference(batch);
+    full.step(frames[0]);
+    full.step(frames[1]);
+    full.compact_inference_state(keep);
+
+    solo.begin_inference(keep.size());
+    solo.step(gather_batch_rows(frames[0], keep));
+    solo.step(gather_batch_rows(frames[1], keep));
+
+    for (std::size_t t = 2; t < 4; ++t) {
+      const Tensor x = gather_batch_rows(frames[t], keep);
+      const Tensor a = full.step(x);
+      const Tensor b = solo.step(x);
+      ASSERT_EQ(a.shape(), b.shape()) << preset << " t=" << t;
+      for (std::size_t i = 0; i < a.numel(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << preset << " t=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SpikingNetwork, CompactionShrinksToSingleSample) {
+  SpikingNetwork net = make_model("vgg_micro", tiny_config());
+  util::Rng rng(59);
+  const Tensor frame = Tensor::randn({3, 3, 8, 8}, rng);
+  net.begin_inference(3);
+  net.step(frame);
+  const std::vector<std::size_t> keep{1};
+  net.compact_inference_state(keep);
+  const Tensor y = net.step(gather_batch_rows(frame, keep));
+  EXPECT_EQ(y.dim(0), 1u);
 }
 
 TEST(Checkpoint, SaveLoadRoundTrip) {
