@@ -18,32 +18,52 @@ using namespace dtsnn;
 namespace {
 
 void BM_Gemm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+  // Arg 0 selects the backend (registry order), arg 1 the square size.
+  const auto backends = util::gemm_backends();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= backends.size()) {
+    state.SkipWithError("backend not compiled into this build");
+    return;
+  }
+  const util::GemmBackend& backend = *backends[index];
+  if (!backend.available()) state.SkipWithError("backend unavailable on this CPU");
+  const auto n = static_cast<std::size_t>(state.range(1));
   util::Rng rng(1);
   std::vector<float> a(n * n), b(n * n), c(n * n);
   for (auto& v : a) v = static_cast<float>(rng.gaussian());
   for (auto& v : b) v = static_cast<float>(rng.gaussian());
   for (auto _ : state) {
-    util::gemm(a.data(), b.data(), c.data(), n, n, n);
+    backend.gemm(a.data(), b.data(), c.data(), n, n, n);
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetLabel(std::string(backend.name()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 128, 256}});
 
 void BM_GemmSparseSpikes(benchmark::State& state) {
   // Binary spike activations at 15% density — the IMC operating regime.
+  const auto backends = util::gemm_backends();
+  const auto index = static_cast<std::size_t>(state.range(0));
+  if (index >= backends.size()) {
+    state.SkipWithError("backend not compiled into this build");
+    return;
+  }
+  const util::GemmBackend& backend = *backends[index];
+  if (!backend.available()) state.SkipWithError("backend unavailable on this CPU");
   const std::size_t n = 256;
   util::Rng rng(2);
   std::vector<float> a(n * n, 0.0f), b(n * n), c(n * n);
   for (auto& v : b) v = static_cast<float>(rng.gaussian());
   for (auto& v : a) v = rng.bernoulli(0.15) ? 1.0f : 0.0f;
   for (auto _ : state) {
-    util::gemm(a.data(), b.data(), c.data(), n, n, n);
+    backend.gemm(a.data(), b.data(), c.data(), n, n, n);
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetLabel(std::string(backend.name()));
 }
-BENCHMARK(BM_GemmSparseSpikes);
+BENCHMARK(BM_GemmSparseSpikes)->DenseRange(0, 3);
 
 void BM_ConvForward(benchmark::State& state) {
   util::Rng rng(3);

@@ -31,6 +31,7 @@
 
 #include "bench_common.h"
 #include "core/calibration.h"
+#include "util/gemm.h"
 
 using namespace dtsnn;
 
@@ -105,6 +106,12 @@ int main(int argc, char** argv) {
   bench::BenchReport report("table3_throughput", options);
   report.set("threads", static_cast<double>(core::evaluation_threads()));
   report.set("batch_size", static_cast<double>(kBatch));
+  // GEMM-form math below (linear layers, dense-ish convs) runs through this
+  // backend (util/gemm.h dispatch); very sparse eval convs take the direct
+  // scatter kernel instead, which follows the same bitwise contract but is
+  // not backend-dispatched. Backends are bitwise identical, so only speed
+  // depends on this.
+  report.set("gemm_backend", std::string(util::default_gemm_backend().name()));
   const double kIsoTolerance = 0.01;  // 1pp, below ~600-sample binomial noise
   report.set("batch32_speedup_definition",
              "batched DT-SNN (batch 32) img/s at the iso-accuracy operating "

@@ -32,6 +32,10 @@ int main() {
   std::printf("Training %s on %s (T=%zu)...\n", spec.model.c_str(),
               spec.dataset.c_str(), spec.timesteps);
   core::Experiment experiment = core::run_experiment(spec);
+  std::printf("GEMM backend: %s (%.2f GFLOP trained, override with "
+              "DTSNN_GEMM_BACKEND)\n",
+              experiment.train_stats.gemm_backend.c_str(),
+              experiment.train_stats.gemm_gflops);
 
   // 3. Per-timestep cumulative outputs on the test set.
   core::TimestepOutputs outputs = core::test_outputs(experiment);

@@ -20,6 +20,7 @@
 #include "core/evaluator.h"
 #include "imc/xbar_functional.h"
 #include "snn/serialize.h"
+#include "util/gemm.h"
 
 using namespace dtsnn;
 
@@ -38,6 +39,7 @@ struct CliArgs {
   double scale = 1.0;
   std::uint64_t seed = 1;
   bool noise = false;
+  std::string gemm_backend;  ///< empty = env/auto selection
 
   static void usage(const char* argv0) {
     std::printf(
@@ -47,6 +49,8 @@ struct CliArgs {
         "           [--scale F] [--seed S] --out FILE\n"
         "  %s eval  --model M --dataset D [--timesteps T] --ckpt FILE\n"
         "           [--theta TH] [--noise] [--scale F]\n"
+        "common: --gemm-backend scalar_ref|blocked_omp|avx2|sparse_spike\n"
+        "        (default: DTSNN_GEMM_BACKEND env, else avx2 when supported)\n"
         "models: vgg_mini vgg_micro resnet_mini resnet_micro\n"
         "datasets: sync10 sync100 syntin syndvs\n",
         argv0, argv0);
@@ -80,6 +84,7 @@ CliArgs parse(int argc, char** argv) {
     else if (flag == "--scale") args.scale = std::atof(next().c_str());
     else if (flag == "--seed") args.seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (flag == "--noise") args.noise = true;
+    else if (flag == "--gemm-backend") args.gemm_backend = next();
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       CliArgs::usage(argv[0]);
@@ -111,6 +116,9 @@ int cmd_train(const CliArgs& args) {
   core::Experiment e = core::run_experiment(to_spec(args));
   snn::save_checkpoint(e.net, args.checkpoint);
   std::printf("final train accuracy: %.2f%%\n", 100.0 * e.train_stats.final_accuracy());
+  std::printf("GEMM work: %.2f GFLOP via %s (input density %.3f)\n",
+              e.train_stats.gemm_gflops, e.train_stats.gemm_backend.c_str(),
+              e.train_stats.gemm_input_density);
   std::printf("checkpoint written to %s\n", args.checkpoint.c_str());
   return 0;
 }
@@ -161,6 +169,23 @@ int cmd_eval(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   const CliArgs args = parse(argc, argv);
+  // Backends are bitwise identical (util/gemm.h), so this only changes
+  // speed; resolve_gemm_backend rejects unknown/unavailable names loudly.
+  // Without the flag the global context keeps its DTSNN_GEMM_BACKEND /
+  // CPUID-derived default — which also resolves (and can throw) here, so a
+  // typo'd env var gets the same clean exit-2 as a bad flag.
+  try {
+    if (!args.gemm_backend.empty()) {
+      util::GemmContext::global().set_backend(
+          util::resolve_gemm_backend(args.gemm_backend.c_str()));
+    }
+    std::printf("GEMM backend: %s\n",
+                std::string(util::GemmContext::global().backend().name()).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "GEMM backend selection failed (--gemm-backend / "
+                 "DTSNN_GEMM_BACKEND): %s\n", e.what());
+    return 2;
+  }
   if (args.command == "train") return cmd_train(args);
   if (args.command == "eval") return cmd_eval(args);
   CliArgs::usage(argv[0]);

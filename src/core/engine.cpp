@@ -187,16 +187,6 @@ DtsnnResult replay_exits(const TimestepOutputs& outputs, ChooseExit&& choose_exi
 
 }  // namespace
 
-DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy) {
-  return replay_exits(outputs, [&](std::size_t i) {
-    // Eq. (8): first t whose policy fires; fall back to T.
-    for (std::size_t t = 0; t + 1 < outputs.timesteps; ++t) {
-      if (policy.should_exit(outputs.at(t, i))) return t + 1;
-    }
-    return outputs.timesteps;
-  });
-}
-
 std::vector<double> entropy_table(const TimestepOutputs& outputs) {
   const std::size_t rows = outputs.timesteps * outputs.samples;
   std::vector<double> table(rows);
@@ -221,6 +211,21 @@ DtsnnResult evaluate_dtsnn_with_table(const TimestepOutputs& outputs,
     }
     return outputs.timesteps;
   });
+}
+
+// ------------------------------------------------------------ backend names
+
+std::string PostHocEngine::gemm_backend() const {
+  return net_ != nullptr ? std::string(net_->gemm_context().backend().name())
+                         : std::string("none (replay)");
+}
+
+std::string SequentialEngine::gemm_backend() const {
+  return std::string(net_.gemm_context().backend().name());
+}
+
+std::string BatchedSequentialEngine::gemm_backend() const {
+  return std::string(net_.gemm_context().backend().name());
 }
 
 // ---------------------------------------------------------- SequentialEngine

@@ -82,12 +82,6 @@ double static_accuracy(const TimestepOutputs& outputs, std::size_t t);
 /// Accuracy at every t = 1..T.
 std::vector<double> accuracy_per_timestep(const TimestepOutputs& outputs);
 
-/// Replay the exit policy over recorded outputs (post-hoc mode). Samples are
-/// replayed on OpenMP threads when available (the policy must be stateless,
-/// which all shipped policies are).
-[[deprecated("use PostHocEngine + evaluate_engine (core/inference.h)")]]
-DtsnnResult evaluate_dtsnn(const TimestepOutputs& outputs, const ExitPolicy& policy);
-
 /// Normalized entropy of every recorded (t, sample) cumulative logit row,
 /// laid out like cum_logits ([T * N], time-major). Computed in parallel.
 /// Replaying an entropy threshold against this table is O(1) per decision,
@@ -118,6 +112,7 @@ class PostHocEngine final : public InferenceEngine {
   void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
                      const ResultSink& sink) override;
   [[nodiscard]] std::string name() const override { return "posthoc"; }
+  [[nodiscard]] std::string gemm_backend() const override;
   [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
   [[nodiscard]] std::size_t sample_limit(const data::Dataset& dataset) const override;
 
@@ -155,6 +150,7 @@ class SequentialEngine final : public InferenceEngine {
   void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
                      const ResultSink& sink) override;
   [[nodiscard]] std::string name() const override { return "sequential"; }
+  [[nodiscard]] std::string gemm_backend() const override;
   [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
 
  private:
@@ -184,6 +180,7 @@ class BatchedSequentialEngine final : public InferenceEngine {
   void run_streaming(const data::Dataset& dataset, const InferenceRequest& request,
                      const ResultSink& sink) override;
   [[nodiscard]] std::string name() const override { return "batched-sequential"; }
+  [[nodiscard]] std::string gemm_backend() const override;
   [[nodiscard]] std::size_t max_timesteps() const override { return max_timesteps_; }
   [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
 

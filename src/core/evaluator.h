@@ -63,7 +63,7 @@ Experiment train_or_load(const ExperimentSpec& spec, const std::string& cache_di
 
 /// Post-hoc dynamic evaluation of recorded outputs through the unified
 /// inference API: replays `policy` with a PostHocEngine and aggregates with
-/// evaluate_engine. Replaces the deprecated evaluate_dtsnn free function
+/// evaluate_engine. Replaces the removed evaluate_dtsnn free function
 /// (`dataset` supplies the labels, so it must be the dataset the outputs
 /// were recorded from).
 DtsnnResult evaluate_recorded(const TimestepOutputs& outputs, const ExitPolicy& policy,

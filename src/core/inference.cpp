@@ -7,9 +7,14 @@
 #include "core/engine.h"
 #include "core/entropy.h"
 #include "snn/loss.h"
+#include "util/gemm.h"
 #include "util/math.h"
 
 namespace dtsnn::core {
+
+std::string InferenceEngine::gemm_backend() const {
+  return std::string(util::GemmContext::global().backend().name());
+}
 
 InferenceRequest InferenceRequest::first_n(std::size_t n) {
   InferenceRequest request;

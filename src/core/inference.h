@@ -80,6 +80,12 @@ class InferenceEngine {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Name of the GEMM backend this engine's network math runs through
+  /// (util::GemmContext dispatch) — surfaced in bench reports so measured
+  /// throughput is attributable. Engines that replay recordings instead of
+  /// stepping a network report "none (replay)".
+  [[nodiscard]] virtual std::string gemm_backend() const;
+
   /// Default timestep budget (a request's max_timesteps of 0 resolves here).
   [[nodiscard]] virtual std::size_t max_timesteps() const = 0;
 

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "util/gemm.h"
-
 namespace dtsnn::snn {
 
 namespace {
+
+/// Below this input spike density the A-stationary forms win: the direct
+/// scatter kernel at eval time, and the zero-skip / sparse_spike GEMM on the
+/// im2col matrix at training time.
+constexpr double kSparseDensityThreshold = 0.35;
 
 /// [N*OHW, Cout] row-per-pixel layout -> NCHW [N, Cout, OH, OW].
 void pixels_to_nchw(const Tensor& pix, std::size_t n, std::size_t c, std::size_t oh,
@@ -144,6 +147,23 @@ void Conv2d::begin_steps(std::size_t batch) {
   wt_dirty_ = true;
 }
 
+const float* Conv2d::ensure_weight_transpose() {
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  if (wt_dirty_ || wt_scratch_.numel() != patch * out_channels_) {
+    if (wt_scratch_.numel() != patch * out_channels_) {
+      wt_scratch_ = Tensor({patch, out_channels_});
+    }
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float* src = weight_.value.data() + c * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        wt_scratch_[p * out_channels_ + c] = src[p];
+      }
+    }
+    wt_dirty_ = false;
+  }
+  return wt_scratch_.data();
+}
+
 Tensor Conv2d::forward(const Tensor& x, bool train) {
   if (x.rank() != 4 || x.dim(1) != in_channels_) {
     throw std::invalid_argument("Conv2d: bad input shape " + shape_to_string(x.shape()));
@@ -156,11 +176,24 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   // pix[N*OHW, Cout] = col[N*OHW, CKK] * W^T[CKK, Cout]
   Tensor pix({n * oh * ow, out_channels_});
   const std::size_t patch = geom_.patch_size();
+  util::GemmContext& gemm = gemm_context();
   Tensor col;
   if (train) {
+    // Training path: the im2col matrix is needed for backward either way.
+    // Hidden-layer inputs are LIF spikes, so for sparse inputs the product
+    // runs in the A-stationary form (zero-skip NN GEMM against W^T) instead
+    // of the dense dot-product form — for the same accumulation order and
+    // finite weights the two are bitwise identical (both sum each output's
+    // contributions in ascending patch order from a zero start), so this is
+    // purely a speed decision, like the eval-time kernel choice below.
     im2col(x, geom_, col);
-    util::gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow, patch,
-                  out_channels_);
+    if (x.density() < kSparseDensityThreshold) {
+      gemm.gemm(col.data(), ensure_weight_transpose(), pix.data(), n * oh * ow, patch,
+                out_channels_);
+    } else {
+      gemm.gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow, patch,
+                   out_channels_);
+    }
   } else {
     // Inference path: LIF spike activations are mostly zeros, so the cost
     // scales with spike density instead of the dense FLOP count. Both eval
@@ -170,25 +203,13 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
     // stepping agree bitwise even if they pick different kernels. Needs
     // W^T materialized; cached across the steps of one sequence (set_time
     // and begin_steps mark it dirty, and weights only change between them).
-    if (wt_dirty_ || wt_scratch_.numel() != patch * out_channels_) {
-      if (wt_scratch_.numel() != patch * out_channels_) {
-        wt_scratch_ = Tensor({patch, out_channels_});
-      }
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float* src = weight_.value.data() + c * patch;
-        for (std::size_t p = 0; p < patch; ++p) {
-          wt_scratch_[p * out_channels_ + c] = src[p];
-        }
-      }
-      wt_dirty_ = false;
-    }
-    if (x.density() < 0.35) {
+    const float* wt = ensure_weight_transpose();
+    if (x.density() < kSparseDensityThreshold) {
       // Sparse enough that skipping the im2col materialization wins.
-      sparse_conv_scatter(x, wt_scratch_.data(), geom_, out_channels_, pix);
+      sparse_conv_scatter(x, wt, geom_, out_channels_, pix);
     } else {
       im2col(x, geom_, col);
-      util::gemm(col.data(), wt_scratch_.data(), pix.data(), n * oh * ow, patch,
-                 out_channels_);
+      gemm.gemm(col.data(), wt, pix.data(), n * oh * ow, patch, out_channels_);
     }
   }
   if (has_bias_) {
@@ -225,8 +246,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   nchw_to_pixels(grad_out, gpix);
 
   // dW[Cout, CKK] += gpix^T[Cout, rows] * col[rows, CKK]
-  util::gemm_at(gpix.data(), col_cache_.data(), weight_.grad.data(), out_channels_, rows,
-                patch, /*accumulate=*/true);
+  util::GemmContext& gemm = gemm_context();
+  gemm.gemm_at(gpix.data(), col_cache_.data(), weight_.grad.data(), out_channels_, rows,
+               patch, /*accumulate=*/true);
 
   if (has_bias_) {
     float* db = bias_.grad.data();
@@ -238,7 +260,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   // dcol[rows, CKK] = gpix[rows, Cout] * W[Cout, CKK]
   Tensor dcol({rows, patch});
-  util::gemm(gpix.data(), weight_.value.data(), dcol.data(), rows, out_channels_, patch);
+  gemm.gemm(gpix.data(), weight_.value.data(), dcol.data(), rows, out_channels_, patch);
 
   Tensor dx;
   col2im(dcol, geom_, dx);

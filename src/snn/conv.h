@@ -35,6 +35,10 @@ class Conv2d final : public Layer {
   Param& bias() { return bias_; }
 
  private:
+  /// Materialize (or reuse) the W^T [Cin*K*K, Cout] scratch for the
+  /// A-stationary spike-sparse GEMM form.
+  const float* ensure_weight_transpose();
+
   std::size_t in_channels_, out_channels_, kernel_, stride_, padding_;
   bool has_bias_;
   Param weight_;
@@ -45,10 +49,11 @@ class Conv2d final : public Layer {
   Tensor col_cache_;   // [N*OH*OW, Cin*K*K]
   bool have_cache_ = false;
 
-  // Eval-time scratch: W^T [Cin*K*K, Cout] for the spike-sparse kernels.
-  // Weights can only change between sequences/forward passes, both of which
-  // are preceded by set_time or begin_steps, so those mark it dirty and the
-  // transpose is reused across the steps of one inference sequence.
+  // W^T [Cin*K*K, Cout] scratch for the spike-sparse A-stationary kernels
+  // (eval conv and sparse training forwards). Weights can only change
+  // between sequences/forward passes, both of which are preceded by set_time
+  // or begin_steps, so those mark it dirty and the transpose is reused
+  // across the steps of one inference sequence.
   Tensor wt_scratch_;
   bool wt_dirty_ = true;
 };

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "snn/tensor.h"
+#include "util/gemm.h"
 
 namespace dtsnn::snn {
 
@@ -84,6 +85,17 @@ class Layer {
     batch_ = keep.size();
   }
 
+  /// Point this layer's GEMM calls at an explicit dispatch context (backend
+  /// selection + per-op stats); nullptr reverts to the process-wide
+  /// util::GemmContext::global(). SpikingNetwork::set_gemm_context fans this
+  /// out over all leaf layers.
+  void set_gemm_context(util::GemmContext* context) { gemm_context_ = context; }
+
+  /// The context this layer's GEMMs run through.
+  [[nodiscard]] util::GemmContext& gemm_context() const {
+    return gemm_context_ != nullptr ? *gemm_context_ : util::GemmContext::global();
+  }
+
   /// Learnable parameters (empty for parameter-free layers).
   virtual std::vector<Param*> params() { return {}; }
 
@@ -96,6 +108,7 @@ class Layer {
  protected:
   std::size_t timesteps_ = 1;
   std::size_t batch_ = 1;
+  util::GemmContext* gemm_context_ = nullptr;  ///< nullptr = global context
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

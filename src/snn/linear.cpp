@@ -29,7 +29,8 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   const std::size_t n = x.dim(0);
   Tensor out({n, out_features_});
   // out = x * W^T
-  util::gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_, out_features_);
+  gemm_context().gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_,
+                         out_features_);
   if (has_bias_) {
     const float* b = bias_.value.data();
 #pragma omp parallel for schedule(static)
@@ -54,8 +55,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
   assert(grad_out.dim(1) == out_features_);
 
   // dW[out, in] += g^T[out, n] * x[n, in]
-  util::gemm_at(grad_out.data(), input_cache_.data(), weight_.grad.data(), out_features_, n,
-                in_features_, /*accumulate=*/true);
+  gemm_context().gemm_at(grad_out.data(), input_cache_.data(), weight_.grad.data(),
+                         out_features_, n, in_features_, /*accumulate=*/true);
   if (has_bias_) {
     float* db = bias_.grad.data();
     for (std::size_t r = 0; r < n; ++r) {
@@ -65,7 +66,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
   }
   // dx[n, in] = g[n, out] * W[out, in]
   Tensor dx({n, in_features_});
-  util::gemm(grad_out.data(), weight_.value.data(), dx.data(), n, out_features_, in_features_);
+  gemm_context().gemm(grad_out.data(), weight_.value.data(), dx.data(), n, out_features_,
+                      in_features_);
   return dx;
 }
 

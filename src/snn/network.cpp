@@ -165,6 +165,11 @@ void SpikingNetwork::compact_inference_state(std::span<const std::size_t> keep) 
 
 std::vector<Param*> SpikingNetwork::params() { return body_.params(); }
 
+void SpikingNetwork::set_gemm_context(util::GemmContext* context) {
+  gemm_context_ = context;
+  body_.visit([context](Layer& layer) { layer.set_gemm_context(context); });
+}
+
 std::vector<double> SpikingNetwork::lif_spike_rates() {
   std::vector<double> rates;
   body_.visit([&rates](Layer& l) {

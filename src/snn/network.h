@@ -108,6 +108,18 @@ class SpikingNetwork {
   /// Depth-first visit of all leaf layers (convs, norms, LIFs, ...).
   void visit(const std::function<void(Layer&)>& fn) { body_.visit(fn); }
 
+  /// Route every conv/linear GEMM of this network through `context`
+  /// (backend selection + per-op stats); nullptr reverts to the process-wide
+  /// util::GemmContext::global(). Backends are bitwise identical, so this
+  /// never changes logits or exit decisions — only how fast they happen and
+  /// where the FLOPs are accounted.
+  void set_gemm_context(util::GemmContext* context);
+
+  /// The context this network's GEMMs run through.
+  [[nodiscard]] util::GemmContext& gemm_context() const {
+    return gemm_context_ != nullptr ? *gemm_context_ : util::GemmContext::global();
+  }
+
   /// Mean spike rate per LIF layer from the most recent multi-step forward.
   [[nodiscard]] std::vector<double> lif_spike_rates();
 
@@ -118,6 +130,7 @@ class SpikingNetwork {
   Sequential body_;
   std::size_t num_classes_;
   Shape sample_shape_;
+  util::GemmContext* gemm_context_ = nullptr;  ///< nullptr = global context
 };
 
 }  // namespace dtsnn::snn

@@ -10,6 +10,12 @@ TrainStats train(SpikingNetwork& net, const Loss& loss, BatchSource& source,
   const CosineSchedule schedule(options.sgd.lr, options.epochs);
   TrainStats stats;
 
+  if (options.gemm_context != nullptr) net.set_gemm_context(options.gemm_context);
+  util::GemmContext& gemm = net.gemm_context();
+  stats.gemm_backend = std::string(gemm.backend().name());
+  const util::GemmStats gemm_start = gemm.stats();
+  DTSNN_LOG_DEBUG("training with GEMM backend '%s'", stats.gemm_backend.c_str());
+
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     if (options.cosine_schedule) optimizer.set_lr(schedule.lr_at(epoch));
     source.reshuffle(epoch);
@@ -40,6 +46,17 @@ TrainStats train(SpikingNetwork& net, const Loss& loss, BatchSource& source,
                     100.0 * accuracy, optimizer.lr());
     if (options.on_epoch) options.on_epoch(epoch, mean_loss, accuracy);
   }
+
+  const util::GemmStats gemm_end = gemm.stats();
+  stats.gemm_gflops = (gemm_end.flops() - gemm_start.flops()) / 1e9;
+  // Densities are element-weighted; subtract the pre-run tallies so the
+  // reported density covers this run only.
+  const double elements = gemm_end.elements() - gemm_start.elements();
+  const double nonzeros = gemm_end.nonzeros() - gemm_start.nonzeros();
+  stats.gemm_input_density = elements > 0.0 ? nonzeros / elements : 0.0;
+  DTSNN_LOG_DEBUG("training GEMM totals: %.2f GFLOP, input density %.3f, backend %s",
+                  stats.gemm_gflops, stats.gemm_input_density,
+                  stats.gemm_backend.c_str());
   return stats;
 }
 

@@ -36,6 +36,11 @@ struct TrainOptions {
   std::size_t timesteps = 4;
   SgdConfig sgd{};
   bool cosine_schedule = true;
+  /// Route the network's GEMMs through this dispatch context for the whole
+  /// run (backend choice + FLOP/density accounting). nullptr keeps whatever
+  /// context the network already uses (the global one by default). Backends
+  /// are bitwise identical, so the trained weights do not depend on this.
+  util::GemmContext* gemm_context = nullptr;
   /// Called after each epoch with (epoch, train_loss, train_acc).
   std::function<void(std::size_t, double, double)> on_epoch;
 };
@@ -43,6 +48,10 @@ struct TrainOptions {
 struct TrainStats {
   std::vector<double> epoch_loss;
   std::vector<double> epoch_accuracy;
+  /// GEMM accounting over the whole run, from the network's GemmContext.
+  std::string gemm_backend;
+  double gemm_gflops = 0.0;        ///< dense GFLOPs pushed through the GEMMs
+  double gemm_input_density = 0.0; ///< element-weighted nonzero density of A operands
   [[nodiscard]] double final_loss() const {
     return epoch_loss.empty() ? 0.0 : epoch_loss.back();
   }

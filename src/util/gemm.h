@@ -1,26 +1,189 @@
-// Single-precision GEMM kernels backing the convolution and linear layers.
+// Multi-backend single-precision GEMM dispatch layer.
 //
-// These are cache-blocked, OpenMP-parallel reference kernels — fast enough to
-// train the scaled-down spiking networks used throughout the benches on CPU,
-// while remaining dependency-free and easy to audit.
+// Every convolution and linear layer funnels through one of three row-major
+// GEMM ops (NN, A^T-stationary, B^T). They are served by runtime-selected
+// backends behind the GemmBackend interface:
+//
+//   scalar_ref    plain triple loops; the oracle that *defines* the bitwise
+//                 accumulation contract (see below).
+//   blocked_omp   cache-blocked, OpenMP-parallel kernels (the historical
+//                 default).
+//   avx2          AVX2 kernels vectorized over independent output columns —
+//                 each output element keeps its own sequential k-order
+//                 accumulator lane, and mul/add stay separate instructions
+//                 (no FMA contraction) — so results are bitwise identical to
+//                 scalar_ref. Compiled only when the toolchain supports
+//                 -mavx2; dispatch additionally gated by runtime CPUID.
+//   sparse_spike  CSR-style row compression of A exploiting spike sparsity
+//                 (zeros skipped, binary spikes take a multiply-free path);
+//                 generalizes the eval-time zero-skip A-stationary kernel so
+//                 training-time convolutions benefit too.
+//
+// Bitwise identity contract: for every op, each output element accumulates
+// its contributions in ascending-k order with exact-zero A values skipped
+// (NN / A^T ops), and the B^T op sums each dot product sequentially into a
+// local accumulator before a single add into C. All backends follow this
+// contract exactly, so DT-SNN logits — and therefore early-exit decisions —
+// are bitwise identical no matter which backend runs, and the per-backend
+// identity suite enforces it against scalar_ref.
+//
+// Selection: the DTSNN_GEMM_BACKEND environment variable forces a backend by
+// name (unknown or unavailable names throw); otherwise avx2 is chosen when
+// the CPU supports it, else blocked_omp.
+//
+// Call sites do not invoke backends directly: they go through a GemmContext
+// (selected backend + per-op call/FLOP/density accounting). Layers default
+// to the process-wide GemmContext::global() and can be re-pointed per
+// network (snn::SpikingNetwork::set_gemm_context).
 
 #pragma once
 
 #include <cstddef>
+#include <mutex>
+#include <span>
+#include <string_view>
 
 namespace dtsnn::util {
 
-/// C[m,n] += A[m,k] * B[k,n]   (row-major, C must be pre-initialized).
-/// If `accumulate` is false, C is overwritten instead.
-void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-          std::size_t n, bool accumulate = false);
+// ------------------------------------------------------------------ backend
 
-/// C[m,n] (+)= A^T[m,k] * B[k,n] where A is stored row-major as [k,m].
-void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-             std::size_t n, bool accumulate = false);
+class GemmBackend {
+ public:
+  virtual ~GemmBackend() = default;
 
-/// C[m,n] (+)= A[m,k] * B^T[k,n] where B is stored row-major as [n,k].
-void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-             std::size_t n, bool accumulate = false);
+  /// Stable identifier used by DTSNN_GEMM_BACKEND and reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether this backend can run on the current machine (runtime CPUID for
+  /// ISA-specific backends). Unavailable backends stay listed but are never
+  /// selected.
+  [[nodiscard]] virtual bool available() const { return true; }
+
+  /// C[m,n] (+)= A[m,k] * B[k,n]   (all row-major). With accumulate == false
+  /// C is overwritten. Degenerate shapes (m, k, or n == 0) are handled
+  /// deterministically here: C is zeroed when not accumulating and the
+  /// kernel is never entered.
+  void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+            std::size_t n, bool accumulate = false) const;
+
+  /// C[m,n] (+)= A^T * B where A is stored row-major as [k,m].
+  void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate = false) const;
+
+  /// C[m,n] (+)= A * B^T where B is stored row-major as [n,k].
+  void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate = false) const;
+
+ protected:
+  /// Kernels always accumulate into C (the public wrappers zero C first when
+  /// not accumulating) and are only entered with m, k, n all nonzero.
+  virtual void do_gemm(const float* a, const float* b, float* c, std::size_t m,
+                       std::size_t k, std::size_t n) const = 0;
+  virtual void do_gemm_at(const float* a, const float* b, float* c, std::size_t m,
+                          std::size_t k, std::size_t n) const = 0;
+  virtual void do_gemm_bt(const float* a, const float* b, float* c, std::size_t m,
+                          std::size_t k, std::size_t n) const = 0;
+};
+
+// ----------------------------------------------------------------- registry
+
+/// All compiled-in backends in registration order: scalar_ref, blocked_omp,
+/// avx2 (when the toolchain supported -mavx2), sparse_spike.
+std::span<const GemmBackend* const> gemm_backends();
+
+/// Lookup by name; nullptr when no such backend is compiled in.
+const GemmBackend* find_gemm_backend(std::string_view name);
+
+/// Resolve an explicit override (nullptr or empty = automatic selection:
+/// avx2 when the CPU supports it, else blocked_omp). Throws
+/// std::invalid_argument for unknown names and std::runtime_error for known
+/// backends this machine cannot run, so a typo'd or impossible
+/// DTSNN_GEMM_BACKEND fails loudly instead of silently falling back.
+const GemmBackend& resolve_gemm_backend(const char* override_name);
+
+/// The process default: resolve_gemm_backend(getenv("DTSNN_GEMM_BACKEND")),
+/// evaluated once and cached.
+const GemmBackend& default_gemm_backend();
+
+/// Runtime CPUID check used to gate the avx2 backend.
+bool cpu_supports_avx2();
+
+// -------------------------------------------------------------------- stats
+
+/// Accounting for one GEMM op kind.
+struct GemmOpStats {
+  std::size_t calls = 0;
+  double flops = 0.0;       ///< dense FLOP count, 2*m*k*n per call
+  double a_elements = 0.0;  ///< total elements of A seen
+  double a_nonzeros = 0.0;  ///< nonzero elements of A seen
+  /// Element-weighted nonzero density of A across all calls (spike density
+  /// when A carries spike activations).
+  [[nodiscard]] double density() const {
+    return a_elements > 0.0 ? a_nonzeros / a_elements : 0.0;
+  }
+};
+
+struct GemmStats {
+  GemmOpStats nn;  ///< gemm
+  GemmOpStats at;  ///< gemm_at
+  GemmOpStats bt;  ///< gemm_bt
+  [[nodiscard]] std::size_t calls() const { return nn.calls + at.calls + bt.calls; }
+  [[nodiscard]] double flops() const { return nn.flops + at.flops + bt.flops; }
+  [[nodiscard]] double elements() const {
+    return nn.a_elements + at.a_elements + bt.a_elements;
+  }
+  [[nodiscard]] double nonzeros() const {
+    return nn.a_nonzeros + at.a_nonzeros + bt.a_nonzeros;
+  }
+  [[nodiscard]] double density() const {
+    const double e = elements();
+    return e > 0.0 ? nonzeros() / e : 0.0;
+  }
+};
+
+// ------------------------------------------------------------------ context
+
+/// A backend selection plus per-op accounting, threaded through every GEMM
+/// call site. Thread-safe for concurrent GEMM calls (parallel evaluation
+/// replicas share the global context); set_backend is not synchronized
+/// against in-flight calls and must happen between them.
+class GemmContext {
+ public:
+  /// Uses default_gemm_backend().
+  GemmContext();
+  explicit GemmContext(const GemmBackend& backend) : backend_(&backend) {}
+
+  /// Process-wide default context used by layers with no explicit context.
+  static GemmContext& global();
+
+  [[nodiscard]] const GemmBackend& backend() const { return *backend_; }
+  void set_backend(const GemmBackend& backend) { backend_ = &backend; }
+
+  /// Accounting costs one pass over A per call (the nonzero count) plus a
+  /// mutex acquisition — cheap next to the GEMM itself, but measurable on
+  /// very sparse or tiny ops. Latency-critical callers can turn it off;
+  /// disabled calls record nothing at all.
+  void set_stats_enabled(bool enabled) { stats_enabled_ = enabled; }
+  [[nodiscard]] bool stats_enabled() const { return stats_enabled_; }
+
+  void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+            std::size_t n, bool accumulate = false);
+  void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate = false);
+  void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate = false);
+
+  [[nodiscard]] GemmStats stats() const;
+  void reset_stats();
+
+ private:
+  void record(GemmOpStats GemmStats::* op, const float* a, std::size_t m, std::size_t k,
+              std::size_t n);
+
+  const GemmBackend* backend_;
+  bool stats_enabled_ = true;
+  mutable std::mutex mutex_;  ///< guards stats_ only
+  GemmStats stats_;
+};
 
 }  // namespace dtsnn::util

@@ -276,9 +276,9 @@ TEST(Engine, SequentialMatchesPosthoc) {
 }
 
 /// Regression: both engines claim to implement Eq. 8 identically. Post-hoc
-/// evaluate_dtsnn and SequentialEngine::infer_frames must agree on the exit
-/// timestep and the predicted class for every sample of a small synthetic
-/// dataset, across thresholds.
+/// replay (evaluate_recorded) and SequentialEngine::infer_frames must agree
+/// on the exit timestep and the predicted class for every sample of a small
+/// synthetic dataset, across thresholds.
 TEST(Engine, PosthocAndSequentialAgreeOnEverySample) {
   ExperimentSpec spec;
   spec.model = "vgg_micro";
@@ -347,23 +347,6 @@ TEST(Engine, ParallelCollectMatchesSerial) {
   EXPECT_THROW(collect_outputs_parallel(e.net, replica_factory(e), *e.bundle.test,
                                         /*timesteps=*/0),
                std::invalid_argument);
-}
-
-/// The deprecated evaluate_dtsnn free function must stay decision-identical
-/// to its replacement (PostHocEngine + evaluate_engine) while it exists.
-TEST(Engine, DeprecatedEvaluateDtsnnMatchesEngine) {
-  const auto out = fake_outputs();
-  for (const double theta : {0.05, 0.2, 0.5, 1.01}) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto legacy = evaluate_dtsnn(out, EntropyExitPolicy(theta));
-#pragma GCC diagnostic pop
-    const auto engine = fake_eval(out, EntropyExitPolicy(theta));
-    EXPECT_EQ(legacy.exit_timestep, engine.exit_timestep) << theta;
-    EXPECT_EQ(legacy.correct, engine.correct) << theta;
-    EXPECT_NEAR(legacy.accuracy, engine.accuracy, 1e-12) << theta;
-    EXPECT_NEAR(legacy.avg_timesteps, engine.avg_timesteps, 1e-12) << theta;
-  }
 }
 
 /// Satellite regression: when the timestep budget runs out without the exit

@@ -234,6 +234,10 @@ TEST(Csv, ThrowsOnBadPath) {
 }
 
 // ------------------------------------------------------------------- gemm
+//
+// These exercise the GemmContext entry points against a double-precision
+// naive reference with the process default backend. The per-backend bitwise
+// identity suite lives in test_gemm_backends.cpp.
 
 void naive_gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                 std::size_t n) {
@@ -256,7 +260,7 @@ TEST_P(GemmSizes, MatchesNaive) {
   std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
   for (auto& v : a) v = static_cast<float>(rng.gaussian());
   for (auto& v : b) v = static_cast<float>(rng.gaussian());
-  util::gemm(a.data(), b.data(), c.data(), m, k, n);
+  util::GemmContext::global().gemm(a.data(), b.data(), c.data(), m, k, n);
   naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
 }
@@ -272,7 +276,7 @@ TEST_P(GemmSizes, TransposedAMatchesNaive) {
   for (int i = 0; i < m; ++i) {
     for (int kk = 0; kk < k; ++kk) a[i * k + kk] = at[kk * m + i];
   }
-  util::gemm_at(at.data(), b.data(), c.data(), m, k, n);
+  util::GemmContext::global().gemm_at(at.data(), b.data(), c.data(), m, k, n);
   naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
 }
@@ -287,7 +291,7 @@ TEST_P(GemmSizes, TransposedBMatchesNaive) {
   for (int kk = 0; kk < k; ++kk) {
     for (int j = 0; j < n; ++j) b[kk * n + j] = bt[j * k + kk];
   }
-  util::gemm_bt(a.data(), bt.data(), c.data(), m, k, n);
+  util::GemmContext::global().gemm_bt(a.data(), bt.data(), c.data(), m, k, n);
   naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
 }
@@ -302,7 +306,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmSizes,
 TEST(Gemm, AccumulateAddsToExisting) {
   std::vector<float> a{1, 2}, b{3, 4}, c{10, 20};  // 1x2 * 2x1... use m=1,k=2,n=1
   std::vector<float> c1{5};
-  util::gemm(a.data(), b.data(), c1.data(), 1, 2, 1, /*accumulate=*/true);
+  util::GemmContext::global().gemm(a.data(), b.data(), c1.data(), 1, 2, 1, /*accumulate=*/true);
   EXPECT_FLOAT_EQ(c1[0], 5 + 1 * 3 + 2 * 4);
   (void)c;
 }
@@ -314,7 +318,7 @@ TEST(Gemm, SparseRowsSkipped) {
   std::vector<float> a(m * k, 0.0f), b(k * n), c(m * n), ref(m * n);
   for (auto& v : b) v = static_cast<float>(rng.gaussian());
   for (int i = 0; i < m * k; i += 3) a[i] = 1.0f;  // binary sparse input
-  util::gemm(a.data(), b.data(), c.data(), m, k, n);
+  util::GemmContext::global().gemm(a.data(), b.data(), c.data(), m, k, n);
   naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
 }
