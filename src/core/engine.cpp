@@ -303,14 +303,10 @@ InferenceResult SequentialEngine::infer_one(const data::Dataset& dataset,
     snn::cumulative_mean_step(y.data(), acc.data(), cum.data(), k, t);
     if (record_logits) history.insert(history.end(), cum.begin(), cum.end());
     if (t + 1 == budget || policy.should_exit(cum)) {
-      result.exit_timestep = t + 1;
-      result.predicted_class = util::argmax(cum);
-      result.final_entropy = entropy_of_logits(cum);
+      result = make_exit_result(cum, t, record_logits, history);
+      result.sample = sample;
       break;
     }
-  }
-  if (record_logits) {
-    result.timestep_logits = snn::Tensor({result.exit_timestep, k}, std::move(history));
   }
   return result;
 }
@@ -320,10 +316,8 @@ void SequentialEngine::run_streaming(const data::Dataset& dataset,
                                      const ResultSink& sink) {
   const ExitPolicy& policy = request.policy ? *request.policy : policy_;
   const std::size_t budget = request.max_timesteps ? request.max_timesteps : max_timesteps_;
+  validate_request_samples(request.samples, dataset.size(), "SequentialEngine");
   for (std::size_t i = 0; i < request.samples.size(); ++i) {
-    if (request.samples[i] >= dataset.size()) {
-      throw std::out_of_range("SequentialEngine: request sample out of range");
-    }
     InferenceResult r =
         infer_one(dataset, request.samples[i], policy, budget, request.record_logits);
     r.request_index = i;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "core/engine.h"
 #include "core/entropy.h"
@@ -14,6 +15,39 @@ namespace dtsnn::core {
 
 std::string InferenceEngine::gemm_backend() const {
   return std::string(util::GemmContext::global().backend().name());
+}
+
+void validate_request_samples(std::span<const std::size_t> samples,
+                              std::size_t sample_limit, const std::string& who,
+                              bool allow_duplicates) {
+  std::unordered_set<std::size_t> seen;
+  if (!allow_duplicates) seen.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i] >= sample_limit) {
+      throw std::out_of_range(who + ": sample index " + std::to_string(samples[i]) +
+                              " at request position " + std::to_string(i) +
+                              " out of range (sample limit " +
+                              std::to_string(sample_limit) + ")");
+    }
+    if (!allow_duplicates && !seen.insert(samples[i]).second) {
+      throw std::invalid_argument(who + ": duplicate sample index " +
+                                  std::to_string(samples[i]) + " at request position " +
+                                  std::to_string(i));
+    }
+  }
+}
+
+InferenceResult make_exit_result(std::span<const float> cum, std::size_t t,
+                                 bool record_logits, std::vector<float>& history) {
+  InferenceResult r;
+  r.exit_timestep = t + 1;
+  r.predicted_class = util::argmax(cum);
+  r.final_entropy = entropy_of_logits(cum);
+  if (record_logits) {
+    r.timestep_logits = snn::Tensor({t + 1, cum.size()}, std::move(history));
+  }
+  history.clear();
+  return r;
 }
 
 InferenceRequest InferenceRequest::first_n(std::size_t n) {
@@ -137,11 +171,9 @@ void PostHocEngine::run_streaming(const data::Dataset& dataset,
     if (budget > outputs_->timesteps) {
       throw std::invalid_argument("PostHocEngine: budget exceeds recorded timesteps");
     }
+    validate_request_samples(request.samples, outputs_->samples, "PostHocEngine");
     for (std::size_t i = 0; i < request.samples.size(); ++i) {
       const std::size_t s = request.samples[i];
-      if (s >= outputs_->samples) {
-        throw std::out_of_range("PostHocEngine: request sample outside recording");
-      }
       InferenceResult r =
           replay_rows(policy, budget, outputs_->classes, request.record_logits,
                       [&](std::size_t t) { return outputs_->at(t, s); });
@@ -154,15 +186,11 @@ void PostHocEngine::run_streaming(const data::Dataset& dataset,
 
   // Record-on-demand mode: forward requested samples for the full budget in
   // batches, then replay the exit rule on the recorded rows.
+  validate_request_samples(request.samples, dataset.size(), "PostHocEngine");
   const std::size_t k = net_->num_classes();
   for (std::size_t start = 0; start < request.samples.size(); start += batch_size_) {
     const std::size_t b = std::min(batch_size_, request.samples.size() - start);
     const std::span<const std::size_t> chunk(request.samples.data() + start, b);
-    for (const std::size_t s : chunk) {
-      if (s >= dataset.size()) {
-        throw std::out_of_range("PostHocEngine: request sample out of range");
-      }
-    }
     snn::EncodedBatch batch = data::materialize_batch(dataset, chunk, budget);
     snn::Tensor logits = net_->forward(batch.x, budget, /*train=*/false);
     snn::Tensor cum = snn::cumulative_mean_logits(logits, budget);
@@ -204,11 +232,7 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
   const std::size_t frame_numel = snn::shape_numel(fs);
   const std::size_t k = net_.num_classes();
 
-  for (const std::size_t s : request.samples) {
-    if (s >= dataset.size()) {
-      throw std::out_of_range("BatchedSequentialEngine: request sample out of range");
-    }
-  }
+  validate_request_samples(request.samples, dataset.size(), "BatchedSequentialEngine");
   if (request.samples.empty()) return;
 
   // Continuous batching: a live pool of up to batch_size_ samples, each at
@@ -225,7 +249,7 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
   };
   std::vector<Live> live;
   std::vector<double> acc;  // [live, K] accumulators, SequentialEngine arithmetic
-  std::vector<std::vector<float>> history(request.record_logits ? batch_size_ : 0);
+  std::vector<std::vector<float>> history(batch_size_);  // empty unless recording
   std::size_t next = 0;  // next request position awaiting admission
 
   const std::size_t initial = std::min(batch_size_, request.samples.size());
@@ -252,16 +276,9 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
         history[j].insert(history[j].end(), cum.begin(), cum.end());
       }
       if (t + 1 == budget || policy.should_exit(cum)) {
-        InferenceResult r;
+        InferenceResult r = make_exit_result(cum, t, request.record_logits, history[j]);
         r.request_index = live[j].request_index;
         r.sample = request.samples[live[j].request_index];
-        r.exit_timestep = t + 1;
-        r.predicted_class = util::argmax(cum);
-        r.final_entropy = entropy_of_logits(cum);
-        if (request.record_logits) {
-          r.timestep_logits = snn::Tensor({t + 1, k}, std::move(history[j]));
-          history[j].clear();
-        }
         sink(r);
       } else {
         live[j].t = t + 1;

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <functional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/exit_policy.h"
@@ -50,6 +52,18 @@ struct InferenceRequest {
   static InferenceRequest first_n(std::size_t n);
 };
 
+/// Validate request sample indices against an engine's addressable sample
+/// count *before* any network work happens: an out-of-range index throws
+/// std::out_of_range, and — when `allow_duplicates` is false, as at serving
+/// admission where a duplicate index is almost always a client bug — a
+/// repeated index throws std::invalid_argument. Both messages name the
+/// offending position and value, instead of failing deep inside
+/// data::materialize_batch / dataset accessors. Engines call this at the top
+/// of run_streaming; the serving layer calls it at submit().
+void validate_request_samples(std::span<const std::size_t> samples,
+                              std::size_t sample_limit, const std::string& who,
+                              bool allow_duplicates = true);
+
 /// One finished sample.
 struct InferenceResult {
   std::size_t request_index = 0;   ///< position within InferenceRequest::samples
@@ -63,6 +77,16 @@ struct InferenceResult {
 
 /// Receives each result as its sample finishes. Called serially.
 using ResultSink = std::function<void(const InferenceResult&)>;
+
+/// The quantities every engine reports at an exit decision, built from the
+/// cumulative-mean logits at the exiting timestep `t` (0-based): prediction
+/// (argmax), exit entropy, 1-based exit timestep, and — when recording —
+/// the [t+1, K] trajectory consumed from `history`. One definition shared
+/// by the stepping engines and the serving layer, so the bitwise identity
+/// contract between them is encoded once (request_index / sample are the
+/// caller's). `history` is left empty either way.
+InferenceResult make_exit_result(std::span<const float> cum, std::size_t t,
+                                 bool record_logits, std::vector<float>& history);
 
 class InferenceEngine {
  public:

@@ -1,0 +1,208 @@
+// Online inference serving: continuous batching under asynchronous arrivals.
+//
+// The offline engines (core/engine.h) run a fixed request list to
+// completion. InferenceServer turns BatchedSequentialEngine's live-pool
+// execution into a long-running service:
+//
+//   client threads ──submit()──▶ admission queue ──▶ scheduler ──▶ live pool
+//                                                      │  (worker thread,
+//                                                      │   one net.step()
+//                                                      │   per timestep)
+//   futures/callbacks ◀──────── streaming results ◀────┘
+//
+// One worker thread owns the network. Each scheduling cycle it admits
+// waiting samples into free pool slots (snn::Layer::compact_state with
+// kFreshRow rows, so admission between timesteps never perturbs residents),
+// steps the whole pool one timestep, evaluates every sample's exit rule
+// (per-request policy / budget / deadline), emits finished samples the
+// moment they exit, and compacts their slots out. Because each sample's
+// trajectory depends only on its own frames and per-row LIF state, served
+// results are bitwise identical — prediction, exit timestep, exit entropy,
+// recorded logits — to the offline batch-1 SequentialEngine oracle,
+// regardless of arrival order, pool composition, or client thread count.
+//
+// Scheduling knobs (ServerConfig): max_pool bounds the live batch;
+// admission_window lets an idle server hold the first arrivals briefly so
+// the initial batch launches fuller (dynamic batching). While the pool is
+// busy, admission is free: every timestep boundary takes waiting samples.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exit_policy.h"
+#include "core/inference.h"
+#include "data/dataset.h"
+#include "snn/network.h"
+#include "util/stats.h"
+
+namespace dtsnn::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+struct ServerConfig {
+  /// Live-pool capacity: the maximum number of samples stepped together.
+  std::size_t max_pool = 8;
+  /// Admission-queue capacity in samples; submit() throws when a request
+  /// would overflow it (backpressure instead of unbounded memory).
+  std::size_t max_queue = 4096;
+  /// How long an *idle* worker holds the first arrivals hoping to fill the
+  /// pool before launching the batch. 0 starts immediately.
+  std::chrono::microseconds admission_window{0};
+  /// Latency digests cover the most recent this-many completed samples
+  /// (bounded memory for a long-running server; total counts keep growing).
+  std::size_t latency_window = 8192;
+};
+
+/// One client submission: which samples to run and how, plus serving-only
+/// controls. Exit-policy / timestep-budget / record_logits overrides ride on
+/// the embedded core::InferenceRequest exactly as they do for the offline
+/// engines. A policy override must outlive the request's completion.
+struct ServeRequest {
+  core::InferenceRequest request;
+  /// Optional deadline: at the first timestep boundary at or past it, the
+  /// sample force-exits with the same quantities a budget exhaustion would
+  /// report at that timestep. Samples always complete at least one timestep.
+  std::optional<ServeClock::time_point> deadline;
+  /// Optional streaming callback, invoked on the worker thread the moment
+  /// each sample exits (before the request future resolves). Must not call
+  /// drain() on the serving server (self-join); submit() is fine.
+  core::ResultSink on_result;
+};
+
+/// Snapshot of server counters (stats()). Latency digests are computed via
+/// util::summarize_percentiles over the most recent
+/// ServerConfig::latency_window completed samples.
+struct ServerStats {
+  std::size_t submitted_requests = 0;
+  std::size_t submitted_samples = 0;
+  std::size_t completed_samples = 0;
+  std::size_t failed_samples = 0;  ///< samples of requests failed by a worker error
+  std::size_t deadline_forced_exits = 0;
+  std::size_t queue_depth = 0;   ///< samples waiting for admission now
+  std::size_t live_samples = 0;  ///< samples in the pool now
+  std::size_t peak_pool = 0;     ///< largest pool occupancy seen
+  /// Bin t-1 = completed samples that exited at timestep t.
+  util::Histogram exit_timesteps{1};
+  double mean_exit_timestep = 0.0;  ///< 1-based; 0 when nothing completed
+  /// submit() -> admission into the pool, microseconds.
+  util::PercentileSummary queue_us;
+  /// submit() -> exit decision, microseconds (end-to-end latency).
+  util::PercentileSummary latency_us;
+};
+
+class InferenceServer {
+ public:
+  /// The server takes exclusive use of `net` between construction and
+  /// drain()/destruction (the worker thread steps it); `dataset`,
+  /// `default_policy`, and any per-request policy overrides must outlive
+  /// the server. Throws std::invalid_argument for max_timesteps == 0,
+  /// max_pool == 0, or max_queue == 0.
+  InferenceServer(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                  const core::ExitPolicy& default_policy, std::size_t max_timesteps,
+                  ServerConfig config = {});
+
+  /// Drains gracefully: all accepted work completes before destruction.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Thread-safe submission. Validates the request up front (clear errors at
+  /// the call site): empty samples expand to the whole dataset; out-of-range
+  /// indices throw std::out_of_range; duplicate indices and budget overrides
+  /// above max_timesteps() throw std::invalid_argument; submission after
+  /// drain() or onto a full queue throws std::runtime_error. The future
+  /// resolves with the request's results ordered by request position once
+  /// its last sample exits — or with the exception that failed the request:
+  /// a throw on the worker thread (e.g. from a user ExitPolicy or result
+  /// callback) fails the affected in-flight requests via their futures and
+  /// the server keeps serving; it never takes the process down.
+  std::future<std::vector<core::InferenceResult>> submit(ServeRequest req);
+
+  /// Graceful shutdown: stop accepting, run everything already accepted to
+  /// completion, then stop the worker. Idempotent; also called by the
+  /// destructor. After drain() the network is free for other users.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] std::size_t max_timesteps() const { return max_timesteps_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// GEMM backend the pool's network math dispatches through.
+  [[nodiscard]] std::string gemm_backend() const;
+
+ private:
+  /// One ServeRequest in flight; shared by its queued/live samples.
+  struct Pending {
+    const core::ExitPolicy* policy = nullptr;
+    std::size_t budget = 0;
+    bool record_logits = false;
+    std::optional<ServeClock::time_point> deadline;
+    core::ResultSink on_result;
+    ServeClock::time_point submit_time;
+    std::vector<core::InferenceResult> results;  ///< by request position
+    std::size_t remaining = 0;  ///< worker-thread only after submission
+    /// Promise already satisfied with an exception; discard the request's
+    /// other samples. Worker-thread only.
+    bool failed = false;
+    std::promise<std::vector<core::InferenceResult>> promise;
+  };
+
+  /// One sample waiting for admission.
+  struct Unit {
+    std::shared_ptr<Pending> owner;
+    std::size_t request_index = 0;
+    std::size_t sample = 0;
+  };
+
+  /// One live pool row (worker-thread only).
+  struct Slot {
+    std::shared_ptr<Pending> owner;
+    std::size_t request_index = 0;
+    std::size_t sample = 0;
+    std::size_t t = 0;            ///< this sample's current 0-based timestep
+    std::vector<double> acc;      ///< [K] logit accumulators (oracle arithmetic)
+    std::vector<float> history;   ///< cum-logit trajectory when recording
+    ServeClock::time_point admitted_at;
+  };
+
+  void worker_loop();
+
+  snn::SpikingNetwork& net_;
+  const data::Dataset& dataset_;
+  const core::ExitPolicy& default_policy_;
+  std::size_t max_timesteps_;
+  ServerConfig config_;
+
+  mutable std::mutex mu_;
+  std::mutex drain_mu_;  ///< serializes drain() callers around the join
+  std::condition_variable cv_worker_;
+  std::deque<Unit> queue_;
+  bool draining_ = false;
+
+  // Counters guarded by mu_.
+  std::size_t submitted_requests_ = 0;
+  std::size_t submitted_samples_ = 0;
+  std::size_t completed_samples_ = 0;
+  std::size_t failed_samples_ = 0;
+  std::size_t deadline_forced_ = 0;
+  std::size_t live_samples_ = 0;
+  std::size_t peak_pool_ = 0;
+  util::Histogram exit_hist_;
+  util::BoundedSampleWindow queue_waits_us_;
+  util::BoundedSampleWindow latencies_us_;
+
+  std::thread worker_;  ///< started last, joined by drain()
+};
+
+}  // namespace dtsnn::serve

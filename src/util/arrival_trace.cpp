@@ -1,0 +1,42 @@
+#include "util/arrival_trace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dtsnn::util {
+
+std::vector<Arrival> make_arrival_trace(const ArrivalTraceSpec& spec) {
+  if (spec.arrivals == 0) {
+    throw std::invalid_argument("make_arrival_trace: arrivals == 0");
+  }
+  if (spec.burst == 0) throw std::invalid_argument("make_arrival_trace: burst == 0");
+  if (spec.sample_limit == 0) {
+    throw std::invalid_argument("make_arrival_trace: sample_limit == 0");
+  }
+  if (!(spec.mean_gap_us >= 0.0) || !std::isfinite(spec.mean_gap_us)) {
+    throw std::invalid_argument("make_arrival_trace: mean_gap_us must be finite >= 0");
+  }
+
+  Rng rng(spec.seed);
+  std::vector<Arrival> trace;
+  trace.reserve(spec.arrivals);
+  double now_us = 0.0;
+  while (trace.size() < spec.arrivals) {
+    if (spec.mean_gap_us > 0.0 && !trace.empty()) {
+      // Exponential inter-burst gap: -mean * ln(1 - U), U in [0, 1).
+      now_us += -spec.mean_gap_us * std::log(1.0 - rng.uniform());
+    }
+    const auto stamp = static_cast<std::uint64_t>(now_us);
+    for (std::size_t i = 0; i < spec.burst && trace.size() < spec.arrivals; ++i) {
+      Arrival a;
+      a.offset_us = stamp;
+      a.sample = static_cast<std::size_t>(rng.uniform_int(spec.sample_limit));
+      trace.push_back(a);
+    }
+  }
+  return trace;
+}
+
+}  // namespace dtsnn::util

@@ -1,0 +1,43 @@
+// Seeded deterministic request-arrival traces.
+//
+// The serving bench and the server tests need an asynchronous workload
+// shape — when each request arrives and which dataset sample it asks for —
+// that is exactly reproducible across runs and hosts. This generator draws
+// the whole trace up front from an explicit seed (util::Rng), so workload
+// shape never depends on wall-clock randomness; only the *replay* of a
+// trace touches the clock, and a replayer is free to ignore the offsets and
+// submit as fast as it can (the decision outputs are identical either way).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dtsnn::util {
+
+struct ArrivalTraceSpec {
+  /// Total number of arrivals (one single-sample request each).
+  std::size_t arrivals = 64;
+  /// Mean gap between bursts in microseconds; gaps are exponential, so the
+  /// trace is a Poisson process (the standard open-loop serving workload).
+  /// 0 means every arrival is immediate (a closed burst).
+  double mean_gap_us = 500.0;
+  /// Arrivals per burst: each burst shares one timestamp, modelling
+  /// simultaneous submissions from independent clients.
+  std::size_t burst = 1;
+  /// Sample indices are drawn uniformly from [0, sample_limit).
+  std::size_t sample_limit = 1;
+  std::uint64_t seed = 0x7ace7aceull;
+};
+
+struct Arrival {
+  std::uint64_t offset_us = 0;  ///< nondecreasing offset from trace start
+  std::size_t sample = 0;       ///< dataset sample index
+};
+
+/// Generate the trace for `spec`. Deterministic: equal specs yield equal
+/// traces. Throws std::invalid_argument for arrivals == 0, burst == 0,
+/// sample_limit == 0, or negative / non-finite mean_gap_us.
+std::vector<Arrival> make_arrival_trace(const ArrivalTraceSpec& spec);
+
+}  // namespace dtsnn::util

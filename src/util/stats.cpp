@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace dtsnn::util {
 
@@ -91,15 +92,55 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   return sxy / std::sqrt(sxx * syy);
 }
 
-double quantile(std::span<const double> sample, double p) {
-  assert(!sample.empty() && p >= 0.0 && p <= 1.0);
-  std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+double sorted_quantile(std::span<const double> sorted, double p) {
   const double pos = p * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> sample, double p) {
+  assert(!sample.empty() && p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, p);
+}
+
+PercentileSummary summarize_percentiles(std::span<const double> sample) {
+  PercentileSummary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double acc = 0.0;
+  for (const double x : sorted) acc += x;
+  s.mean = acc / static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.p50 = sorted_quantile(sorted, 0.50);
+  s.p90 = sorted_quantile(sorted, 0.90);
+  s.p95 = sorted_quantile(sorted, 0.95);
+  s.p99 = sorted_quantile(sorted, 0.99);
+  s.max = sorted.back();
+  return s;
+}
+
+BoundedSampleWindow::BoundedSampleWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("BoundedSampleWindow: capacity == 0");
+}
+
+void BoundedSampleWindow::add(double x) {
+  if (data_.size() < capacity_) {
+    data_.push_back(x);
+  } else {
+    data_[next_] = x;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
 }
 
 }  // namespace dtsnn::util

@@ -60,4 +60,46 @@ double pearson(std::span<const double> x, std::span<const double> y);
 /// p-quantile (linear interpolation) of a sample; input copied and sorted.
 double quantile(std::span<const double> sample, double p);
 
+/// Latency-style percentile digest of a sample. The fixed percentile set is
+/// what the serving layer and its bench report (p50/p95/p99 is the
+/// conventional tail-latency triple); an empty sample yields all zeros.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// One sort, all percentiles: the shared helper behind server latency stats
+/// and BENCH_serving.json.
+PercentileSummary summarize_percentiles(std::span<const double> sample);
+
+/// Sliding window over the most recent `capacity` samples, O(1) per add
+/// with bounded memory — what a long-running server keeps for its latency
+/// digests instead of an ever-growing history. snapshot() returns the
+/// window's contents (unordered) for summarize_percentiles.
+class BoundedSampleWindow {
+ public:
+  /// Throws std::invalid_argument when capacity == 0.
+  explicit BoundedSampleWindow(std::size_t capacity);
+
+  void add(double x);
+  /// Samples currently in the window (<= capacity), in no defined order.
+  [[nodiscard]] std::vector<double> snapshot() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total adds ever, including samples that have slid out.
+  [[nodiscard]] std::size_t total_added() const { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> data_;
+  std::size_t next_ = 0;  ///< overwrite cursor once full
+  std::size_t total_ = 0;
+};
+
 }  // namespace dtsnn::util

@@ -192,6 +192,57 @@ TEST(BatchedEngine, EmptyAndInvalidRequests) {
   EXPECT_EQ(all.exit_timestep.size(), ds.size());
 }
 
+/// Sample indices are validated before any network work: a bad index at the
+/// end of the request must fail the whole request up front (no partial
+/// emissions), with the offending position in the message, on every engine.
+TEST(RequestValidation, EnginesRejectBadIndicesBeforeRunningAnything) {
+  Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const EntropyExitPolicy policy(0.35);
+  const auto outputs = test_outputs(e, 3, /*limit=*/8);
+
+  SequentialEngine batch1(e.net, policy, 3);
+  BatchedSequentialEngine batched(e.net, policy, 3, /*batch_size=*/4);
+  PostHocEngine replay(outputs, policy);
+
+  InferenceRequest bad;
+  bad.samples = {0, 1, ds.size()};  // valid prefix, invalid tail
+  for (InferenceEngine* engine : {static_cast<InferenceEngine*>(&batch1),
+                                  static_cast<InferenceEngine*>(&batched)}) {
+    std::size_t emissions = 0;
+    EXPECT_THROW(
+        engine->run_streaming(ds, bad, [&](const InferenceResult&) { ++emissions; }),
+        std::out_of_range)
+        << engine->name();
+    EXPECT_EQ(emissions, 0u) << engine->name() << " emitted before validating";
+  }
+  // Replay engine: the limit is the recording, not the dataset.
+  InferenceRequest past_recording;
+  past_recording.samples = {0, outputs.samples};
+  std::size_t emissions = 0;
+  EXPECT_THROW(replay.run_streaming(ds, past_recording,
+                                    [&](const InferenceResult&) { ++emissions; }),
+               std::out_of_range);
+  EXPECT_EQ(emissions, 0u);
+
+  // The error message names the offending value and position.
+  try {
+    batch1.run(ds, bad);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find(std::to_string(ds.size())), std::string::npos) << what;
+    EXPECT_NE(what.find("position 2"), std::string::npos) << what;
+  }
+
+  // validate_request_samples is also the duplicate detector for callers
+  // that forbid duplicates (the serving admission path).
+  const std::vector<std::size_t> dupes = {4, 2, 4};
+  EXPECT_NO_THROW(validate_request_samples(dupes, 10, "test"));
+  EXPECT_THROW(validate_request_samples(dupes, 10, "test", /*allow_duplicates=*/false),
+               std::invalid_argument);
+}
+
 /// evaluate_engine aggregates exactly like the legacy post-hoc evaluator.
 TEST(BatchedEngine, EvaluateEngineMatchesPostHocAggregation) {
   Experiment e = micro_experiment("sync10", 3);

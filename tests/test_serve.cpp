@@ -1,0 +1,446 @@
+// Serving-layer tests. The load-bearing property is the bitwise identity
+// contract: every served result — prediction, exit timestep, exit entropy,
+// recorded cumulative-logit trajectory — equals the offline batch-1
+// SequentialEngine oracle, on every dataset preset and both shipped policy
+// families, under concurrent submission from multiple client threads and
+// mid-flight admission into a busy pool. Plus the serving-only behaviors:
+// deadline-forced exits, drain-on-shutdown, submission-time validation, and
+// server stats.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/exit_policy.h"
+#include "serve/server.h"
+
+namespace dtsnn::serve {
+namespace {
+
+using core::InferenceRequest;
+using core::InferenceResult;
+
+core::Experiment micro_experiment(const std::string& dataset, std::size_t timesteps,
+                                  std::uint64_t seed = 1) {
+  core::ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = dataset;
+  spec.epochs = 1;
+  spec.timesteps = timesteps;
+  spec.data_scale = 0.05;
+  spec.seed = seed;
+  return core::run_experiment(spec);
+}
+
+/// Request for an explicit index list. (push_back instead of an
+/// initializer-list assignment: GCC 12's -Wnonnull trips on the latter's
+/// inlined memmove at -O2.)
+ServeRequest request_for(std::initializer_list<std::size_t> samples,
+                         bool record_logits = false) {
+  ServeRequest req;
+  for (const std::size_t s : samples) req.request.samples.push_back(s);
+  req.request.record_logits = record_logits;
+  return req;
+}
+
+/// Bitwise comparison of a served result against the oracle's.
+void expect_identical(const InferenceResult& served, const InferenceResult& oracle,
+                      const std::string& context) {
+  EXPECT_EQ(served.sample, oracle.sample) << context;
+  EXPECT_EQ(served.predicted_class, oracle.predicted_class) << context;
+  EXPECT_EQ(served.exit_timestep, oracle.exit_timestep) << context;
+  EXPECT_EQ(served.final_entropy, oracle.final_entropy) << context;
+  ASSERT_EQ(served.timestep_logits.shape(), oracle.timestep_logits.shape()) << context;
+  for (std::size_t j = 0; j < served.timestep_logits.numel(); ++j) {
+    ASSERT_EQ(served.timestep_logits[j], oracle.timestep_logits[j])
+        << context << " logit " << j;
+  }
+}
+
+/// The headline acceptance property: served results are bitwise identical
+/// to the offline batch-1 oracle on all four dataset presets, under both
+/// entropy and max-prob policies, with >= 4 client threads submitting
+/// concurrently into a pool the threads contend for.
+TEST(InferenceServer, ServedBitwiseIdenticalToOfflineOracleAcrossPresets) {
+  for (const std::string preset : {"sync10", "sync100", "syntin", "syndvs"}) {
+    const std::size_t timesteps = preset == "syndvs" ? 5 : 3;
+    core::Experiment e = micro_experiment(preset, timesteps);
+    const auto& ds = *e.bundle.test;
+    const std::size_t n = std::min<std::size_t>(24, ds.size());
+
+    const core::EntropyExitPolicy entropy(0.35);
+    const core::MaxProbExitPolicy maxprob(0.6);
+    for (const core::ExitPolicy* policy :
+         {static_cast<const core::ExitPolicy*>(&entropy),
+          static_cast<const core::ExitPolicy*>(&maxprob)}) {
+      const std::string context = preset + "/" + policy->name();
+
+      // Offline oracle first — the network is shared, and the server takes
+      // exclusive use of it between construction and drain().
+      core::SequentialEngine batch1(e.net, *policy, timesteps);
+      InferenceRequest all = InferenceRequest::first_n(n);
+      all.record_logits = true;
+      const std::vector<InferenceResult> oracle = batch1.run(ds, all);
+
+      ServerConfig config;
+      config.max_pool = 5;  // smaller than n: constant admission churn
+      std::vector<std::future<std::vector<InferenceResult>>> futures(n);
+      {
+        InferenceServer server(e.net, ds, *policy, timesteps, config);
+        // 4 client threads submit interleaved single-sample requests.
+        constexpr std::size_t kClients = 4;
+        std::vector<std::thread> clients;
+        for (std::size_t c = 0; c < kClients; ++c) {
+          clients.emplace_back([&, c] {
+            for (std::size_t s = c; s < n; s += kClients) {
+              futures[s] = server.submit(request_for({s}, /*record_logits=*/true));
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        server.drain();
+      }
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::vector<InferenceResult> got = futures[s].get();
+        ASSERT_EQ(got.size(), 1u) << context;
+        expect_identical(got[0], oracle[s], context + " sample " + std::to_string(s));
+      }
+    }
+  }
+}
+
+/// Samples admitted into a half-busy pool mid-flight must neither perturb
+/// residents nor be perturbed themselves: everyone matches the oracle.
+TEST(InferenceServer, MidFlightAdmissionPreservesIdentity) {
+  core::Experiment e = micro_experiment("sync10", 4);
+  const auto& ds = *e.bundle.test;
+  const std::size_t n = std::min<std::size_t>(12, ds.size());
+
+  // Residents run the full budget (never exit), so late arrivals are
+  // admitted into free slots while residents hold theirs across timesteps.
+  const core::NeverExitPolicy never;
+  core::SequentialEngine batch1(e.net, never, 4);
+  InferenceRequest all = InferenceRequest::first_n(n);
+  all.record_logits = true;
+  const std::vector<InferenceResult> oracle = batch1.run(ds, all);
+
+  ServerConfig config;
+  config.max_pool = 8;  // residents occupy 3 slots; arrivals join the rest
+  InferenceServer server(e.net, ds, never, 4, config);
+
+  auto resident_future = server.submit(request_for({0, 1, 2}, /*record_logits=*/true));
+
+  // Trickle in the rest from another thread while the pool is running.
+  std::vector<std::future<std::vector<InferenceResult>>> later;
+  for (std::size_t s = 3; s < n; ++s) {
+    later.push_back(server.submit(request_for({s}, /*record_logits=*/true)));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  server.drain();
+
+  const std::vector<InferenceResult> resident_results = resident_future.get();
+  ASSERT_EQ(resident_results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_identical(resident_results[i], oracle[i], "resident " + std::to_string(i));
+    EXPECT_EQ(resident_results[i].exit_timestep, 4u);
+  }
+  for (std::size_t i = 0; i < later.size(); ++i) {
+    const auto got = later[i].get();
+    ASSERT_EQ(got.size(), 1u);
+    expect_identical(got[0], oracle[3 + i], "arrival " + std::to_string(3 + i));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted_samples, n);
+  EXPECT_EQ(stats.completed_samples, n);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.live_samples, 0u);
+  EXPECT_GE(stats.peak_pool, 3u);
+  EXPECT_LE(stats.peak_pool, config.max_pool);
+  EXPECT_EQ(stats.exit_timesteps.total(), n);
+  EXPECT_EQ(stats.exit_timesteps.count(3), n);  // everyone exits at t=4
+  EXPECT_DOUBLE_EQ(stats.mean_exit_timestep, 4.0);
+  EXPECT_EQ(stats.latency_us.count, n);
+  EXPECT_GE(stats.latency_us.p99, stats.latency_us.p50);
+}
+
+/// An expired deadline forces exit at the first timestep boundary, with the
+/// same quantities a budget-1 oracle reports — not a dropped request.
+TEST(InferenceServer, DeadlineForcedExitMatchesBudget1Oracle) {
+  core::Experiment e = micro_experiment("sync10", 4);
+  const auto& ds = *e.bundle.test;
+  const std::size_t n = std::min<std::size_t>(6, ds.size());
+
+  const core::NeverExitPolicy never;  // only the deadline can end these early
+  core::SequentialEngine batch1(e.net, never, 4);
+  InferenceRequest all = InferenceRequest::first_n(n);
+  all.record_logits = true;
+  all.max_timesteps = 1;  // the oracle for a deadline hit at t=1
+  const std::vector<InferenceResult> oracle = batch1.run(ds, all);
+
+  InferenceServer server(e.net, ds, never, 4);
+  ServeRequest req;
+  req.request = InferenceRequest::first_n(n);
+  req.request.record_logits = true;
+  req.deadline = ServeClock::now() - std::chrono::seconds(1);  // already past
+  auto future = server.submit(std::move(req));
+  server.drain();
+
+  const std::vector<InferenceResult> got = future.get();
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i].exit_timestep, 1u);
+    expect_identical(got[i], oracle[i], "deadline sample " + std::to_string(i));
+  }
+  EXPECT_EQ(server.stats().deadline_forced_exits, n);
+}
+
+TEST(InferenceServer, DrainCompletesAcceptedWorkAndRejectsNew) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const core::EntropyExitPolicy policy(0.35);
+
+  InferenceServer server(e.net, ds, policy, 3, ServerConfig{.max_pool = 4});
+  std::vector<std::future<std::vector<InferenceResult>>> futures;
+  const std::size_t n = std::min<std::size_t>(10, ds.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    futures.push_back(server.submit(request_for({s})));
+  }
+  server.drain();
+
+  // Every accepted sample completed; its future is ready, not abandoned.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().size(), 1u);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed_samples, n);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  EXPECT_THROW(server.submit(request_for({0})), std::runtime_error);
+  server.drain();  // idempotent
+}
+
+TEST(InferenceServer, SubmitValidatesUpFront) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const core::EntropyExitPolicy policy(0.35);
+  InferenceServer server(e.net, ds, policy, 3);
+
+  ServeRequest out_of_range = request_for({0});
+  out_of_range.request.samples.push_back(ds.size());
+  EXPECT_THROW(server.submit(std::move(out_of_range)), std::out_of_range);
+
+  EXPECT_THROW(server.submit(request_for({1, 2, 1})), std::invalid_argument);
+
+  ServeRequest over_budget = request_for({0});
+  over_budget.request.max_timesteps = 4;  // server budget is 3
+  EXPECT_THROW(server.submit(std::move(over_budget)), std::invalid_argument);
+
+  // Nothing was accepted by the rejected submissions.
+  EXPECT_EQ(server.stats().submitted_samples, 0u);
+
+  // An empty request expands to the whole dataset, like the offline run().
+  ServeRequest everything;
+  auto future = server.submit(std::move(everything));
+  EXPECT_EQ(future.get().size(), ds.size());
+
+  // Over an *empty* dataset the expansion stays empty: the future resolves
+  // immediately with no results instead of hanging forever.
+  data::ArrayDataset empty_ds(ds.frame_shape(), 1, ds.num_classes());
+  InferenceServer empty_server(e.net, empty_ds, policy, 3);
+  EXPECT_EQ(empty_server.submit(ServeRequest{}).get().size(), 0u);
+
+  EXPECT_THROW(InferenceServer(e.net, ds, policy, 0), std::invalid_argument);
+  EXPECT_THROW(InferenceServer(e.net, ds, policy, 3, ServerConfig{.max_pool = 0}),
+               std::invalid_argument);
+}
+
+/// Per-request policy and budget overrides behave exactly as they do on the
+/// offline engines, and streaming callbacks fire once per sample with the
+/// right request mapping, before the future resolves.
+TEST(InferenceServer, OverridesAndStreamingCallbacks) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const std::size_t n = std::min<std::size_t>(9, ds.size());
+
+  const core::NeverExitPolicy never;  // server default: run the full budget
+  InferenceServer server(e.net, ds, never, 3, ServerConfig{.max_pool = 4});
+
+  // Policy override: exit everything at t=1.
+  const core::EntropyExitPolicy immediate(1.01);
+  std::atomic<std::size_t> streamed{0};
+  ServeRequest req;
+  req.request = InferenceRequest::first_n(n);
+  req.request.policy = &immediate;
+  req.on_result = [&](const InferenceResult& r) {
+    ++streamed;
+    EXPECT_LT(r.request_index, n);
+    EXPECT_EQ(r.sample, r.request_index);  // first_n maps position == sample
+    EXPECT_EQ(r.exit_timestep, 1u);
+  };
+  const auto results = server.submit(std::move(req)).get();
+  EXPECT_EQ(streamed.load(), n);
+  ASSERT_EQ(results.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(results[i].request_index, i);
+    EXPECT_EQ(results[i].exit_timestep, 1u);
+  }
+
+  // Budget override below the server budget: forced exit moves to t=2.
+  ServeRequest shorter;
+  shorter.request = InferenceRequest::first_n(n);
+  shorter.request.max_timesteps = 2;
+  for (const auto& r : server.submit(std::move(shorter)).get()) {
+    EXPECT_EQ(r.exit_timestep, 2u);
+  }
+}
+
+/// Concurrent multi-sample requests with mixed per-request policies resolve
+/// independently and still match their respective oracles.
+TEST(InferenceServer, ConcurrentMixedPolicyRequests) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const std::size_t n = std::min<std::size_t>(16, ds.size());
+
+  const core::EntropyExitPolicy tight(0.2);
+  const core::EntropyExitPolicy loose(0.6);
+  core::SequentialEngine batch1_tight(e.net, tight, 3);
+  core::SequentialEngine batch1_loose(e.net, loose, 3);
+  const auto oracle_tight = batch1_tight.run(ds, InferenceRequest::first_n(n));
+  const auto oracle_loose = batch1_loose.run(ds, InferenceRequest::first_n(n));
+
+  InferenceServer server(e.net, ds, tight, 3, ServerConfig{.max_pool = 6});
+  std::vector<std::future<std::vector<InferenceResult>>> tight_futs(4), loose_futs(4);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client submits one 4-sample tight request and one loose
+      // override request over the same disjoint slice.
+      ServeRequest a;
+      ServeRequest b;
+      for (std::size_t s = c * 4; s < c * 4 + 4 && s < n; ++s) {
+        a.request.samples.push_back(s);
+        b.request.samples.push_back(s);
+      }
+      tight_futs[c] = server.submit(std::move(a));
+      b.request.policy = &loose;
+      loose_futs[c] = server.submit(std::move(b));
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.drain();
+
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto ta = tight_futs[c].get();
+    const auto tb = loose_futs[c].get();
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      expect_identical(ta[i], oracle_tight[ta[i].sample], "tight");
+      expect_identical(tb[i], oracle_loose[tb[i].sample], "loose");
+    }
+  }
+}
+
+/// A throwing user exit policy must not take the server down: the affected
+/// request's future carries the exception, and the server keeps serving
+/// later requests correctly.
+TEST(InferenceServer, WorkerExceptionFailsRequestNotServer) {
+  struct ThrowingPolicy final : core::ExitPolicy {
+    [[nodiscard]] bool should_exit(std::span<const float>) const override {
+      throw std::runtime_error("policy bug");
+    }
+    [[nodiscard]] std::string name() const override { return "throwing"; }
+  };
+
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const core::EntropyExitPolicy good(0.35);
+  core::SequentialEngine batch1(e.net, good, 3);
+  const auto oracle = batch1.run(ds, InferenceRequest::first_n(4));
+
+  InferenceServer server(e.net, ds, good, 3, ServerConfig{.max_pool = 4});
+  const ThrowingPolicy bad;
+  ServeRequest poisoned = request_for({0, 1});
+  poisoned.request.policy = &bad;
+  auto poisoned_future = server.submit(std::move(poisoned));
+  EXPECT_THROW(poisoned_future.get(), std::runtime_error);
+
+  // The server survives and subsequent requests still match the oracle.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto got = server.submit(request_for({s})).get();
+    ASSERT_EQ(got.size(), 1u);
+    expect_identical(got[0], oracle[s], "after worker failure");
+  }
+
+  // A throwing result callback fails only its own request the same way.
+  ServeRequest bad_callback = request_for({5});
+  bad_callback.on_result = [](const InferenceResult&) {
+    throw std::runtime_error("callback bug");
+  };
+  auto cb_future = server.submit(std::move(bad_callback));
+  EXPECT_THROW(cb_future.get(), std::runtime_error);
+  const auto after = server.submit(request_for({1})).get();
+  expect_identical(after.at(0), oracle[1], "after callback failure");
+
+  // At quiescence, completed + failed partition the submitted samples:
+  // discarded work of failed requests never counts as completed. (Checked
+  // after drain — the worker publishes stats after resolving the futures.)
+  server.drain();
+  const ServerStats final_stats = server.stats();
+  EXPECT_EQ(final_stats.submitted_samples, 8u);
+  EXPECT_EQ(final_stats.completed_samples, 5u);
+  EXPECT_EQ(final_stats.failed_samples, 3u);  // 2 policy-poisoned + 1 callback
+  EXPECT_EQ(final_stats.exit_timesteps.total(), final_stats.completed_samples);
+}
+
+/// The exit policy is consulted for exactly the same cum rows as on the
+/// batch-1 oracle: never at the budget-exhaustion step (short-circuit
+/// parity), so a policy only defined below the budget behaves identically.
+TEST(InferenceServer, PolicyConsultedOnlyBelowBudget) {
+  struct CountingPolicy final : core::ExitPolicy {
+    mutable std::atomic<std::size_t> calls{0};
+    [[nodiscard]] bool should_exit(std::span<const float>) const override {
+      ++calls;
+      return false;
+    }
+    [[nodiscard]] std::string name() const override { return "counting"; }
+  };
+
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const CountingPolicy counting;
+  {
+    InferenceServer server(e.net, ds, counting, 3, ServerConfig{.max_pool = 4});
+    ServeRequest req;
+    req.request = InferenceRequest::first_n(5);
+    server.submit(std::move(req)).get();
+  }
+  // 5 samples x budget 3: consulted at t=1 and t=2, never at the forced
+  // exit — exactly what SequentialEngine does.
+  EXPECT_EQ(counting.calls.load(), 10u);
+}
+
+/// The destructor alone drains gracefully: accepted work completes even if
+/// the client never calls drain().
+TEST(InferenceServer, DestructorDrains) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const core::EntropyExitPolicy policy(0.35);
+  std::future<std::vector<InferenceResult>> future;
+  {
+    InferenceServer server(e.net, ds, policy, 3, ServerConfig{.max_pool = 2});
+    ServeRequest req;
+    req.request = InferenceRequest::first_n(std::min<std::size_t>(8, ds.size()));
+    future = server.submit(std::move(req));
+  }
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(future.get().size(), std::min<std::size_t>(8, ds.size()));
+}
+
+}  // namespace
+}  // namespace dtsnn::serve

@@ -1,4 +1,4 @@
-// Unit tests for util: rng, math, stats, csv, gemm.
+// Unit tests for util: rng, math, stats, csv, gemm, arrival traces.
 
 #include <cmath>
 #include <cstdio>
@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/arrival_trace.h"
 #include "util/csv.h"
 #include "util/gemm.h"
 #include "util/math.h"
@@ -321,6 +322,107 @@ TEST(Gemm, SparseRowsSkipped) {
   util::GemmContext::global().gemm(a.data(), b.data(), c.data(), m, k, n);
   naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
   for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+// ------------------------------------------------------- PercentileSummary
+
+TEST(PercentileSummary, MatchesQuantileAndHandlesEmpty) {
+  std::vector<double> sample;
+  for (int i = 100; i >= 1; --i) sample.push_back(static_cast<double>(i));
+  const util::PercentileSummary s = util::summarize_percentiles(sample);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50, util::quantile(sample, 0.50));
+  EXPECT_DOUBLE_EQ(s.p90, util::quantile(sample, 0.90));
+  EXPECT_DOUBLE_EQ(s.p95, util::quantile(sample, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, util::quantile(sample, 0.99));
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+
+  const util::PercentileSummary empty = util::summarize_percentiles({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(BoundedSampleWindow, KeepsOnlyTheMostRecentSamples) {
+  util::BoundedSampleWindow w(4);
+  EXPECT_THROW(util::BoundedSampleWindow(0), std::invalid_argument);
+  for (int i = 1; i <= 3; ++i) w.add(i);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.total_added(), 3u);
+
+  for (int i = 4; i <= 10; ++i) w.add(i);  // slides past capacity
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.capacity(), 4u);
+  EXPECT_EQ(w.total_added(), 10u);
+  const util::PercentileSummary s = util::summarize_percentiles(w.snapshot());
+  EXPECT_DOUBLE_EQ(s.min, 7.0);  // only 7..10 remain in the window
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 8.5);
+}
+
+// ----------------------------------------------------------- ArrivalTrace
+
+TEST(ArrivalTrace, DeterministicMonotoneAndBounded) {
+  util::ArrivalTraceSpec spec;
+  spec.arrivals = 500;
+  spec.mean_gap_us = 250.0;
+  spec.sample_limit = 37;
+  spec.seed = 99;
+  const auto a = util::make_arrival_trace(spec);
+  const auto b = util::make_arrival_trace(spec);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset_us, b[i].offset_us) << i;  // seeded: fully reproducible
+    EXPECT_EQ(a[i].sample, b[i].sample) << i;
+    EXPECT_LT(a[i].sample, spec.sample_limit);
+    if (i) {
+      EXPECT_GE(a[i].offset_us, a[i - 1].offset_us);
+    }
+  }
+  EXPECT_EQ(a.front().offset_us, 0u);
+
+  // Exponential gaps with mean 250us: the empirical mean over 500 arrivals
+  // is within a loose 3-sigma band (sigma = mean/sqrt(n) ~ 11us).
+  const double total = static_cast<double>(a.back().offset_us);
+  const double mean_gap = total / static_cast<double>(a.size() - 1);
+  EXPECT_NEAR(mean_gap, 250.0, 50.0);
+
+  // A different seed reshapes the workload.
+  spec.seed = 100;
+  const auto c = util::make_arrival_trace(spec);
+  EXPECT_NE(c.back().offset_us, a.back().offset_us);
+}
+
+TEST(ArrivalTrace, BurstsShareTimestampsAndZeroGapIsImmediate) {
+  util::ArrivalTraceSpec spec;
+  spec.arrivals = 10;
+  spec.burst = 4;
+  spec.mean_gap_us = 1000.0;
+  spec.sample_limit = 5;
+  const auto trace = util::make_arrival_trace(spec);
+  ASSERT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace[0].offset_us, trace[3].offset_us);
+  EXPECT_EQ(trace[4].offset_us, trace[7].offset_us);
+  EXPECT_GT(trace[4].offset_us, trace[3].offset_us);
+
+  spec.burst = 1;
+  spec.mean_gap_us = 0.0;
+  for (const auto& a : util::make_arrival_trace(spec)) EXPECT_EQ(a.offset_us, 0u);
+
+  spec.arrivals = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.arrivals = 1;
+  spec.sample_limit = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.sample_limit = 1;
+  spec.burst = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.burst = 1;
+  spec.mean_gap_us = -1.0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
 }
 
 }  // namespace
