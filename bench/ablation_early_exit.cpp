@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
     }
   }
   report.set("static_accuracy", static_r.accuracy);
+  report.set_dataset(*bundle.test);
   std::printf("\nExpected: time-only > depth-only in cost saved at iso-accuracy;\n"
               "joint <= min(time-only, depth-only) in cost (complementarity).\n");
   return 0;

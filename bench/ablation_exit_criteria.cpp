@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
       csv.row(hard ? "reset_hard" : "reset_soft", t, t, 100 * acc[t - 1]);
     }
   }
+  report.set_dataset(*e.bundle.test);
   std::printf("\nExpected: entropy and maxprob frontiers are close (both proper\n"
               "confidence scores); margin is slightly worse at matched avg T.\n");
   return 0;

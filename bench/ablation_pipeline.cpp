@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
   report.set("dt_pipelined_energy_norm", analysis.dt_pipelined_energy_pj / e0);
   report.set("dt_sequential_energy_norm", analysis.dt_sequential_energy_pj / e0);
   report.set("chip_area_mm2", area.total_mm2());
+  report.set_dataset(*e.bundle.test);
   std::printf("\nExpected: pipelining wins latency for static inference but loses\n"
               "energy for DT-SNN (speculative flush); sigma-E area is negligible.\n");
   return 0;

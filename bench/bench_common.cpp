@@ -147,6 +147,21 @@ void BenchReport::set_result(double accuracy, double avg_timesteps) {
   set("avg_timesteps", avg_timesteps);
 }
 
+void BenchReport::set_dataset(const data::Dataset& dataset, const std::string& prefix) {
+  const data::DatasetStorageStats stats = dataset.storage_stats();
+  set(prefix + "dataset_samples", static_cast<double>(dataset.size()));
+  set(prefix + "dataset_bytes", static_cast<double>(stats.logical_bytes));
+  set(prefix + "dataset_resident_bytes", static_cast<double>(stats.resident_bytes));
+  set(prefix + "dataset_peak_resident_bytes",
+      static_cast<double>(stats.peak_resident_bytes));
+  set(prefix + "shard_count", static_cast<double>(stats.shard_count));
+  set(prefix + "shard_cache_slots", static_cast<double>(stats.cache_slots));
+  set(prefix + "shard_cache_hits", static_cast<double>(stats.cache_hits));
+  set(prefix + "shard_cache_misses", static_cast<double>(stats.cache_misses));
+  set(prefix + "shard_cache_evictions", static_cast<double>(stats.cache_evictions));
+  set(prefix + "shard_cache_hit_rate", stats.hit_rate());
+}
+
 void BenchReport::write() {
   if (written_) return;
   written_ = true;

@@ -70,6 +70,13 @@ class BenchReport {
   /// Convenience for the conventional metrics every bench should report.
   void set_result(double accuracy, double avg_timesteps);
 
+  /// Record the evaluated dataset's storage footprint and shard-cache
+  /// counters (dataset_bytes, dataset_resident_bytes, dataset_peak_resident_
+  /// bytes, shard_count, shard_cache_slots/hits/misses/evictions/hit_rate) —
+  /// every bench reports where its data lived and how the cache behaved.
+  /// `prefix` namespaces the keys for benches evaluating several datasets.
+  void set_dataset(const data::Dataset& dataset, const std::string& prefix = "");
+
   void write();
 
  private:

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     }
     report.set(dataset + "_t1_accuracy", acc.front());
     report.set(dataset + "_full_t_accuracy", acc.back());
+    report.set_dataset(*e.bundle.test, dataset + "_");
     std::printf("\n");
   }
   std::printf("Shape check: accuracy should increase with T and saturate near T=4,\n"

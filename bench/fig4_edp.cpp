@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
       report.set(model + "_" + dataset + "_edp_percent", percent);
       report.set(model + "_" + dataset + "_accuracy", calib.result.accuracy);
       report.set(model + "_" + dataset + "_avg_timesteps", calib.result.avg_timesteps);
+      // The dataset is model-independent; record its footprint once.
+      if (model == "vgg_mini") report.set_dataset(*dt_e.bundle.test, dataset + "_");
       ++di;
     }
   }

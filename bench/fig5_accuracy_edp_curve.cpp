@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
         report.set(model + "_" + dataset + bench::fmt("_theta%.2f", theta) + "_edp",
                    edp);
       }
+      if (model == "vgg_mini") report.set_dataset(*e.bundle.test, dataset + "_");
       std::printf("\n");
     }
   }

@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
   report.set("dspike_t1_accuracy", dspike_curve.static_acc[0]);
   report.set("ni_dtsnn_accuracy", ni_curve.dt_acc);
   report.set("ni_dtsnn_avg_timesteps", ni_curve.dt_avg_t);
+  report.set_dataset(*e_ours.bundle.test);
   std::printf("\nShape check: NI curves sit slightly below ideal ones; DT-SNN keeps\n"
               "its accuracy advantage at reduced average timesteps (paper Fig. 6B).\n");
   return 0;

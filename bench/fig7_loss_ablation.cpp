@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
     report.set(key + "_dtsnn_accuracy", calib.result.accuracy);
     report.set(key + "_dtsnn_avg_timesteps", calib.result.avg_timesteps);
   }
+  report.set_dataset(*e10.bundle.test);
   std::printf("\nShape check: Eq. 10 must lift T=1 accuracy sharply (paper: +15pp),\n"
               "shifting DT-SNN exits toward t=1 and reducing average timesteps.\n");
   return 0;

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   report.set_result(r.accuracy, r.avg_timesteps);
   report.set("difficulty_at_t1", first_bin);
   report.set("difficulty_at_full_t", last_bin);
+  report.set_dataset(*e.bundle.test);
   std::printf("\nShape check: mean hidden difficulty must rise with T-hat — the\n"
               "entropy rule finds hard inputs without access to the generator.\n");
   return 0;

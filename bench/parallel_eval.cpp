@@ -153,5 +153,6 @@ int main(int argc, char** argv) {
   const bool consistent = collect_identical && sweep_identical && engines_identical;
   report.set("consistent", consistent ? "yes" : "NO");
   report.set_result(calib.result.accuracy, calib.result.avg_timesteps);
+  report.set_dataset(*e.bundle.test);
   return consistent ? 0 : 1;
 }

@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
   }
 
   report.set("served_vs_oracle_identical", all_identical ? 1.0 : 0.0);
+  report.set_dataset(ds);
   if (!all_identical) {
     std::printf("\nFAIL: served decisions diverged from the batch-1 oracle\n");
     return 1;

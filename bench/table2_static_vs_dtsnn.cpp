@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
       report.set(key + "_accuracy", calib.result.accuracy);
       report.set(key + "_avg_timesteps", calib.result.avg_timesteps);
       report.set(key + "_energy_norm", dt_energy / static_energy);
+      if (model == "vgg_mini") report.set_dataset(*dt_e.bundle.test, dataset + "_");
     }
   }
   std::printf("\nShape check (paper Table II): DT-SNN should match static accuracy with\n"

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 
 #ifdef _OPENMP
@@ -30,16 +31,15 @@ std::size_t evaluation_threads() {
 
 namespace {
 
-/// Runs one batch [start, start+b) through `net` and scatters cumulative-mean
-/// logits and labels into `out`. Writes only rows of this batch, so disjoint
-/// batches can be processed concurrently on separate networks.
-void record_batch(snn::SpikingNetwork& net, const data::Dataset& dataset,
-                  TimestepOutputs& out, std::size_t start, std::size_t b) {
+/// Runs one encoded chunk through `net` and scatters cumulative-mean logits
+/// and labels into `out` at row offset `start`. Writes only rows of this
+/// chunk, so disjoint chunks can be processed concurrently on separate
+/// networks.
+void record_batch(snn::SpikingNetwork& net, const snn::EncodedBatch& batch,
+                  TimestepOutputs& out, std::size_t start) {
   const std::size_t k = out.classes;
   const std::size_t n = out.samples;
-  std::vector<std::size_t> indices(b);
-  for (std::size_t i = 0; i < b; ++i) indices[i] = start + i;
-  snn::EncodedBatch batch = data::materialize_batch(dataset, indices, out.timesteps);
+  const std::size_t b = batch.labels.size();
 
   snn::Tensor logits = net.forward(batch.x, out.timesteps, /*train=*/false);
   snn::Tensor cum = snn::cumulative_mean_logits(logits, out.timesteps);
@@ -72,9 +72,10 @@ TimestepOutputs collect_outputs(snn::SpikingNetwork& net, const data::Dataset& d
   if (timesteps == 0) throw std::invalid_argument("collect_outputs: timesteps == 0");
   const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
   TimestepOutputs out = make_outputs(timesteps, n, net.num_classes());
-  for (std::size_t start = 0; start < n; start += batch_size) {
-    record_batch(net, dataset, out, start, std::min(batch_size, n - start));
-  }
+  // Streaming iteration: only one chunk of encoded frames is live at a time,
+  // so recording works against datasets larger than RAM.
+  data::BatchCursor cursor(dataset, n, timesteps, batch_size);
+  while (cursor.next()) record_batch(net, cursor.batch(), out, cursor.start());
   return out;
 }
 
@@ -117,7 +118,11 @@ TimestepOutputs collect_outputs_parallel(snn::SpikingNetwork& net,
 #pragma omp for schedule(dynamic)
     for (std::size_t batch = 0; batch < num_batches; ++batch) {
       const std::size_t start = batch * batch_size;
-      record_batch(worker, dataset, out, start, std::min(batch_size, n - start));
+      const std::size_t b = std::min(batch_size, n - start);
+      std::vector<std::size_t> indices(b);
+      std::iota(indices.begin(), indices.end(), start);
+      record_batch(worker, data::materialize_batch(dataset, indices, timesteps), out,
+                   start);
     }
   }
 #endif

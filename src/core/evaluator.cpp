@@ -20,7 +20,11 @@ std::size_t preset_timesteps(const std::string& dataset_preset) {
 }
 
 std::string ExperimentSpec::cache_key() const {
-  return util::format("%s_%s_T%zu_e%zu_b%zu_%s_lr%g_wd%g_s%llu_sur%s_bn%g_ds%g",
+  // dp2: data-pipeline generation. Bump whenever the training data order
+  // changes for a fixed spec (dp2 = pure-function reshuffle + ragged final
+  // batch) so stale checkpoints trained under the old pipeline are retrained
+  // instead of silently reused.
+  return util::format("%s_%s_T%zu_e%zu_b%zu_%s_lr%g_wd%g_s%llu_sur%s_bn%g_ds%g_dp2",
                       model.c_str(), dataset.c_str(), timesteps, epochs, batch_size,
                       loss == LossKind::kPerTimestep ? "eq10" : "eq9",
                       static_cast<double>(sgd.lr), static_cast<double>(sgd.weight_decay),

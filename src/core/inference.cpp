@@ -184,22 +184,23 @@ void PostHocEngine::run_streaming(const data::Dataset& dataset,
     return;
   }
 
-  // Record-on-demand mode: forward requested samples for the full budget in
-  // batches, then replay the exit rule on the recorded rows.
+  // Record-on-demand mode: forward requested samples for the full budget one
+  // streamed chunk at a time, then replay the exit rule on the recorded rows
+  // — the whole-dataset encoding never exists in memory.
   validate_request_samples(request.samples, dataset.size(), "PostHocEngine");
   const std::size_t k = net_->num_classes();
-  for (std::size_t start = 0; start < request.samples.size(); start += batch_size_) {
-    const std::size_t b = std::min(batch_size_, request.samples.size() - start);
-    const std::span<const std::size_t> chunk(request.samples.data() + start, b);
-    snn::EncodedBatch batch = data::materialize_batch(dataset, chunk, budget);
-    snn::Tensor logits = net_->forward(batch.x, budget, /*train=*/false);
+  data::BatchCursor cursor(dataset, request.samples, budget, batch_size_);
+  while (cursor.next()) {
+    const std::size_t b = cursor.chunk_size();
+    const std::span<const std::size_t> chunk = cursor.indices();
+    snn::Tensor logits = net_->forward(cursor.batch().x, budget, /*train=*/false);
     snn::Tensor cum = snn::cumulative_mean_logits(logits, budget);
     for (std::size_t i = 0; i < b; ++i) {
       InferenceResult r =
           replay_rows(policy, budget, k, request.record_logits, [&](std::size_t t) {
             return std::span<const float>(cum.data() + (t * b + i) * k, k);
           });
-      r.request_index = start + i;
+      r.request_index = cursor.start() + i;
       r.sample = chunk[i];
       sink(r);
     }

@@ -34,11 +34,13 @@ MultiExitOutputs collect_multi_exit_outputs(snn::MultiExitNetwork& net,
     out.cum_logits.emplace_back(snn::Shape{timesteps * n, k});
   }
 
-  for (std::size_t start = 0; start < n; start += batch_size) {
-    const std::size_t b = std::min(batch_size, n - start);
-    std::vector<std::size_t> indices(b);
-    for (std::size_t i = 0; i < b; ++i) indices[i] = start + i;
-    snn::EncodedBatch batch = data::materialize_batch(dataset, indices, timesteps);
+  // Stream the split chunk by chunk: one encoded batch is live at a time, so
+  // multi-exit recording never materializes the whole dataset.
+  data::BatchCursor cursor(dataset, n, timesteps, batch_size);
+  while (cursor.next()) {
+    const std::size_t start = cursor.start();
+    const std::size_t b = cursor.chunk_size();
+    const snn::EncodedBatch& batch = cursor.batch();
     auto logits = net.forward(batch.x, timesteps, /*train=*/false);
     for (std::size_t e = 0; e < out.exits; ++e) {
       snn::Tensor cum = snn::cumulative_mean_logits(logits[e], timesteps);

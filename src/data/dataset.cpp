@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 
 namespace dtsnn::data {
+
+DatasetStorageStats Dataset::storage_stats() const {
+  DatasetStorageStats stats;
+  // Frames plus per-sample metadata (label, difficulty, noise stddev) — the
+  // same accounting ShardedDataset uses, so both backends report identical
+  // logical bytes for identical data.
+  stats.logical_bytes =
+      size() * (native_frames() * snn::shape_numel(frame_shape()) * sizeof(float) +
+                sizeof(int) + sizeof(double) + sizeof(float));
+  stats.resident_bytes = stats.logical_bytes;
+  stats.peak_resident_bytes = stats.logical_bytes;
+  return stats;
+}
 
 ArrayDataset::ArrayDataset(snn::Shape frame_shape, std::size_t frames_per_sample,
                            std::size_t num_classes)
@@ -21,7 +35,10 @@ ArrayDataset::ArrayDataset(snn::Shape frame_shape, std::size_t frames_per_sample
 std::size_t ArrayDataset::add_sample(std::vector<float> frames, int label,
                                      double difficulty, double temporal_noise) {
   if (frames.size() != frame_numel_ * frames_per_sample_) {
-    throw std::invalid_argument("ArrayDataset::add_sample: bad frame data size");
+    throw std::invalid_argument(
+        "ArrayDataset::add_sample: frame data has " + std::to_string(frames.size()) +
+        " floats, expected " + std::to_string(frame_numel_ * frames_per_sample_) +
+        " (frame_numel * frames_per_sample)");
   }
   if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
     throw std::invalid_argument("ArrayDataset::add_sample: label out of range");
@@ -39,15 +56,7 @@ void ArrayDataset::write_frame(std::size_t sample, std::size_t t,
   const std::size_t frame = std::min(t, frames_per_sample_ - 1);
   const float* src = data_.data() + (sample * frames_per_sample_ + frame) * frame_numel_;
   std::memcpy(dst.data(), src, frame_numel_ * sizeof(float));
-
-  const float sigma = temporal_noise_[sample];
-  if (sigma > 0.0f) {
-    // Deterministic per-(sample, timestep) stream: any engine reading the
-    // same (sample, t) sees identical noise.
-    util::Rng rng(noise_seed_ ^ (sample * 0x9e3779b97f4a7c15ull) ^
-                  (t * 0xc2b2ae3d27d4eb4full));
-    for (auto& v : dst) v += sigma * static_cast<float>(rng.gaussian());
-  }
+  detail::apply_temporal_noise(dst, temporal_noise_[sample], noise_seed_, sample, t);
 }
 
 std::span<const float> ArrayDataset::frame_data(std::size_t sample, std::size_t t) const {
@@ -65,6 +74,7 @@ snn::EncodedBatch materialize_batch(const Dataset& dataset,
   if (timesteps == 0) {
     throw std::invalid_argument("materialize_batch: timesteps == 0");
   }
+  dataset.prefetch(indices);
   const snn::Shape fs = dataset.frame_shape();
   const std::size_t b = indices.size();
   const std::size_t frame_numel = snn::shape_numel(fs);
@@ -72,8 +82,13 @@ snn::EncodedBatch materialize_batch(const Dataset& dataset,
   snn::EncodedBatch batch;
   batch.x = snn::Tensor({timesteps * b, fs[0], fs[1], fs[2]});
   batch.labels.resize(b);
-  for (std::size_t t = 0; t < timesteps; ++t) {
-    for (std::size_t i = 0; i < b; ++i) {
+  // Sample-major fill: all of a sample's timesteps are read consecutively,
+  // so a storage-backed dataset pages each shard at most once per chunk even
+  // when the chunk spans more shards than the cache holds (t-major order
+  // would re-page every shard `timesteps` times). The writes are
+  // independent, so the encoded tensor is identical either way.
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t t = 0; t < timesteps; ++t) {
       float* dst = batch.x.data() + (t * b + i) * frame_numel;
       dataset.write_frame(indices[i], t, {dst, frame_numel});
     }
@@ -82,13 +97,50 @@ snn::EncodedBatch materialize_batch(const Dataset& dataset,
   return batch;
 }
 
-snn::EncodedBatch materialize_all(const Dataset& dataset, std::size_t timesteps,
-                                  std::size_t limit) {
-  const std::size_t n = limit ? std::min(limit, dataset.size()) : dataset.size();
-  std::vector<std::size_t> indices(n);
-  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
-  return materialize_batch(dataset, indices, timesteps);
+// -------------------------------------------------------------- BatchCursor
+
+BatchCursor::BatchCursor(const Dataset& dataset, std::span<const std::size_t> indices,
+                         std::size_t timesteps, std::size_t chunk_samples)
+    : dataset_(dataset),
+      index_list_(indices),
+      use_range_(false),
+      total_(indices.size()),
+      timesteps_(timesteps),
+      chunk_samples_(chunk_samples) {
+  if (timesteps_ == 0) throw std::invalid_argument("BatchCursor: timesteps == 0");
+  if (chunk_samples_ == 0) throw std::invalid_argument("BatchCursor: chunk_samples == 0");
 }
+
+BatchCursor::BatchCursor(const Dataset& dataset, std::size_t count,
+                         std::size_t timesteps, std::size_t chunk_samples)
+    : dataset_(dataset),
+      use_range_(true),
+      total_(count),
+      timesteps_(timesteps),
+      chunk_samples_(chunk_samples) {
+  if (timesteps_ == 0) throw std::invalid_argument("BatchCursor: timesteps == 0");
+  if (chunk_samples_ == 0) throw std::invalid_argument("BatchCursor: chunk_samples == 0");
+}
+
+bool BatchCursor::next() {
+  if (next_start_ >= total_) return false;
+  chunk_start_ = next_start_;
+  chunk_size_ = std::min(chunk_samples_, total_ - chunk_start_);
+  next_start_ = chunk_start_ + chunk_size_;
+  if (use_range_) {
+    range_indices_.resize(chunk_size_);
+    std::iota(range_indices_.begin(), range_indices_.end(), chunk_start_);
+  }
+  batch_ = materialize_batch(dataset_, indices(), timesteps_);
+  return true;
+}
+
+std::span<const std::size_t> BatchCursor::indices() const {
+  if (use_range_) return range_indices_;
+  return index_list_.subspan(chunk_start_, chunk_size_);
+}
+
+// ------------------------------------------------------ ShuffledBatchSource
 
 ShuffledBatchSource::ShuffledBatchSource(const Dataset& dataset, std::size_t batch_size,
                                          std::uint64_t seed)
@@ -98,7 +150,7 @@ ShuffledBatchSource::ShuffledBatchSource(const Dataset& dataset, std::size_t bat
 }
 
 std::size_t ShuffledBatchSource::num_batches() const {
-  return order_.size() / batch_size_;  // drop ragged tail, as common in training
+  return (order_.size() + batch_size_ - 1) / batch_size_;  // final batch may be ragged
 }
 
 snn::EncodedBatch ShuffledBatchSource::batch(std::size_t index,
@@ -106,13 +158,20 @@ snn::EncodedBatch ShuffledBatchSource::batch(std::size_t index,
   if (index >= num_batches()) {
     throw std::out_of_range("ShuffledBatchSource::batch index out of range");
   }
-  const std::span<const std::size_t> slice(order_.data() + index * batch_size_, batch_size_);
+  const std::size_t begin = index * batch_size_;
+  const std::size_t b = std::min(batch_size_, order_.size() - begin);
+  const std::span<const std::size_t> slice(order_.data() + begin, b);
   return materialize_batch(dataset_, slice, timesteps);
 }
 
 void ShuffledBatchSource::reshuffle(std::size_t epoch) {
+  // A pure function of (seed, epoch): the order never depends on how many
+  // epochs were drawn before, so replicas and resumed runs agree.
+  std::vector<std::size_t> order(order_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ull * (epoch + 1)));
-  rng.shuffle(order_);
+  rng.shuffle(order);
+  order_ = std::move(order);
 }
 
 }  // namespace dtsnn::data

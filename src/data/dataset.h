@@ -5,6 +5,12 @@
 // encoding, where the first conv+LIF block g_1 learns the spike code); event
 // (DVS-like) datasets expose a distinct frame per timestep.
 //
+// Storage is decoupled from the logical sample space: ArrayDataset holds
+// everything in one contiguous array, ShardedDataset (data/sharded_dataset.h)
+// pages frame blocks through a bounded cache. Consumers stream chunks via
+// BatchCursor / materialize_batch and never need the whole split encoded at
+// once, so datasets larger than RAM evaluate and serve out of the box.
+//
 // Every synthetic sample also carries a scalar difficulty in [0,1] used by
 // the Fig. 8 visualization and by dataset-quality tests — it is *not*
 // visible to the models.
@@ -22,6 +28,45 @@
 
 namespace dtsnn::data {
 
+namespace detail {
+
+/// The one definition of the deterministic per-(sample, timestep) sensor
+/// noise stream: keyed by (seed, *global* sample index, timestep), so any
+/// storage backend serving the same sample produces bitwise-identical
+/// frames. This models per-timestep analog encoding noise: temporal
+/// integration over more timesteps averages it away, which is what makes
+/// extra timesteps informative for direct-encoded images.
+inline void apply_temporal_noise(std::span<float> frame, float sigma,
+                                 std::uint64_t seed, std::size_t sample,
+                                 std::size_t t) {
+  if (sigma <= 0.0f) return;
+  util::Rng rng(seed ^ (sample * 0x9e3779b97f4a7c15ull) ^
+                (t * 0xc2b2ae3d27d4eb4full));
+  for (auto& v : frame) v += sigma * static_cast<float>(rng.gaussian());
+}
+
+}  // namespace detail
+
+/// Storage footprint and cache behavior of a dataset (storage_stats()).
+/// Fully-resident datasets report logical == resident and zero cache
+/// counters; storage-backed datasets report their live cache state.
+struct DatasetStorageStats {
+  std::size_t logical_bytes = 0;        ///< full payload (all frames + metadata)
+  std::size_t resident_bytes = 0;       ///< currently held in memory
+  std::size_t peak_resident_bytes = 0;  ///< high-water mark of resident_bytes
+  std::size_t shard_count = 0;          ///< 0 for unsharded storage
+  std::size_t cache_slots = 0;          ///< 0 when storage is fully resident
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t touches = cache_hits + cache_misses;
+    return touches ? static_cast<double>(cache_hits) / static_cast<double>(touches)
+                   : 0.0;
+  }
+};
+
 class Dataset {
  public:
   virtual ~Dataset() = default;
@@ -37,8 +82,19 @@ class Dataset {
 
   /// Write frame `t` of `sample` into `dst` (size = numel of frame_shape).
   /// Static datasets ignore `t`; event datasets clamp t to native_frames-1.
+  /// Const access is thread-safe on every implementation (the evaluation
+  /// workers and the serving worker share one dataset).
   virtual void write_frame(std::size_t sample, std::size_t t,
                            std::span<float> dst) const = 0;
+
+  /// Hint that `samples` are about to be read: storage-backed datasets warm
+  /// their caches so the subsequent write_frame calls hit. Default no-op.
+  virtual void prefetch(std::span<const std::size_t> samples) const {
+    (void)samples;
+  }
+
+  /// Footprint + cache counters; the default assumes fully-resident storage.
+  [[nodiscard]] virtual DatasetStorageStats storage_stats() const;
 };
 
 /// Concrete in-memory dataset; produced by the synthetic generators.
@@ -48,17 +104,22 @@ class ArrayDataset final : public Dataset {
                std::size_t num_classes);
 
   /// Append one sample (frames laid out frame-major). Returns its index.
-  /// `temporal_noise` adds i.i.d. Gaussian sensor noise of that stddev to
-  /// every (timestep, pixel) when frames are read back — deterministic per
-  /// (sample, timestep), so repeated reads and different engines see the
-  /// same encoded input. This models per-timestep analog encoding noise:
-  /// temporal integration over more timesteps averages it away, which is
-  /// what makes extra timesteps informative for direct-encoded images.
+  /// The frame vector must hold exactly frames_per_sample * frame_numel
+  /// floats (anything else throws — a short vector would silently corrupt
+  /// every later sample's reads). `temporal_noise` adds i.i.d. Gaussian
+  /// sensor noise of that stddev to every (timestep, pixel) when frames are
+  /// read back — deterministic per (sample, timestep), see
+  /// detail::apply_temporal_noise.
   std::size_t add_sample(std::vector<float> frames, int label, double difficulty,
                          double temporal_noise = 0.0);
 
   /// Seed of the deterministic per-timestep noise stream.
   void set_noise_seed(std::uint64_t seed) { noise_seed_ = seed; }
+  [[nodiscard]] std::uint64_t noise_seed() const { return noise_seed_; }
+  /// Per-sample sensor-noise stddev (exported into shard files).
+  [[nodiscard]] float temporal_noise(std::size_t sample) const {
+    return temporal_noise_.at(sample);
+  }
 
   [[nodiscard]] std::size_t size() const override { return labels_.size(); }
   [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
@@ -70,7 +131,8 @@ class ArrayDataset final : public Dataset {
   [[nodiscard]] std::size_t native_frames() const override { return frames_per_sample_; }
   void write_frame(std::size_t sample, std::size_t t, std::span<float> dst) const override;
 
-  /// Direct read access to a stored frame (for visualization).
+  /// Direct read access to a stored frame (raw, pre-noise; for visualization
+  /// and shard export).
   [[nodiscard]] std::span<const float> frame_data(std::size_t sample, std::size_t t) const;
 
  private:
@@ -85,18 +147,65 @@ class ArrayDataset final : public Dataset {
   std::vector<float> temporal_noise_;
 };
 
-/// Encode samples `indices` into a time-major batch [T*B, C, H, W].
+/// Encode samples `indices` into a time-major batch [T*B, C, H, W]. Prefetches
+/// the indices first, so storage-backed datasets page each chunk in once.
 /// Throws std::invalid_argument for empty `indices` or timesteps == 0 (a
 /// zero-sized encoded tensor is never meaningful downstream).
 snn::EncodedBatch materialize_batch(const Dataset& dataset,
                                     std::span<const std::size_t> indices,
                                     std::size_t timesteps);
 
-/// Encode the whole dataset (or its first `limit` samples) as one batch.
-snn::EncodedBatch materialize_all(const Dataset& dataset, std::size_t timesteps,
-                                  std::size_t limit = 0);
+/// Streaming chunked iteration over dataset samples: encodes at most
+/// `chunk_samples` samples at a time, so consumers hold one chunk of encoded
+/// frames instead of the whole split (O(chunk), not O(dataset)) and
+/// storage-backed datasets page shards through their cache chunk by chunk.
+///
+///   BatchCursor cursor(dataset, n, timesteps, 256);
+///   while (cursor.next()) {
+///     use(cursor.batch());             // [T*b, C, H, W] for this chunk
+///     scatter_at(cursor.start());      // chunk offset within the sequence
+///   }
+///
+/// Iterates either samples [0, count) or an explicit index list (borrowed —
+/// it must outlive the cursor).
+class BatchCursor {
+ public:
+  BatchCursor(const Dataset& dataset, std::span<const std::size_t> indices,
+              std::size_t timesteps, std::size_t chunk_samples);
+  /// Range form over samples [0, count).
+  BatchCursor(const Dataset& dataset, std::size_t count, std::size_t timesteps,
+              std::size_t chunk_samples);
 
-/// BatchSource over a Dataset with per-epoch reshuffling.
+  /// Encode the next chunk; false once the sequence is exhausted.
+  bool next();
+
+  /// The current chunk's encoded batch (valid after next() returned true).
+  [[nodiscard]] const snn::EncodedBatch& batch() const { return batch_; }
+  /// Global dataset indices of the current chunk.
+  [[nodiscard]] std::span<const std::size_t> indices() const;
+  /// Offset of the current chunk within the iterated sequence.
+  [[nodiscard]] std::size_t start() const { return chunk_start_; }
+  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+  /// Total samples the cursor will yield across all chunks.
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  const Dataset& dataset_;
+  std::span<const std::size_t> index_list_;  ///< empty in range form
+  bool use_range_;
+  std::vector<std::size_t> range_indices_;   ///< scratch for range chunks
+  std::size_t total_;
+  std::size_t timesteps_;
+  std::size_t chunk_samples_;
+  std::size_t next_start_ = 0;
+  std::size_t chunk_start_ = 0;
+  std::size_t chunk_size_ = 0;
+  snn::EncodedBatch batch_;
+};
+
+/// BatchSource over a Dataset with per-epoch reshuffling. The final batch may
+/// be ragged (smaller than batch_size): every epoch covers every sample
+/// exactly once.
 class ShuffledBatchSource final : public snn::BatchSource {
  public:
   ShuffledBatchSource(const Dataset& dataset, std::size_t batch_size, std::uint64_t seed);

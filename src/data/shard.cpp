@@ -1,0 +1,264 @@
+#include "data/shard.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "data/dataset.h"
+#include "util/logging.h"
+
+namespace dtsnn::data {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'D', 'T', 'S', 'N', 'S', 'H', 'R', 'D'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kFixedHeaderBytes = 56;
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in, const std::filesystem::path& path) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw ShardError(ShardError::Kind::kTruncated,
+                     "shard " + path.string() + ": header ends prematurely");
+  }
+  return value;
+}
+
+template <typename T>
+void write_column(std::ofstream& out, const std::vector<T>& column) {
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_column(std::ifstream& in, std::vector<T>& column, std::size_t count,
+                 const std::filesystem::path& path, const char* what) {
+  column.resize(count);
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) {
+    throw ShardError(ShardError::Kind::kTruncated, "shard " + path.string() +
+                                                       ": " + what + " column truncated");
+  }
+}
+
+}  // namespace
+
+std::size_t ShardHeader::payload_bytes() const {
+  return frames_floats() * sizeof(float) + num_samples * sizeof(std::int32_t) +
+         num_samples * sizeof(double) + num_samples * sizeof(float);
+}
+
+// ------------------------------------------------------------- ShardWriter
+
+ShardWriter::ShardWriter(std::filesystem::path path, ShardHeader header)
+    : path_(std::move(path)), header_(std::move(header)) {
+  header_.num_samples = 0;
+  if (header_.frame_shape.size() != 3 || header_.frame_numel() == 0 ||
+      header_.frames_per_sample == 0 || header_.num_classes == 0) {
+    throw ShardError(ShardError::Kind::kCorruptHeader,
+                     "shard " + path_.string() + ": degenerate header geometry");
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  // Deliberately no implicit finish(): if an exception unwinds past a
+  // partially-filled writer, a truncated-but-valid-looking shard must not
+  // reach disk (it would read back as a silently shortened split).
+  if (!finished_) {
+    DTSNN_LOG_WARN("ShardWriter: %s abandoned without finish(), nothing written",
+                   path_.string().c_str());
+  }
+}
+
+void ShardWriter::add_sample(std::span<const float> frames, int label, double difficulty,
+                             float temporal_noise) {
+  if (finished_) {
+    throw std::logic_error("ShardWriter::add_sample after finish()");
+  }
+  if (frames.size() != header_.frames_per_sample * header_.frame_numel()) {
+    throw std::invalid_argument("ShardWriter::add_sample: frame data has " +
+                                std::to_string(frames.size()) + " floats, expected " +
+                                std::to_string(header_.frames_per_sample *
+                                               header_.frame_numel()));
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= header_.num_classes) {
+    throw std::invalid_argument("ShardWriter::add_sample: label out of range");
+  }
+  frames_.insert(frames_.end(), frames.begin(), frames.end());
+  labels_.push_back(label);
+  difficulty_.push_back(difficulty);
+  temporal_noise_.push_back(temporal_noise);
+}
+
+void ShardWriter::finish() {
+  if (finished_) return;
+  header_.num_samples = labels_.size();
+  if (header_.num_samples == 0) {
+    // A zero-sample shard is unreadable by contract (the reader rejects it
+    // as a corrupt header), so refuse to write one.
+    throw ShardError(ShardError::Kind::kCorruptHeader,
+                     "shard " + path_.string() + ": no samples added");
+  }
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open for writing");
+  }
+  out.write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(out, kVersion);
+  for (const std::size_t dim : header_.frame_shape) {
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(dim));
+  }
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.frames_per_sample));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.num_classes));
+  put<std::uint64_t>(out, header_.noise_seed);
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(header_.num_samples));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_index));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_count));
+  write_column(out, frames_);
+  std::vector<std::int32_t> labels32(labels_.begin(), labels_.end());
+  write_column(out, labels32);
+  write_column(out, difficulty_);
+  write_column(out, temporal_noise_);
+  if (!out) {
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": write failed");
+  }
+  // Marked written only on success, so a failed finish() (full disk, ...)
+  // can be retried instead of silently no-opping.
+  finished_ = true;
+}
+
+// ------------------------------------------------------------- ShardReader
+
+ShardReader::ShardReader(std::filesystem::path path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open");
+  }
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw ShardError(ShardError::Kind::kBadMagic,
+                     "shard " + path_.string() + ": bad magic (not a DT-SNN shard file)");
+  }
+  const auto version = get<std::uint32_t>(in, path_);
+  if (version != kVersion) {
+    throw ShardError(ShardError::Kind::kBadVersion,
+                     "shard " + path_.string() + ": unsupported format version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kVersion) + ")");
+  }
+  header_.frame_shape.resize(3);
+  for (auto& dim : header_.frame_shape) dim = get<std::uint32_t>(in, path_);
+  header_.frames_per_sample = get<std::uint32_t>(in, path_);
+  header_.num_classes = get<std::uint32_t>(in, path_);
+  header_.noise_seed = get<std::uint64_t>(in, path_);
+  header_.num_samples = static_cast<std::size_t>(get<std::uint64_t>(in, path_));
+  header_.shard_index = get<std::uint32_t>(in, path_);
+  header_.shard_count = get<std::uint32_t>(in, path_);
+  if (header_.frame_numel() == 0 || header_.frames_per_sample == 0 ||
+      header_.num_classes == 0 || header_.num_samples == 0 ||
+      header_.shard_count == 0 || header_.shard_index >= header_.shard_count) {
+    throw ShardError(ShardError::Kind::kCorruptHeader,
+                     "shard " + path_.string() + ": degenerate header geometry");
+  }
+
+  const std::uintmax_t actual = std::filesystem::file_size(path_);
+  const std::uintmax_t expected = kFixedHeaderBytes + header_.payload_bytes();
+  if (actual != expected) {
+    throw ShardError(ShardError::Kind::kTruncated,
+                     "shard " + path_.string() + ": file is " + std::to_string(actual) +
+                         " bytes but the header promises " + std::to_string(expected) +
+                         (actual < expected ? " (truncated payload)" : " (trailing bytes)"));
+  }
+}
+
+void ShardReader::read_metadata(std::vector<int>& labels, std::vector<double>& difficulty,
+                                std::vector<float>& temporal_noise) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open");
+  }
+  in.seekg(static_cast<std::streamoff>(kFixedHeaderBytes +
+                                       header_.frames_floats() * sizeof(float)));
+  std::vector<std::int32_t> labels32;
+  read_column(in, labels32, header_.num_samples, path_, "label");
+  labels.assign(labels32.begin(), labels32.end());
+  read_column(in, difficulty, header_.num_samples, path_, "difficulty");
+  read_column(in, temporal_noise, header_.num_samples, path_, "temporal_noise");
+}
+
+std::vector<float> ShardReader::read_frames() const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open");
+  }
+  in.seekg(static_cast<std::streamoff>(kFixedHeaderBytes));
+  std::vector<float> frames;
+  read_column(in, frames, header_.frames_floats(), path_, "frame");
+  return frames;
+}
+
+// ------------------------------------------------------------ export_shards
+
+std::size_t export_shards(const ArrayDataset& dataset, const std::filesystem::path& dir,
+                          std::size_t samples_per_shard) {
+  if (samples_per_shard == 0) {
+    throw std::invalid_argument("export_shards: samples_per_shard == 0");
+  }
+  if (dataset.size() == 0) {
+    throw std::invalid_argument("export_shards: empty dataset");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw ShardError(ShardError::Kind::kIo,
+                     "export_shards: cannot create " + dir.string() + ": " + ec.message());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == kShardExtension) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+
+  ShardHeader header;
+  header.frame_shape = dataset.frame_shape();
+  header.frames_per_sample = dataset.native_frames();
+  header.num_classes = dataset.num_classes();
+  header.noise_seed = dataset.noise_seed();
+
+  const std::size_t frame_numel = snn::shape_numel(header.frame_shape);
+  std::vector<float> frames(header.frames_per_sample * frame_numel);
+  const std::size_t shards =
+      (dataset.size() + samples_per_shard - 1) / samples_per_shard;
+  header.shard_count = shards;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "shard_%05zu%s", shard, kShardExtension);
+    header.shard_index = shard;
+    ShardWriter writer(dir / name, header);
+    const std::size_t first = shard * samples_per_shard;
+    const std::size_t count = std::min(samples_per_shard, dataset.size() - first);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t sample = first + i;
+      for (std::size_t f = 0; f < header.frames_per_sample; ++f) {
+        const auto src = dataset.frame_data(sample, f);
+        std::copy(src.begin(), src.end(), frames.begin() + static_cast<std::ptrdiff_t>(f * frame_numel));
+      }
+      writer.add_sample(frames, dataset.label(sample), dataset.difficulty(sample),
+                        dataset.temporal_noise(sample));
+    }
+    writer.finish();
+  }
+  return shards;
+}
+
+}  // namespace dtsnn::data

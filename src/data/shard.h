@@ -1,0 +1,165 @@
+// On-disk shard format for out-of-core datasets.
+//
+// A shard file holds a contiguous run of samples from one dataset split:
+// a fixed header describing the geometry shared by every sibling shard,
+// followed by columnar payload blocks (all frames, then all labels, then all
+// difficulties, then all per-sample temporal-noise stddevs). Columnar layout
+// lets ShardedDataset bulk-load the frame block — the only part worth
+// evicting — while the tiny metadata columns stay resident for the lifetime
+// of the dataset.
+//
+// Format v1 (little-endian, host float/double layout):
+//
+//   offset  size  field
+//   0       8     magic "DTSNSHRD"
+//   8       4     u32 version (= 1)
+//   12      12    u32 C, u32 H, u32 W          per-frame shape
+//   24      4     u32 frames_per_sample
+//   28      4     u32 num_classes
+//   32      8     u64 noise_seed               per-(sample, t) noise stream key
+//   40      8     u64 num_samples
+//   48      4     u32 shard_index              ordinal within the dataset
+//   52      4     u32 shard_count              total shards in the dataset
+//   56      -     f32 frames  [num_samples * frames_per_sample * C*H*W]
+//           -     i32 labels  [num_samples]
+//           -     f64 difficulty [num_samples]
+//           -     f32 temporal_noise [num_samples]
+//
+// The (shard_index, shard_count) pair makes an incomplete set loud: the
+// noise stream and the labels are addressed by *global* sample index, so a
+// silently missing middle shard would shift every later sample onto the
+// wrong identity. ShardedDataset refuses to open a directory that does not
+// hold exactly ordinals 0..shard_count-1.
+//
+// The deterministic sensor-noise stream is keyed by (noise_seed, *global*
+// sample index, timestep) — see data::detail::apply_temporal_noise — so a
+// sample reads back bitwise identical regardless of which shard, cache slot,
+// or storage backend serves it.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snn/tensor.h"
+
+namespace dtsnn::data {
+
+class ArrayDataset;
+
+/// File extension every shard of a dataset directory carries.
+inline constexpr const char* kShardExtension = ".dtshard";
+
+/// Loud, typed shard-file error: every way a shard can be unusable gets its
+/// own kind so callers (and tests) can distinguish corruption classes, and
+/// every message names the offending file.
+class ShardError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kIo,             ///< cannot open/read/write the file or directory
+    kBadMagic,       ///< not a DT-SNN shard file
+    kBadVersion,     ///< unsupported format version
+    kCorruptHeader,  ///< degenerate geometry (zero dims/classes/samples)
+    kTruncated,      ///< file size disagrees with the header's payload size
+    kShapeMismatch,  ///< sibling shards disagree on geometry/classes/seed
+    kIncompleteSet,  ///< missing/duplicate shard ordinals in a directory
+  };
+
+  ShardError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Fixed per-file metadata; identical across sibling shards except for
+/// num_samples (the final shard of a split may be ragged) and shard_index.
+struct ShardHeader {
+  snn::Shape frame_shape;  ///< [C, H, W]
+  std::size_t frames_per_sample = 0;
+  std::size_t num_classes = 0;
+  std::uint64_t noise_seed = 0;
+  std::size_t num_samples = 0;
+  std::size_t shard_index = 0;  ///< ordinal of this shard within the dataset
+  std::size_t shard_count = 1;  ///< total shards in the dataset
+
+  [[nodiscard]] std::size_t frame_numel() const { return snn::shape_numel(frame_shape); }
+  [[nodiscard]] std::size_t frames_floats() const {
+    return num_samples * frames_per_sample * frame_numel();
+  }
+  /// Payload bytes the header promises after the 56-byte fixed prefix.
+  [[nodiscard]] std::size_t payload_bytes() const;
+};
+
+/// Streams samples into one shard file; the file is written by an explicit
+/// finish() call only (columnar layout needs the full sample set, and a
+/// writer abandoned by an exception must not leave a truncated shard on
+/// disk — the destructor writes nothing). Throws ShardError(kIo) when the
+/// file cannot be written.
+class ShardWriter {
+ public:
+  /// `header.num_samples` is ignored; the writer counts add_sample calls.
+  ShardWriter(std::filesystem::path path, ShardHeader header);
+  ~ShardWriter();
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// `frames` must hold frames_per_sample * frame_numel floats (frame-major,
+  /// raw — the noise stream is applied at read time, never stored).
+  void add_sample(std::span<const float> frames, int label, double difficulty,
+                  float temporal_noise);
+
+  [[nodiscard]] std::size_t samples() const { return labels_.size(); }
+
+  /// Write the file. Idempotent. Throws ShardError(kCorruptHeader) when no
+  /// samples were added: a zero-sample shard is rejected by ShardReader, so
+  /// it is never written.
+  void finish();
+
+ private:
+  std::filesystem::path path_;
+  ShardHeader header_;
+  std::vector<float> frames_;
+  std::vector<int> labels_;
+  std::vector<double> difficulty_;
+  std::vector<float> temporal_noise_;
+  bool finished_ = false;
+};
+
+/// Validates a shard file's header and size eagerly; payload reads are
+/// separate so a dataset can index every shard without loading any frames.
+class ShardReader {
+ public:
+  explicit ShardReader(std::filesystem::path path);
+
+  [[nodiscard]] const ShardHeader& header() const { return header_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Bulk-read the per-sample metadata columns (resized to num_samples).
+  void read_metadata(std::vector<int>& labels, std::vector<double>& difficulty,
+                     std::vector<float>& temporal_noise) const;
+
+  /// Bulk-read the shard's whole frame block
+  /// [num_samples * frames_per_sample * frame_numel].
+  [[nodiscard]] std::vector<float> read_frames() const;
+
+ private:
+  std::filesystem::path path_;
+  ShardHeader header_;
+};
+
+/// Export an in-memory dataset into `dir` as shard files of at most
+/// `samples_per_shard` samples each (`shard_00000.dtshard`, ...; the last
+/// shard may be ragged). Existing shard files in `dir` are replaced. Returns
+/// the number of shards written. The noise seed travels in every header, so
+/// ShardedDataset reproduces the source's frames bitwise.
+std::size_t export_shards(const ArrayDataset& dataset, const std::filesystem::path& dir,
+                          std::size_t samples_per_shard);
+
+}  // namespace dtsnn::data

@@ -1,0 +1,214 @@
+#include "data/sharded_dataset.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/shard.h"
+
+namespace dtsnn::data {
+
+namespace {
+
+std::size_t resolve_cache_slots(std::size_t configured) {
+  if (configured != 0) return configured;
+  if (const char* env = std::getenv("DTSNN_SHARD_CACHE_SLOTS")) {
+    // Digits only (strtoull would silently wrap "-1" to a huge slot count)
+    // and overflow-checked (errno=ERANGE clamps to ULLONG_MAX, same silent
+    // unbounding), so a bad value can never void the bounded-working-set
+    // guarantee quietly.
+    const std::string value(env);
+    const bool digits = !value.empty() && value.find_first_not_of("0123456789") ==
+                                              std::string::npos;
+    errno = 0;
+    const unsigned long long parsed = digits ? std::strtoull(env, nullptr, 10) : 0;
+    if (!digits || parsed == 0 || errno == ERANGE) {
+      throw std::invalid_argument(
+          std::string("DTSNN_SHARD_CACHE_SLOTS must be a positive integer, got '") +
+          env + "'");
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  return ShardCacheConfig::kDefaultCacheSlots;
+}
+
+void check_sibling(const ShardHeader& first, const std::filesystem::path& first_path,
+                   const ShardHeader& header, const std::filesystem::path& path) {
+  const bool mismatch = header.frame_shape != first.frame_shape ||
+                        header.frames_per_sample != first.frames_per_sample ||
+                        header.num_classes != first.num_classes ||
+                        header.noise_seed != first.noise_seed ||
+                        header.shard_count != first.shard_count;
+  if (mismatch) {
+    throw ShardError(ShardError::Kind::kShapeMismatch,
+                     "shard " + path.string() +
+                         ": header disagrees with sibling shard " + first_path.string() +
+                         " (frame shape / frames per sample / classes / noise seed / "
+                         "shard count must match across a dataset's shards)");
+  }
+}
+
+}  // namespace
+
+ShardedDataset::ShardedDataset(const std::filesystem::path& dir, ShardCacheConfig config)
+    : cache_slots_(resolve_cache_slots(config.cache_slots)) {
+  std::error_code ec;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == kShardExtension) paths.push_back(entry.path());
+  }
+  if (ec) {
+    throw ShardError(ShardError::Kind::kIo,
+                     "ShardedDataset: cannot read " + dir.string() + ": " + ec.message());
+  }
+  if (paths.empty()) {
+    throw ShardError(ShardError::Kind::kIo, "ShardedDataset: no " +
+                                                std::string(kShardExtension) +
+                                                " files in " + dir.string());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  ShardHeader first;
+  std::vector<int> labels;
+  std::vector<double> difficulty;
+  std::vector<float> temporal_noise;
+  for (const auto& path : paths) {
+    const ShardReader reader(path);
+    const ShardHeader& header = reader.header();
+    if (shards_.empty()) {
+      first = header;
+      frame_shape_ = header.frame_shape;
+      frame_numel_ = header.frame_numel();
+      frames_per_sample_ = header.frames_per_sample;
+      num_classes_ = header.num_classes;
+      noise_seed_ = header.noise_seed;
+    } else {
+      check_sibling(first, shards_.front().path, header, path);
+    }
+    // Ordinal i must sit at sorted position i: the noise stream and labels
+    // are addressed by global sample index, so a missing or duplicated
+    // middle shard would silently shift every later sample's identity.
+    if (header.shard_index != shards_.size()) {
+      throw ShardError(ShardError::Kind::kIncompleteSet,
+                       "shard " + path.string() + ": holds ordinal " +
+                           std::to_string(header.shard_index) +
+                           " but is shard file #" + std::to_string(shards_.size()) +
+                           " of " + dir.string() +
+                           " — the directory is missing or duplicating shards");
+    }
+    Shard shard;
+    shard.path = path;
+    shard.first_sample = labels_.size();
+    shard.samples = header.num_samples;
+    reader.read_metadata(labels, difficulty, temporal_noise);
+    labels_.insert(labels_.end(), labels.begin(), labels.end());
+    difficulty_.insert(difficulty_.end(), difficulty.begin(), difficulty.end());
+    temporal_noise_.insert(temporal_noise_.end(), temporal_noise.begin(),
+                           temporal_noise.end());
+    frame_bytes_total_ += header.frames_floats() * sizeof(float);
+    max_shard_frame_bytes_ =
+        std::max(max_shard_frame_bytes_, header.frames_floats() * sizeof(float));
+    shards_.push_back(std::move(shard));
+  }
+  if (shards_.size() != first.shard_count) {
+    throw ShardError(ShardError::Kind::kIncompleteSet,
+                     "ShardedDataset: " + dir.string() + " holds " +
+                         std::to_string(shards_.size()) + " shard files but the set "
+                         "declares " + std::to_string(first.shard_count) +
+                         " — trailing shards are missing");
+  }
+  metadata_bytes_ = labels_.size() * (sizeof(int) + sizeof(double) + sizeof(float));
+}
+
+std::size_t ShardedDataset::locate(std::size_t sample) const {
+  // First shard whose range starts past `sample`, minus one.
+  const auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), sample,
+      [](std::size_t s, const Shard& shard) { return s < shard.first_sample; });
+  return static_cast<std::size_t>(it - shards_.begin()) - 1;
+}
+
+const std::vector<float>& ShardedDataset::touch_shard(std::size_t shard_index) const {
+  Shard& shard = shards_[shard_index];
+  shard.last_used = ++lru_tick_;
+  if (shard.resident) {
+    ++cache_hits_;
+    return shard.frames;
+  }
+  ++cache_misses_;
+  if (resident_.size() >= cache_slots_) {
+    // Evict the least-recently-used resident shard (resident_ is bounded by
+    // cache_slots_, so the victim search never scans the full shard table).
+    std::size_t victim_pos = 0;
+    for (std::size_t i = 1; i < resident_.size(); ++i) {
+      if (shards_[resident_[i]].last_used < shards_[resident_[victim_pos]].last_used) {
+        victim_pos = i;
+      }
+    }
+    Shard& evicted = shards_[resident_[victim_pos]];
+    resident_bytes_ -= evicted.frames.size() * sizeof(float);
+    evicted.frames = {};
+    evicted.resident = false;
+    resident_.erase(resident_.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+    ++cache_evictions_;
+  }
+  shard.frames = ShardReader(shard.path).read_frames();
+  shard.resident = true;
+  resident_.push_back(shard_index);
+  resident_bytes_ += shard.frames.size() * sizeof(float);
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
+  return shard.frames;
+}
+
+void ShardedDataset::write_frame(std::size_t sample, std::size_t t,
+                                 std::span<float> dst) const {
+  if (sample >= labels_.size()) {
+    throw std::out_of_range("ShardedDataset::write_frame: sample " +
+                            std::to_string(sample) + " out of range (size " +
+                            std::to_string(labels_.size()) + ")");
+  }
+  const std::size_t frame = std::min(t, frames_per_sample_ - 1);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t shard_index = locate(sample);
+    const Shard& shard = shards_[shard_index];
+    const std::vector<float>& frames = touch_shard(shard_index);
+    const std::size_t local = sample - shard.first_sample;
+    const float* src = frames.data() + (local * frames_per_sample_ + frame) * frame_numel_;
+    std::memcpy(dst.data(), src, frame_numel_ * sizeof(float));
+  }
+  // Same stream, keyed by the *global* sample index, as every other storage
+  // backend — bitwise identity does not depend on shard layout.
+  detail::apply_temporal_noise(dst, temporal_noise_[sample], noise_seed_, sample, t);
+}
+
+void ShardedDataset::prefetch(std::span<const std::size_t> samples) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::size_t> wanted;
+  for (const std::size_t sample : samples) {
+    if (sample >= labels_.size()) continue;  // materialize_batch validates later
+    const std::size_t shard = locate(sample);
+    if (std::find(wanted.begin(), wanted.end(), shard) == wanted.end()) {
+      wanted.push_back(shard);
+      if (wanted.size() == cache_slots_) break;
+    }
+  }
+  for (const std::size_t shard : wanted) touch_shard(shard);
+}
+
+DatasetStorageStats ShardedDataset::storage_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DatasetStorageStats stats;
+  stats.logical_bytes = frame_bytes_total_ + metadata_bytes_;
+  stats.resident_bytes = resident_bytes_ + metadata_bytes_;
+  stats.peak_resident_bytes = peak_resident_bytes_ + metadata_bytes_;
+  stats.shard_count = shards_.size();
+  stats.cache_slots = cache_slots_;
+  stats.cache_hits = cache_hits_;
+  stats.cache_misses = cache_misses_;
+  stats.cache_evictions = cache_evictions_;
+  return stats;
+}
+
+}  // namespace dtsnn::data

@@ -1,0 +1,118 @@
+// Storage-backed dataset over a directory of shard files.
+//
+// ShardedDataset decouples the logical sample space from frame storage: the
+// tiny per-sample metadata columns (labels, difficulty, noise stddev) are
+// resident for the dataset's lifetime, while frame blocks are paged in shard
+// at a time through a bounded LRU cache — the working set is O(cache_slots *
+// shard_bytes), not O(dataset). Reads are bitwise identical to the
+// ArrayDataset the shards were exported from: the deterministic sensor-noise
+// stream is keyed by (noise_seed, global sample index, timestep), so cache
+// evictions, shard boundaries, and re-reads never change a single bit of an
+// encoded frame.
+//
+// write_frame/prefetch are internally synchronized, so the dataset can be
+// shared by OpenMP evaluation workers and the serving worker thread (the
+// Dataset contract treats const access as thread-safe).
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dtsnn::data {
+
+struct ShardCacheConfig {
+  /// Bound on shards resident at once. 0 = auto: the DTSNN_SHARD_CACHE_SLOTS
+  /// environment variable when set (must parse to >= 1, loud error
+  /// otherwise), else kDefaultCacheSlots.
+  std::size_t cache_slots = 0;
+
+  static constexpr std::size_t kDefaultCacheSlots = 4;
+};
+
+class ShardedDataset final : public Dataset {
+ public:
+  /// Opens every `*.dtshard` file under `dir` (sorted by filename), validates
+  /// the headers against each other (ShardError::Kind::kShapeMismatch when
+  /// siblings disagree on geometry, class count, frames per sample, or noise
+  /// seed), and loads the metadata columns. Frame blocks stay on disk until
+  /// first touched. Throws ShardError(kIo) when `dir` holds no shards.
+  explicit ShardedDataset(const std::filesystem::path& dir, ShardCacheConfig config = {});
+
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] std::size_t num_classes() const override { return num_classes_; }
+  [[nodiscard]] snn::Shape frame_shape() const override { return frame_shape_; }
+  [[nodiscard]] int label(std::size_t sample) const override { return labels_.at(sample); }
+  [[nodiscard]] double difficulty(std::size_t sample) const override {
+    return difficulty_.at(sample);
+  }
+  [[nodiscard]] std::size_t native_frames() const override { return frames_per_sample_; }
+  void write_frame(std::size_t sample, std::size_t t,
+                   std::span<float> dst) const override;
+
+  /// Warm the cache for the shards holding `samples` (deduplicated, first
+  /// cache_slots() distinct shards — prefetching more would only evict what
+  /// was just fetched). The serving layer calls this at admission, and
+  /// materialize_batch calls it for every chunk.
+  void prefetch(std::span<const std::size_t> samples) const override;
+
+  [[nodiscard]] DatasetStorageStats storage_stats() const override;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t cache_slots() const { return cache_slots_; }
+  [[nodiscard]] std::uint64_t noise_seed() const { return noise_seed_; }
+  /// Frame-block bytes across all shards (the evictable payload).
+  [[nodiscard]] std::size_t frame_bytes_total() const { return frame_bytes_total_; }
+  /// Frame-block bytes of the largest shard: cache_slots() * this bounds the
+  /// cache's resident frame bytes.
+  [[nodiscard]] std::size_t max_shard_frame_bytes() const {
+    return max_shard_frame_bytes_;
+  }
+
+ private:
+  struct Shard {
+    std::filesystem::path path;
+    std::size_t first_sample = 0;  ///< global index of this shard's sample 0
+    std::size_t samples = 0;
+    std::vector<float> frames;     ///< resident frame block, empty when evicted
+    bool resident = false;
+    std::uint64_t last_used = 0;   ///< LRU tick of the most recent touch
+  };
+
+  /// Shard index owning `sample` (samples are contiguous across shards).
+  [[nodiscard]] std::size_t locate(std::size_t sample) const;
+  /// Touch a shard under mu_: load (evicting LRU when full) or mark a hit.
+  const std::vector<float>& touch_shard(std::size_t shard) const;
+
+  snn::Shape frame_shape_;
+  std::size_t frame_numel_ = 0;
+  std::size_t frames_per_sample_ = 0;
+  std::size_t num_classes_ = 0;
+  std::uint64_t noise_seed_ = 0;
+  std::size_t cache_slots_ = 0;
+  std::size_t frame_bytes_total_ = 0;
+  std::size_t max_shard_frame_bytes_ = 0;
+  std::size_t metadata_bytes_ = 0;
+
+  std::vector<int> labels_;
+  std::vector<double> difficulty_;
+  std::vector<float> temporal_noise_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Shard> shards_;
+  mutable std::uint64_t lru_tick_ = 0;
+  /// Indices of resident shards (size <= cache_slots_): bounds the eviction
+  /// victim search by the cache size, not the shard count.
+  mutable std::vector<std::size_t> resident_;
+  mutable std::size_t resident_bytes_ = 0;
+  mutable std::size_t peak_resident_bytes_ = 0;
+  mutable std::size_t cache_hits_ = 0;
+  mutable std::size_t cache_misses_ = 0;
+  mutable std::size_t cache_evictions_ = 0;
+};
+
+}  // namespace dtsnn::data

@@ -170,6 +170,7 @@ void InferenceServer::worker_loop() {
     // boundary; an idle worker first blocks for work (and optionally holds
     // the admission window so the initial batch launches fuller).
     std::size_t admitted = 0;
+    std::vector<std::size_t> admitted_samples;
     {
       std::unique_lock<std::mutex> lk(mu_);
       // Purge slots whose request failed during last cycle's delivery (a
@@ -220,6 +221,7 @@ void InferenceServer::worker_loop() {
         s.sample = u.sample;
         s.acc.assign(k, 0.0);
         s.admitted_at = now;
+        admitted_samples.push_back(s.sample);
         pool.push_back(std::move(s));
         ++admitted;
       }
@@ -227,6 +229,11 @@ void InferenceServer::worker_loop() {
       peak_pool_ = std::max(peak_pool_, pool.size());
     }
     if (pool.empty()) continue;
+    // Warm storage-backed datasets for the newly admitted samples outside the
+    // admission lock: requests may target samples in not-yet-resident shards,
+    // and prefetching here turns the pool's per-timestep frame reads into
+    // cache hits instead of worker-blocking shard loads mid-step.
+    if (!admitted_samples.empty()) dataset_.prefetch(admitted_samples);
 
     done.clear();
     try {

@@ -106,8 +106,12 @@ class InferenceServer {
   /// The server takes exclusive use of `net` between construction and
   /// drain()/destruction (the worker thread steps it); `dataset`,
   /// `default_policy`, and any per-request policy overrides must outlive
-  /// the server. Throws std::invalid_argument for max_timesteps == 0,
-  /// max_pool == 0, or max_queue == 0.
+  /// the server. `dataset` may be in-memory (ArrayDataset) or storage-backed
+  /// (ShardedDataset): requests whose samples live in not-yet-resident
+  /// shards are admitted freely, and the worker prefetches their shards into
+  /// the dataset's cache at admission so pool steps read warm frames.
+  /// Throws std::invalid_argument for max_timesteps == 0, max_pool == 0, or
+  /// max_queue == 0.
   InferenceServer(snn::SpikingNetwork& net, const data::Dataset& dataset,
                   const core::ExitPolicy& default_policy, std::size_t max_timesteps,
                   ServerConfig config = {});

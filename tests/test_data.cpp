@@ -47,6 +47,26 @@ TEST(ArrayDataset, ValidatesInput) {
   EXPECT_THROW(ds.add_sample({1.0f}, 5, 0.0), std::invalid_argument);
 }
 
+// Regression: a frame vector that disagrees with frame_numel *
+// frames_per_sample must be rejected atomically — were it accepted (or
+// partially appended), every later sample's reads would silently shift.
+TEST(ArrayDataset, RejectsWrongFrameVectorSizeWithoutCorruptingState) {
+  ArrayDataset ds({1, 2, 2}, 2, 3);  // 8 floats per sample
+  ds.add_sample({1, 2, 3, 4, 5, 6, 7, 8}, 0, 0.0);
+  EXPECT_THROW(ds.add_sample({1, 2, 3}, 1, 0.0), std::invalid_argument);        // short
+  EXPECT_THROW(ds.add_sample(std::vector<float>(9, 0.0f), 1, 0.0), std::invalid_argument);  // long
+  EXPECT_THROW(ds.add_sample({}, 1, 0.0), std::invalid_argument);               // empty
+  // The failed inserts left nothing behind: size is unchanged and the next
+  // valid sample lands exactly after sample 0.
+  EXPECT_EQ(ds.size(), 1u);
+  ds.add_sample({9, 10, 11, 12, 13, 14, 15, 16}, 2, 0.5);
+  std::vector<float> buf(4);
+  ds.write_frame(0, 1, buf);
+  EXPECT_FLOAT_EQ(buf[0], 5.0f);  // sample 0, frame 1 intact
+  ds.write_frame(1, 0, buf);
+  EXPECT_FLOAT_EQ(buf[0], 9.0f);  // sample 1 starts at its own offset
+}
+
 TEST(Materialize, TimeMajorLayout) {
   ArrayDataset ds({1, 1, 1}, 1, 2);
   ds.add_sample({10.0f}, 0, 0.0);
@@ -72,24 +92,122 @@ TEST(Materialize, RejectsDegenerateRequests) {
   const std::vector<std::size_t> one{0};
   EXPECT_THROW(materialize_batch(ds, none, 2), std::invalid_argument);
   EXPECT_THROW(materialize_batch(ds, one, 0), std::invalid_argument);
-  EXPECT_THROW(materialize_all(ds, 0), std::invalid_argument);
   EXPECT_NO_THROW(materialize_batch(ds, one, 1));
+  EXPECT_THROW(BatchCursor(ds, one, 0, 4), std::invalid_argument);
+  EXPECT_THROW(BatchCursor(ds, one, 2, 0), std::invalid_argument);
 }
 
-TEST(ShuffledBatchSource, CoversDatasetOnceReshuffled) {
+TEST(BatchCursor, StreamsChunksCoveringEverySampleOnce) {
+  ArrayDataset ds({1, 1, 1}, 1, 2);
+  for (int i = 0; i < 10; ++i) ds.add_sample({static_cast<float>(i)}, i % 2, 0.0);
+
+  // Range form: 10 samples in chunks of 4 -> 4 + 4 + 2.
+  BatchCursor range(ds, ds.size(), /*timesteps=*/2, /*chunk_samples=*/4);
+  std::vector<std::size_t> starts;
+  std::vector<float> seen;
+  while (range.next()) {
+    starts.push_back(range.start());
+    EXPECT_EQ(range.batch().x.dim(0), 2 * range.chunk_size());
+    // Chunk rows are time-major; row i of t=0 is sample start+i.
+    for (std::size_t i = 0; i < range.chunk_size(); ++i) {
+      seen.push_back(range.batch().x[i]);
+      EXPECT_EQ(range.indices()[i], range.start() + i);
+    }
+  }
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 4, 8}));
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(seen[i], static_cast<float>(i));
+
+  // Index-list form follows the list order, ragged tail included.
+  const std::vector<std::size_t> picks{9, 3, 5, 0, 7};
+  BatchCursor list(ds, picks, /*timesteps=*/1, /*chunk_samples=*/2);
+  std::vector<float> got;
+  while (list.next()) {
+    for (std::size_t i = 0; i < list.chunk_size(); ++i) got.push_back(list.batch().x[i]);
+  }
+  EXPECT_EQ(got, (std::vector<float>{9, 3, 5, 0, 7}));
+
+  // An empty sequence yields no chunks (and never touches materialize_batch).
+  const std::vector<std::size_t> none;
+  BatchCursor empty(ds, none, 1, 2);
+  EXPECT_FALSE(empty.next());
+}
+
+TEST(StorageStats, FullyResidentDefaults) {
+  ArrayDataset ds({1, 2, 2}, 2, 2);
+  ds.add_sample(std::vector<float>(8, 1.0f), 0, 0.0);
+  ds.add_sample(std::vector<float>(8, 2.0f), 1, 0.0);
+  const DatasetStorageStats stats = ds.storage_stats();
+  EXPECT_EQ(stats.logical_bytes, stats.resident_bytes);
+  EXPECT_EQ(stats.peak_resident_bytes, stats.resident_bytes);
+  EXPECT_GE(stats.logical_bytes, 2 * 8 * sizeof(float));
+  EXPECT_EQ(stats.shard_count, 0u);
+  EXPECT_EQ(stats.cache_slots, 0u);
+  EXPECT_EQ(stats.hit_rate(), 0.0);
+  // prefetch is a harmless no-op on fully-resident datasets.
+  const std::vector<std::size_t> samples{0, 1};
+  EXPECT_NO_THROW(ds.prefetch(samples));
+}
+
+TEST(ShuffledBatchSource, RaggedFinalBatchCoversEveryIndexExactlyOnce) {
   ArrayDataset ds({1, 1, 1}, 1, 2);
   for (int i = 0; i < 10; ++i) ds.add_sample({static_cast<float>(i)}, i % 2, 0.0);
   ShuffledBatchSource src(ds, 3, 1);
-  EXPECT_EQ(src.num_batches(), 3u);  // 10/3, ragged tail dropped
+  EXPECT_EQ(src.num_batches(), 4u);  // 3+3+3 plus the ragged tail of 1
   src.reshuffle(0);
   std::vector<float> seen;
   for (std::size_t b = 0; b < src.num_batches(); ++b) {
     auto batch = src.batch(b, 1);
-    for (std::size_t i = 0; i < 3; ++i) seen.push_back(batch.x[i]);
+    const std::size_t expect = b + 1 < src.num_batches() ? 3u : 1u;
+    ASSERT_EQ(batch.labels.size(), expect);
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) seen.push_back(batch.x[i]);
   }
+  // Every sample appears exactly once per epoch, ragged tail included.
+  ASSERT_EQ(seen.size(), ds.size());
   std::sort(seen.begin(), seen.end());
-  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());  // no repeats
-  EXPECT_THROW(src.batch(3, 1), std::out_of_range);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_FLOAT_EQ(seen[i], static_cast<float>(i));
+  }
+  EXPECT_THROW(src.batch(4, 1), std::out_of_range);
+}
+
+TEST(ShuffledBatchSource, SameSeedSameEpochOrder) {
+  ArrayDataset ds({1, 1, 1}, 1, 2);
+  for (int i = 0; i < 17; ++i) ds.add_sample({static_cast<float>(i)}, 0, 0.0);
+  ShuffledBatchSource a(ds, 4, 42);
+  ShuffledBatchSource b(ds, 4, 42);
+  for (const std::size_t epoch : {0u, 1u, 5u}) {
+    a.reshuffle(epoch);
+    b.reshuffle(epoch);
+    for (std::size_t bi = 0; bi < a.num_batches(); ++bi) {
+      const auto ba = a.batch(bi, 1);
+      const auto bb = b.batch(bi, 1);
+      ASSERT_EQ(ba.labels.size(), bb.labels.size());
+      for (std::size_t i = 0; i < ba.labels.size(); ++i) {
+        EXPECT_EQ(ba.x[i], bb.x[i]) << "epoch " << epoch << " batch " << bi;
+      }
+    }
+  }
+  // Different seeds produce different epoch-0 orders.
+  ShuffledBatchSource c(ds, 17, 43);
+  a.reshuffle(0);
+  c.reshuffle(0);
+  EXPECT_FALSE(a.batch(0, 1).x.allclose(c.batch(0, 1).x));
+}
+
+TEST(ShuffledBatchSource, ReshuffleIsPureFunctionOfSeedAndEpoch) {
+  ArrayDataset ds({1, 1, 1}, 1, 2);
+  for (int i = 0; i < 13; ++i) ds.add_sample({static_cast<float>(i)}, 0, 0.0);
+  // Epoch 3's order must not depend on which epochs were drawn before it.
+  ShuffledBatchSource direct(ds, 13, 9);
+  direct.reshuffle(3);
+  ShuffledBatchSource detour(ds, 13, 9);
+  detour.reshuffle(7);
+  detour.reshuffle(0);
+  detour.reshuffle(3);
+  const auto want = direct.batch(0, 1);
+  const auto got = detour.batch(0, 1);
+  for (std::size_t i = 0; i < 13; ++i) EXPECT_EQ(want.x[i], got.x[i]);
 }
 
 TEST(ShuffledBatchSource, ReshuffleChangesOrder) {

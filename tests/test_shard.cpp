@@ -1,0 +1,504 @@
+// Shard-format and ShardedDataset tests: round-trip fidelity, bitwise
+// identity of frame reads against the source ArrayDataset (the storage
+// backend must never change a bit, including under a thrashing 1-slot
+// cache), LRU cache accounting, prefetch, the DTSNN_SHARD_CACHE_SLOTS knob,
+// and one loud typed error per corruption class.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/shard.h"
+#include "data/sharded_dataset.h"
+
+namespace dtsnn::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty scratch directory, removed at scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("dtsnn_shard_test_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Deterministic multi-frame dataset with per-sample noise stddevs: the
+/// hardest case for the identity contract (read-time noise + frame clamp).
+ArrayDataset make_source(std::size_t samples = 10, std::size_t frames = 3) {
+  ArrayDataset ds({2, 2, 2}, frames, 4);
+  ds.set_noise_seed(0xfeedbeef);
+  const std::size_t numel = 8 * frames;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<float> data(numel);
+    for (std::size_t i = 0; i < numel; ++i) {
+      data[i] = static_cast<float>(s) + 0.01f * static_cast<float>(i);
+    }
+    ds.add_sample(std::move(data), static_cast<int>(s % 4),
+                  static_cast<double>(s) / samples, /*temporal_noise=*/0.1 * (s % 3));
+  }
+  return ds;
+}
+
+void expect_bitwise_equal_reads(const Dataset& a, const Dataset& b,
+                                std::size_t timesteps) {
+  ASSERT_EQ(a.size(), b.size());
+  const std::size_t numel = snn::shape_numel(a.frame_shape());
+  std::vector<float> fa(numel);
+  std::vector<float> fb(numel);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a.label(s), b.label(s));
+    EXPECT_EQ(a.difficulty(s), b.difficulty(s));
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      a.write_frame(s, t, fa);
+      b.write_frame(s, t, fb);
+      ASSERT_EQ(fa, fb) << "sample " << s << " t " << t;
+    }
+  }
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(ShardFormat, WriterReaderRoundTrip) {
+  TempDir dir("roundtrip");
+  ShardHeader header;
+  header.frame_shape = {1, 2, 2};
+  header.frames_per_sample = 2;
+  header.num_classes = 3;
+  header.noise_seed = 77;
+
+  const fs::path path = dir.path() / ("one" + std::string(kShardExtension));
+  {
+    ShardWriter writer(path, header);
+    writer.add_sample(std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}, 1, 0.25, 0.5f);
+    writer.add_sample(std::vector<float>{9, 10, 11, 12, 13, 14, 15, 16}, 2, 0.75, 0.0f);
+    EXPECT_EQ(writer.samples(), 2u);
+    writer.finish();
+  }
+
+  ShardReader reader(path);
+  EXPECT_EQ(reader.header().frame_shape, (snn::Shape{1, 2, 2}));
+  EXPECT_EQ(reader.header().frames_per_sample, 2u);
+  EXPECT_EQ(reader.header().num_classes, 3u);
+  EXPECT_EQ(reader.header().noise_seed, 77u);
+  EXPECT_EQ(reader.header().num_samples, 2u);
+
+  std::vector<int> labels;
+  std::vector<double> difficulty;
+  std::vector<float> noise;
+  reader.read_metadata(labels, difficulty, noise);
+  EXPECT_EQ(labels, (std::vector<int>{1, 2}));
+  EXPECT_EQ(difficulty, (std::vector<double>{0.25, 0.75}));
+  EXPECT_EQ(noise, (std::vector<float>{0.5f, 0.0f}));
+
+  const std::vector<float> frames = reader.read_frames();
+  ASSERT_EQ(frames.size(), 16u);
+  EXPECT_FLOAT_EQ(frames.front(), 1.0f);
+  EXPECT_FLOAT_EQ(frames.back(), 16.0f);
+}
+
+TEST(ShardFormat, WriterValidatesSamples) {
+  TempDir dir("writer_validate");
+  ShardHeader header;
+  header.frame_shape = {1, 1, 1};
+  header.frames_per_sample = 1;
+  header.num_classes = 2;
+  ShardWriter writer(dir.path() / ("w" + std::string(kShardExtension)), header);
+  EXPECT_THROW(writer.add_sample(std::vector<float>{1, 2}, 0, 0.0, 0.0f),
+               std::invalid_argument);
+  EXPECT_THROW(writer.add_sample(std::vector<float>{1}, 7, 0.0, 0.0f),
+               std::invalid_argument);
+  writer.add_sample(std::vector<float>{1}, 1, 0.0, 0.0f);
+  writer.finish();
+  EXPECT_THROW(writer.add_sample(std::vector<float>{2}, 0, 0.0, 0.0f), std::logic_error);
+}
+
+TEST(ShardFormat, AbandonedWriterLeavesNoFile) {
+  TempDir dir("abandoned");
+  const fs::path path = dir.path() / ("partial" + std::string(kShardExtension));
+  {
+    ShardHeader header;
+    header.frame_shape = {1, 1, 1};
+    header.frames_per_sample = 1;
+    header.num_classes = 2;
+    ShardWriter writer(path, header);
+    writer.add_sample(std::vector<float>{1}, 0, 0.0, 0.0f);
+    // Scope exits without finish() — as when an exception unwinds mid-export.
+  }
+  // No truncated-but-valid-looking shard may reach disk.
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ExportShards, SplitsIntoRaggedShards) {
+  TempDir dir("ragged");
+  const ArrayDataset source = make_source(10);
+  EXPECT_EQ(export_shards(source, dir.path(), 4), 3u);  // 4 + 4 + 2
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    files += entry.path().extension() == kShardExtension;
+  }
+  EXPECT_EQ(files, 3u);
+  const ShardedDataset ds(dir.path());
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.num_shards(), 3u);
+
+  EXPECT_THROW(export_shards(source, dir.path(), 0), std::invalid_argument);
+  // Re-export with a different partitioning replaces the old shard files.
+  EXPECT_EQ(export_shards(source, dir.path(), 10), 1u);
+  EXPECT_EQ(ShardedDataset(dir.path()).num_shards(), 1u);
+}
+
+// --------------------------------------------------------- bitwise identity
+
+TEST(ShardedDataset, BitwiseIdenticalToArrayDatasetIncludingNoise) {
+  TempDir dir("identity");
+  const ArrayDataset source = make_source(10, /*frames=*/3);
+  export_shards(source, dir.path(), 3);
+  ShardCacheConfig config;
+  config.cache_slots = 2;
+  const ShardedDataset sharded(dir.path(), config);
+  EXPECT_EQ(sharded.noise_seed(), source.noise_seed());
+  EXPECT_EQ(sharded.num_classes(), source.num_classes());
+  EXPECT_EQ(sharded.native_frames(), source.native_frames());
+  EXPECT_EQ(sharded.frame_shape(), source.frame_shape());
+  // Timesteps past native_frames clamp to the last frame but keep their own
+  // noise draw — both backends must agree there too.
+  expect_bitwise_equal_reads(source, sharded, /*timesteps=*/5);
+}
+
+TEST(ShardedDataset, OneSlotCacheThrashingPreservesIdentity) {
+  TempDir dir("thrash");
+  const ArrayDataset source = make_source(9, /*frames=*/2);
+  export_shards(source, dir.path(), 2);  // 5 shards
+  ShardCacheConfig config;
+  config.cache_slots = 1;
+  const ShardedDataset sharded(dir.path(), config);
+  ASSERT_EQ(sharded.num_shards(), 5u);
+  // Deliberately alternate across shard boundaries; every read reloads.
+  const std::size_t numel = snn::shape_numel(source.frame_shape());
+  std::vector<float> fa(numel);
+  std::vector<float> fb(numel);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t s = 0; s < source.size(); ++s) {
+      const std::size_t ping = s;
+      const std::size_t pong = source.size() - 1 - s;
+      for (const std::size_t sample : {ping, pong}) {
+        source.write_frame(sample, 1, fa);
+        sharded.write_frame(sample, 1, fb);
+        ASSERT_EQ(fa, fb) << "sample " << sample;
+      }
+    }
+  }
+  const DatasetStorageStats stats = sharded.storage_stats();
+  EXPECT_EQ(stats.cache_slots, 1u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LE(stats.resident_bytes, stats.peak_resident_bytes);
+  EXPECT_LT(stats.peak_resident_bytes, stats.logical_bytes);
+}
+
+TEST(ShardedDataset, MaterializeBatchMatchesAcrossBackends) {
+  TempDir dir("batch");
+  const ArrayDataset source = make_source(8, /*frames=*/2);
+  export_shards(source, dir.path(), 3);
+  ShardCacheConfig config;
+  config.cache_slots = 1;
+  const ShardedDataset sharded(dir.path(), config);
+  const std::vector<std::size_t> indices{7, 0, 3, 5};
+  const auto a = materialize_batch(source, indices, 4);
+  const auto b = materialize_batch(sharded, indices, 4);
+  EXPECT_EQ(a.labels, b.labels);
+  ASSERT_EQ(a.x.shape(), b.x.shape());
+  for (std::size_t i = 0; i < a.x.numel(); ++i) ASSERT_EQ(a.x[i], b.x[i]);
+}
+
+// ------------------------------------------------------------ cache behavior
+
+TEST(ShardedDataset, LruCacheCountsHitsMissesEvictions) {
+  TempDir dir("lru");
+  const ArrayDataset source = make_source(6, /*frames=*/1);
+  export_shards(source, dir.path(), 2);  // shards: {0,1} {2,3} {4,5}
+  ShardCacheConfig config;
+  config.cache_slots = 2;
+  const ShardedDataset ds(dir.path(), config);
+  std::vector<float> buf(snn::shape_numel(ds.frame_shape()));
+
+  ds.write_frame(0, 0, buf);  // miss: load shard 0
+  ds.write_frame(1, 0, buf);  // hit  (same shard)
+  ds.write_frame(2, 0, buf);  // miss: load shard 1
+  ds.write_frame(0, 0, buf);  // hit
+  ds.write_frame(4, 0, buf);  // miss: evicts shard 1 (LRU; shard 0 just used)
+  ds.write_frame(0, 0, buf);  // hit: shard 0 survived
+  ds.write_frame(2, 0, buf);  // miss: shard 1 was evicted
+
+  const DatasetStorageStats stats = ds.storage_stats();
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_EQ(stats.cache_misses, 4u);
+  EXPECT_EQ(stats.cache_evictions, 2u);
+  EXPECT_NEAR(stats.hit_rate(), 3.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.shard_count, 3u);
+}
+
+TEST(ShardedDataset, PrefetchWarmsTheCache) {
+  TempDir dir("prefetch");
+  const ArrayDataset source = make_source(8, /*frames=*/1);
+  export_shards(source, dir.path(), 2);  // 4 shards
+  ShardCacheConfig config;
+  config.cache_slots = 2;
+  const ShardedDataset ds(dir.path(), config);
+
+  const std::vector<std::size_t> wanted{0, 3};
+  ds.prefetch(wanted);
+  const std::size_t misses_after_prefetch = ds.storage_stats().cache_misses;
+  EXPECT_EQ(misses_after_prefetch, 2u);
+
+  std::vector<float> buf(snn::shape_numel(ds.frame_shape()));
+  ds.write_frame(0, 0, buf);
+  ds.write_frame(3, 0, buf);
+  const DatasetStorageStats stats = ds.storage_stats();
+  EXPECT_EQ(stats.cache_misses, misses_after_prefetch);  // both reads hit
+  EXPECT_EQ(stats.cache_hits, 2u);
+
+  // Prefetching more shards than slots only takes the first cache_slots()
+  // distinct shards (loading more would evict what was just fetched).
+  const std::vector<std::size_t> all{0, 2, 4, 6};
+  ds.prefetch(all);
+  EXPECT_LE(ds.storage_stats().resident_bytes, stats.peak_resident_bytes);
+}
+
+TEST(ShardedDataset, EnvVarControlsAutoCacheSlots) {
+  TempDir dir("env");
+  const ArrayDataset source = make_source(6, /*frames=*/1);
+  export_shards(source, dir.path(), 2);
+
+  // Preserve the ambient value: the shard-cache-thrash CI job pins
+  // DTSNN_SHARD_CACHE_SLOTS=1 for the whole binary, and this test must not
+  // un-pin it for later tests.
+  const char* ambient = std::getenv("DTSNN_SHARD_CACHE_SLOTS");
+  const std::string saved = ambient ? ambient : "";
+
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "1", 1), 0);
+  EXPECT_EQ(ShardedDataset(dir.path()).cache_slots(), 1u);
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "bogus", 1), 0);
+  EXPECT_THROW(ShardedDataset(dir.path()), std::invalid_argument);
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "0", 1), 0);
+  EXPECT_THROW(ShardedDataset(dir.path()), std::invalid_argument);
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "-1", 1), 0);
+  EXPECT_THROW(ShardedDataset(dir.path()), std::invalid_argument);
+  // Overflowing u64 must be loud, not clamped to an unbounded cache.
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "99999999999999999999999", 1), 0);
+  EXPECT_THROW(ShardedDataset(dir.path()), std::invalid_argument);
+  ASSERT_EQ(unsetenv("DTSNN_SHARD_CACHE_SLOTS"), 0);
+  EXPECT_EQ(ShardedDataset(dir.path()).cache_slots(),
+            ShardCacheConfig::kDefaultCacheSlots);
+
+  // An explicit config wins over the environment.
+  ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", "7", 1), 0);
+  ShardCacheConfig config;
+  config.cache_slots = 3;
+  EXPECT_EQ(ShardedDataset(dir.path(), config).cache_slots(), 3u);
+
+  if (ambient) {
+    ASSERT_EQ(setenv("DTSNN_SHARD_CACHE_SLOTS", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("DTSNN_SHARD_CACHE_SLOTS"), 0);
+  }
+}
+
+TEST(ShardedDataset, OutOfRangeSampleThrows) {
+  TempDir dir("range");
+  const ArrayDataset source = make_source(4, /*frames=*/1);
+  export_shards(source, dir.path(), 2);
+  const ShardedDataset ds(dir.path());
+  std::vector<float> buf(snn::shape_numel(ds.frame_shape()));
+  EXPECT_THROW(ds.write_frame(4, 0, buf), std::out_of_range);
+  EXPECT_THROW((void)ds.label(4), std::out_of_range);
+}
+
+// ---------------------------------------------------------- corruption errors
+
+/// Expect a ShardError of `kind` whose message mentions the file.
+template <typename Fn>
+void expect_shard_error(Fn&& fn, ShardError::Kind kind, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected ShardError";
+  } catch (const ShardError& e) {
+    EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind)) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+/// Write one valid single-sample shard and return its path.
+fs::path write_valid_shard(const fs::path& dir) {
+  ShardHeader header;
+  header.frame_shape = {1, 1, 2};
+  header.frames_per_sample = 1;
+  header.num_classes = 2;
+  header.noise_seed = 5;
+  const fs::path path = dir / ("valid" + std::string(kShardExtension));
+  ShardWriter writer(path, header);
+  writer.add_sample(std::vector<float>{1, 2}, 0, 0.5, 0.0f);
+  writer.finish();
+  return path;
+}
+
+void patch_bytes(const fs::path& path, std::streamoff offset,
+                 const std::vector<char>& bytes) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ShardErrors, BadMagic) {
+  TempDir dir("bad_magic");
+  const fs::path path = write_valid_shard(dir.path());
+  patch_bytes(path, 0, {'N', 'O', 'P', 'E'});
+  expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kBadMagic,
+                     path.string());
+}
+
+TEST(ShardErrors, BadVersion) {
+  TempDir dir("bad_version");
+  const fs::path path = write_valid_shard(dir.path());
+  patch_bytes(path, 8, {99, 0, 0, 0});  // u32 version field
+  expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kBadVersion,
+                     "version 99");
+}
+
+TEST(ShardErrors, CorruptHeaderGeometry) {
+  TempDir dir("bad_header");
+  const fs::path path = write_valid_shard(dir.path());
+  patch_bytes(path, 28, {0, 0, 0, 0});  // u32 num_classes = 0
+  expect_shard_error([&] { ShardReader reader(path); },
+                     ShardError::Kind::kCorruptHeader, "degenerate");
+}
+
+TEST(ShardErrors, ZeroSampleShardRejectedAtBothEnds) {
+  TempDir dir("zero_samples");
+  // The writer refuses to produce a zero-sample shard...
+  ShardHeader header;
+  header.frame_shape = {1, 1, 2};
+  header.frames_per_sample = 1;
+  header.num_classes = 2;
+  ShardWriter writer(dir.path() / ("z" + std::string(kShardExtension)), header);
+  expect_shard_error([&] { writer.finish(); }, ShardError::Kind::kCorruptHeader,
+                     "no samples");
+  // ...and the reader rejects a handcrafted one (num_samples patched to 0 —
+  // the header check fires before the size check).
+  const fs::path path = write_valid_shard(dir.path());
+  patch_bytes(path, 40, {0, 0, 0, 0, 0, 0, 0, 0});  // u64 num_samples = 0
+  expect_shard_error([&] { ShardReader reader(path); },
+                     ShardError::Kind::kCorruptHeader, "degenerate");
+}
+
+TEST(ShardErrors, TruncatedPayload) {
+  TempDir dir("truncated");
+  const fs::path path = write_valid_shard(dir.path());
+  fs::resize_file(path, fs::file_size(path) - 5);
+  expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kTruncated,
+                     "truncated");
+  // Trailing bytes are just as loud: the size must match exactly.
+  const fs::path grown = write_valid_shard(dir.path());
+  fs::resize_file(grown, fs::file_size(grown) + 3);
+  expect_shard_error([&] { ShardReader reader(grown); }, ShardError::Kind::kTruncated,
+                     "trailing");
+}
+
+TEST(ShardErrors, TruncatedMidHeader) {
+  TempDir dir("short_header");
+  const fs::path path = write_valid_shard(dir.path());
+  fs::resize_file(path, 20);  // ends inside the shape fields
+  expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kTruncated,
+                     "header");
+}
+
+TEST(ShardErrors, SiblingShapeMismatch) {
+  TempDir dir("mismatch");
+  // Two shards with different frame geometry in the same directory.
+  ShardHeader a;
+  a.frame_shape = {1, 1, 2};
+  a.frames_per_sample = 1;
+  a.num_classes = 2;
+  {
+    ShardWriter writer(dir.path() / ("a" + std::string(kShardExtension)), a);
+    writer.add_sample(std::vector<float>{1, 2}, 0, 0.0, 0.0f);
+    writer.finish();
+  }
+  ShardHeader b = a;
+  b.frame_shape = {1, 2, 2};
+  {
+    ShardWriter writer(dir.path() / ("b" + std::string(kShardExtension)), b);
+    writer.add_sample(std::vector<float>{1, 2, 3, 4}, 0, 0.0, 0.0f);
+    writer.finish();
+  }
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); },
+                     ShardError::Kind::kShapeMismatch, "disagrees with sibling");
+
+  // A noise-seed mismatch is the same class of corruption: the noise stream
+  // is part of the data contract.
+  fs::remove(dir.path() / ("b" + std::string(kShardExtension)));
+  ShardHeader c = a;
+  c.noise_seed = 999;
+  {
+    ShardWriter writer(dir.path() / ("c" + std::string(kShardExtension)), c);
+    writer.add_sample(std::vector<float>{9, 9}, 1, 0.0, 0.0f);
+    writer.finish();
+  }
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); },
+                     ShardError::Kind::kShapeMismatch, "noise seed");
+}
+
+TEST(ShardErrors, MissingSiblingShardIsLoud) {
+  // Global sample indices (and with them the noise stream and labels) are
+  // cumulative over the shard sequence: a silently absent middle shard
+  // would shift every later sample onto the wrong identity. The ordinal in
+  // the header makes any gap, duplicate, or truncated set loud.
+  TempDir dir("incomplete");
+  const ArrayDataset source = make_source(9, /*frames=*/1);
+  export_shards(source, dir.path(), 3);  // shard_00000 .. shard_00002
+
+  fs::remove(dir.path() / ("shard_00001" + std::string(kShardExtension)));
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); },
+                     ShardError::Kind::kIncompleteSet, "missing");
+
+  // A missing *trailing* shard is caught by the declared shard count.
+  export_shards(source, dir.path(), 3);
+  fs::remove(dir.path() / ("shard_00002" + std::string(kShardExtension)));
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); },
+                     ShardError::Kind::kIncompleteSet, "trailing");
+
+  // Intact set loads fine again.
+  export_shards(source, dir.path(), 3);
+  EXPECT_EQ(ShardedDataset(dir.path()).size(), 9u);
+}
+
+TEST(ShardErrors, MissingOrEmptyDirectory) {
+  TempDir dir("empty");
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); }, ShardError::Kind::kIo,
+                     "no .dtshard files");
+  expect_shard_error([&] { ShardedDataset ds(dir.path() / "nonexistent"); },
+                     ShardError::Kind::kIo, "nonexistent");
+  expect_shard_error([&] { ShardReader reader(dir.path() / "missing.dtshard"); },
+                     ShardError::Kind::kIo, "cannot open");
+}
+
+}  // namespace
+}  // namespace dtsnn::data

@@ -1,0 +1,203 @@
+// End-to-end identity of the sharded data layer: every engine (PostHoc
+// record-on-demand, batch-1 Sequential, BatchedSequential) and the serving
+// layer must produce bitwise-identical logits, predictions, entropies, and
+// exit timesteps whether the samples come from the in-memory ArrayDataset or
+// from a ShardedDataset paging shards through a bounded cache — on all four
+// dataset presets, including a 1-slot cache under constant eviction.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/exit_policy.h"
+#include "core/inference.h"
+#include "data/shard.h"
+#include "data/sharded_dataset.h"
+#include "serve/server.h"
+
+namespace dtsnn::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+Experiment micro_experiment(const std::string& dataset, std::size_t timesteps,
+                            std::uint64_t seed = 1) {
+  ExperimentSpec spec;
+  spec.model = "vgg_micro";
+  spec.dataset = dataset;
+  spec.epochs = 1;
+  spec.timesteps = timesteps;
+  spec.data_scale = 0.05;
+  spec.seed = seed;
+  return run_experiment(spec);
+}
+
+/// Export `source` into a scratch shard directory (removed at destruction)
+/// sized so the dataset spans several shards.
+class ShardedCopy {
+ public:
+  ShardedCopy(const data::ArrayDataset& source, const std::string& tag,
+              std::size_t samples_per_shard, std::size_t cache_slots)
+      : dir_(fs::temp_directory_path() /
+             ("dtsnn_sharded_inference_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(dir_);
+    data::export_shards(source, dir_, samples_per_shard);
+    data::ShardCacheConfig config;
+    config.cache_slots = cache_slots;
+    dataset_ = std::make_unique<data::ShardedDataset>(dir_, config);
+  }
+  ~ShardedCopy() {
+    dataset_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const data::ShardedDataset& dataset() const { return *dataset_; }
+
+ private:
+  fs::path dir_;
+  std::unique_ptr<data::ShardedDataset> dataset_;
+};
+
+void expect_identical(const std::vector<InferenceResult>& a,
+                      const std::vector<InferenceResult>& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sample, b[i].sample) << context << " sample " << i;
+    EXPECT_EQ(a[i].predicted_class, b[i].predicted_class) << context << " sample " << i;
+    EXPECT_EQ(a[i].exit_timestep, b[i].exit_timestep) << context << " sample " << i;
+    EXPECT_EQ(a[i].final_entropy, b[i].final_entropy) << context << " sample " << i;
+    ASSERT_EQ(a[i].timestep_logits.shape(), b[i].timestep_logits.shape())
+        << context << " sample " << i;
+    for (std::size_t j = 0; j < a[i].timestep_logits.numel(); ++j) {
+      ASSERT_EQ(a[i].timestep_logits[j], b[i].timestep_logits[j])
+          << context << " sample " << i << " logit " << j;
+    }
+  }
+}
+
+/// The acceptance property: for each preset, every engine produces bitwise
+/// identical results from ArrayDataset and from ShardedDataset — with both a
+/// comfortable cache and a 1-slot cache thrashing on every chunk.
+TEST(ShardedInference, EnginesBitwiseIdenticalAcrossStorageBackends) {
+  for (const std::string preset : {"sync10", "sync100", "syntin", "syndvs"}) {
+    const std::size_t timesteps = preset == "syndvs" ? 5 : 3;
+    Experiment e = micro_experiment(preset, timesteps);
+    const data::ArrayDataset& array = *e.bundle.test;
+    const std::size_t n = std::min<std::size_t>(24, array.size());
+
+    InferenceRequest request = InferenceRequest::first_n(n);
+    request.record_logits = true;
+    const EntropyExitPolicy policy(0.35);
+
+    for (const std::size_t cache_slots : {std::size_t{1}, std::size_t{3}}) {
+      // 7 samples per shard: several shards, ragged tail, chunk boundaries
+      // that do not line up with shard boundaries.
+      const ShardedCopy copy(array, preset + "_c" + std::to_string(cache_slots), 7,
+                             cache_slots);
+      const data::ShardedDataset& sharded = copy.dataset();
+      ASSERT_GT(sharded.num_shards(), cache_slots);
+      const std::string context = preset + "/slots" + std::to_string(cache_slots);
+
+      SequentialEngine seq(e.net, policy, timesteps);
+      expect_identical(seq.run(array, request), seq.run(sharded, request),
+                       context + "/sequential");
+
+      BatchedSequentialEngine batched(e.net, policy, timesteps, /*batch_size=*/5);
+      expect_identical(batched.run(array, request), batched.run(sharded, request),
+                       context + "/batched");
+
+      PostHocEngine on_demand(e.net, policy, timesteps, /*batch_size=*/5);
+      expect_identical(on_demand.run(array, request), on_demand.run(sharded, request),
+                       context + "/posthoc");
+
+      // The sharded runs actually exercised the cache.
+      const data::DatasetStorageStats stats = sharded.storage_stats();
+      EXPECT_GT(stats.cache_misses, 0u) << context;
+      if (cache_slots == 1) EXPECT_GT(stats.cache_evictions, 0u) << context;
+    }
+  }
+}
+
+/// Recorded outputs (the post-hoc evaluation path) are bitwise identical
+/// between backends: collect_outputs streams chunks either way.
+TEST(ShardedInference, CollectedOutputsBitwiseIdentical) {
+  Experiment e = micro_experiment("sync10", 3);
+  const data::ArrayDataset& array = *e.bundle.test;
+  const ShardedCopy copy(array, "collect", 5, /*cache_slots=*/1);
+
+  const TimestepOutputs a = collect_outputs(e.net, array, 3, /*batch_size=*/8);
+  const TimestepOutputs b = collect_outputs(e.net, copy.dataset(), 3, /*batch_size=*/8);
+  ASSERT_EQ(a.samples, b.samples);
+  ASSERT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.cum_logits.numel(); ++i) {
+    ASSERT_EQ(a.cum_logits[i], b.cum_logits[i]) << "row " << i;
+  }
+}
+
+/// Serving from shards: requests whose samples live in not-yet-resident
+/// shards are admitted, prefetched, and served bitwise identical to the
+/// offline batch-1 oracle reading the in-memory dataset.
+TEST(ShardedInference, ServerServesFromShardsBitwiseIdenticalToOracle) {
+  Experiment e = micro_experiment("sync10", 3);
+  const data::ArrayDataset& array = *e.bundle.test;
+  const std::size_t n = std::min<std::size_t>(20, array.size());
+  const EntropyExitPolicy policy(0.35);
+
+  InferenceRequest all = InferenceRequest::first_n(n);
+  all.record_logits = true;
+  SequentialEngine batch1(e.net, policy, 3);
+  const std::vector<InferenceResult> oracle = batch1.run(array, all);
+
+  for (const std::size_t cache_slots : {std::size_t{1}, std::size_t{2}}) {
+    const ShardedCopy copy(array, "serve_c" + std::to_string(cache_slots), 6,
+                           cache_slots);
+    serve::ServerConfig config;
+    config.max_pool = 4;  // smaller than n: constant admission churn
+    std::vector<std::future<std::vector<InferenceResult>>> futures;
+    {
+      serve::InferenceServer server(e.net, copy.dataset(), policy, 3, config);
+      for (std::size_t s = 0; s < n; ++s) {
+        serve::ServeRequest req;
+        req.request.samples.push_back(s);
+        req.request.record_logits = true;
+        futures.push_back(server.submit(std::move(req)));
+      }
+      server.drain();
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::vector<InferenceResult> got = futures[s].get();
+      ASSERT_EQ(got.size(), 1u);
+      expect_identical({got[0]}, {oracle[s]},
+                       "slots" + std::to_string(cache_slots) + " sample " +
+                           std::to_string(s));
+    }
+    // Admission prefetch touched the cache (hits from the pool's reads).
+    const data::DatasetStorageStats stats = copy.dataset().storage_stats();
+    EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+  }
+}
+
+/// evaluate_engine aggregates identically over either backend.
+TEST(ShardedInference, EvaluateEngineIdenticalAcrossBackends) {
+  Experiment e = micro_experiment("sync10", 3);
+  const data::ArrayDataset& array = *e.bundle.test;
+  const ShardedCopy copy(array, "evaluate", 9, /*cache_slots=*/1);
+  const EntropyExitPolicy policy(0.3);
+
+  BatchedSequentialEngine engine(e.net, policy, 3, /*batch_size=*/6);
+  const DtsnnResult a = evaluate_engine(engine, array);
+  const DtsnnResult b = evaluate_engine(engine, copy.dataset());
+  EXPECT_EQ(a.exit_timestep, b.exit_timestep);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.avg_timesteps, b.avg_timesteps);
+}
+
+}  // namespace
+}  // namespace dtsnn::core
