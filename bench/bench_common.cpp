@@ -20,7 +20,9 @@ BenchOptions parse_options(int argc, char** argv) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag);
-        std::exit(2);
+        // Flag parsing runs before any thread is spawned; exiting here
+        // cannot race a destructor.
+        std::exit(2);  // NOLINT(concurrency-mt-unsafe)
       }
       return argv[++i];
     };
@@ -39,10 +41,10 @@ BenchOptions parse_options(int argc, char** argv) {
           "usage: %s [--scale F] [--epochs N] [--no-cache] [--cache-dir D] "
           "[--csv-dir D]\n",
           argv[0]);
-      std::exit(0);
+      std::exit(0);  // NOLINT(concurrency-mt-unsafe) pre-thread flag parsing
     } else {
       std::fprintf(stderr, "unknown flag: %s (see --help)\n", arg.c_str());
-      std::exit(2);
+      std::exit(2);  // NOLINT(concurrency-mt-unsafe) pre-thread flag parsing
     }
   }
   return options;

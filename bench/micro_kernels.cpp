@@ -1,6 +1,10 @@
 // google-benchmark microbenchmarks of the library's hot kernels: GEMM,
 // im2col, conv forward/backward, LIF dynamics, entropy, the sigma-E
 // fixed-point pipeline, and the functional crossbar MVM.
+//
+// lint:allow(bench-report): google-benchmark owns main() and flag parsing
+// here; machine-readable output comes from --benchmark_format=json instead
+// of bench::BenchReport.
 
 #include <benchmark/benchmark.h>
 

@@ -10,13 +10,13 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/evaluator.h"
 #include "serve/server.h"
 #include "util/arrival_trace.h"
+#include "util/sync.h"
 
 using namespace dtsnn;
 
@@ -42,14 +42,14 @@ int main() {
   std::printf("Serving with theta=0.30, pool=%zu, budget T=%zu. Two clients:\n\n",
               config.max_pool, server.max_timesteps());
 
-  std::mutex print_mu;
+  util::Mutex print_mu;
   const auto t0 = serve::ServeClock::now();
   auto streamer = [&](const char* client) {
     return [&, client](const core::InferenceResult& r) {
       const double ms = std::chrono::duration<double, std::milli>(
                             serve::ServeClock::now() - t0)
                             .count();
-      std::lock_guard<std::mutex> lk(print_mu);
+      util::MutexLock lk(print_mu);
       std::printf("  [%7.2f ms] %s: sample %3zu -> class %zu, exited t=%zu "
                   "(entropy %.3f)\n",
                   ms, client, r.sample, r.predicted_class, r.exit_timestep,

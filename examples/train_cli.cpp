@@ -61,7 +61,7 @@ CliArgs parse(int argc, char** argv) {
   CliArgs args;
   if (argc < 2) {
     CliArgs::usage(argv[0]);
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe) pre-thread flag parsing
   }
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -69,7 +69,7 @@ CliArgs parse(int argc, char** argv) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        std::exit(2);
+        std::exit(2);  // NOLINT(concurrency-mt-unsafe) pre-thread flag parsing
       }
       return argv[++i];
     };
@@ -88,7 +88,7 @@ CliArgs parse(int argc, char** argv) {
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       CliArgs::usage(argv[0]);
-      std::exit(2);
+      std::exit(2);  // NOLINT(concurrency-mt-unsafe) pre-thread flag parsing
     }
   }
   return args;

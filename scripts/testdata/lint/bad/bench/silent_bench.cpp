@@ -1,0 +1,8 @@
+// Fixture for check_invariants_test.py: a bench that never emits through
+// bench::BenchReport — exactly one bench-report finding, anchored to line 1.
+#include <cstdio>
+
+int main() {
+  std::puts("measured something, told no one");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fixture for check_invariants_test.py: every wall-clock / randomness
+// pattern the linter bans, exactly once each. Line numbers are asserted by
+// the test — append new patterns at the end, never insert in the middle.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <sys/time.h>
+
+int bad_rand() { return rand(); }                                    // line 10: rand()
+void bad_srand() { srand(42); }                                      // line 11: srand()
+unsigned bad_device() { return std::random_device{}(); }             // line 12: random_device
+long bad_time() { return time(nullptr); }                            // line 13: time(nullptr)
+auto bad_system() { return std::chrono::system_clock::now(); }       // line 14: system_clock
+auto bad_hires() { return std::chrono::high_resolution_clock::now(); }  // line 15: high_resolution_clock
+void bad_gtod() { timeval tv; gettimeofday(&tv, nullptr); }          // line 16: gettimeofday

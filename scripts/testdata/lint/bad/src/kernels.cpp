@@ -1,0 +1,18 @@
+// Fixture for check_invariants_test.py: the banned float simd reduction
+// (one finding, line 7) next to a properly waived integer one (no finding).
+#include <cstddef>
+
+float banned_dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)  // line 7: banned float reduction
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+std::size_t waived_count(const float* a, std::size_t n) {
+  std::size_t zeros = 0;
+  // lint:allow(omp-simd-reduction): integer count, associativity holds.
+#pragma omp simd reduction(+ : zeros)
+  for (std::size_t i = 0; i < n; ++i) zeros += a[i] == 0.0f ? 1 : 0;
+  return zeros;
+}

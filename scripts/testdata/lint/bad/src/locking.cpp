@@ -1,0 +1,11 @@
+// Fixture for check_invariants_test.py: every naked std synchronization
+// primitive the linter bans outside src/util/sync.h, exactly once each.
+// Line numbers are asserted by the test — append only.
+#include <mutex>  // line 4: raw primitive include
+
+std::mutex g_mu;               // line 6: std::mutex
+std::condition_variable g_cv;  // line 7: std::condition_variable
+
+void locked() {
+  std::lock_guard lk(g_mu);  // line 10: std::lock_guard (CTAD: no mutex token)
+}

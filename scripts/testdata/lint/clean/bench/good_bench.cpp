@@ -1,0 +1,8 @@
+// Fixture: a bench wired to bench::BenchReport — no bench-report finding.
+struct BenchReport {};
+
+int main() {
+  BenchReport report;
+  (void)report;
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fixture: banned tokens in comments and string literals must NOT trip the
+// linter — only real code does. Mentioning rand(), srand(), std::mutex,
+// std::random_device, time(nullptr), system_clock or
+// "#pragma omp simd reduction" here is fine.
+#include <string>
+
+/* Block comments too: std::lock_guard<std::mutex>, gettimeofday(&tv, 0),
+   high_resolution_clock::now() — all prose. */
+
+std::string describe() {
+  return "uses rand() and std::mutex and time(nullptr) and system_clock";
+}
+
+std::string escaped() {
+  return "embedded quote \" then std::condition_variable still in-string";
+}
+
+char quote_char() { return '"'; }  // code after a char literal is still code
+
+int operand() {
+  int rando = 3;  // identifier containing 'rand' must not match \brand\b
+  return rando;
+}

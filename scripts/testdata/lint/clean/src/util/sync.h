@@ -1,0 +1,16 @@
+// Fixture: the naked-mutex allowlist. This path (src/util/sync.h relative
+// to the fixture root) is the one place std primitives may appear.
+#pragma once
+#include <mutex>
+#include <condition_variable>
+
+namespace fixture {
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+}  // namespace fixture

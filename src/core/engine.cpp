@@ -321,8 +321,9 @@ void SequentialEngine::run_streaming(const data::Dataset& dataset,
                                      const ResultSink& sink) {
   const ExitPolicy& policy = request.policy ? *request.policy : policy_;
   const std::size_t budget = request.max_timesteps ? request.max_timesteps : max_timesteps_;
-  validate_request_samples(request.samples, dataset.size(), "SequentialEngine");
-  for (std::size_t i = 0; i < request.samples.size(); ++i) {
+  const std::size_t n =
+      validate_request_samples(request.samples, dataset.size(), "SequentialEngine");
+  for (std::size_t i = 0; i < n; ++i) {
     InferenceResult r =
         infer_one(dataset, request.samples[i], policy, budget, request.record_logits);
     r.request_index = i;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_set>
 
 #include "core/engine.h"
@@ -17,9 +18,9 @@ std::string InferenceEngine::gemm_backend() const {
   return std::string(util::GemmContext::global().backend().name());
 }
 
-void validate_request_samples(std::span<const std::size_t> samples,
-                              std::size_t sample_limit, const std::string& who,
-                              bool allow_duplicates) {
+std::size_t validate_request_samples(std::span<const std::size_t> samples,
+                                     std::size_t sample_limit, const std::string& who,
+                                     bool allow_duplicates) {
   std::unordered_set<std::size_t> seen;
   if (!allow_duplicates) seen.reserve(samples.size());
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -35,6 +36,7 @@ void validate_request_samples(std::span<const std::size_t> samples,
                                   std::to_string(i));
     }
   }
+  return samples.size();
 }
 
 InferenceResult make_exit_result(std::span<const float> cum, std::size_t t,
@@ -171,8 +173,9 @@ void PostHocEngine::run_streaming(const data::Dataset& dataset,
     if (budget > outputs_->timesteps) {
       throw std::invalid_argument("PostHocEngine: budget exceeds recorded timesteps");
     }
-    validate_request_samples(request.samples, outputs_->samples, "PostHocEngine");
-    for (std::size_t i = 0; i < request.samples.size(); ++i) {
+    const std::size_t n = validate_request_samples(request.samples, outputs_->samples,
+                                                   "PostHocEngine");
+    for (std::size_t i = 0; i < n; ++i) {
       const std::size_t s = request.samples[i];
       InferenceResult r =
           replay_rows(policy, budget, outputs_->classes, request.record_logits,
@@ -187,7 +190,8 @@ void PostHocEngine::run_streaming(const data::Dataset& dataset,
   // Record-on-demand mode: forward requested samples for the full budget one
   // streamed chunk at a time, then replay the exit rule on the recorded rows
   // — the whole-dataset encoding never exists in memory.
-  validate_request_samples(request.samples, dataset.size(), "PostHocEngine");
+  std::ignore = validate_request_samples(request.samples, dataset.size(),
+                                         "PostHocEngine");
   const std::size_t k = net_->num_classes();
   data::BatchCursor cursor(dataset, request.samples, budget, batch_size_);
   while (cursor.next()) {
@@ -233,8 +237,9 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
   const std::size_t frame_numel = snn::shape_numel(fs);
   const std::size_t k = net_.num_classes();
 
-  validate_request_samples(request.samples, dataset.size(), "BatchedSequentialEngine");
-  if (request.samples.empty()) return;
+  const std::size_t n_samples = validate_request_samples(
+      request.samples, dataset.size(), "BatchedSequentialEngine");
+  if (n_samples == 0) return;
 
   // Continuous batching: a live pool of up to batch_size_ samples, each at
   // its own timestep (LIF state is per-row, so mixed-timestep batches are

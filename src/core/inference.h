@@ -59,10 +59,13 @@ struct InferenceRequest {
 /// repeated index throws std::invalid_argument. Both messages name the
 /// offending position and value, instead of failing deep inside
 /// data::materialize_batch / dataset accessors. Engines call this at the top
-/// of run_streaming; the serving layer calls it at submit().
-void validate_request_samples(std::span<const std::size_t> samples,
-                              std::size_t sample_limit, const std::string& who,
-                              bool allow_duplicates = true);
+/// of run_streaming; the serving layer calls it at submit(). Returns the
+/// number of validated samples ([[nodiscard]]: downstream sizing — result
+/// buffers, remaining-sample counters — must come from the validated count,
+/// not from a separate re-read of the request).
+[[nodiscard]] std::size_t validate_request_samples(
+    std::span<const std::size_t> samples, std::size_t sample_limit,
+    const std::string& who, bool allow_duplicates = true);
 
 /// One finished sample.
 struct InferenceResult {

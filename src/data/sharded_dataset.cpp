@@ -13,7 +13,8 @@ namespace {
 
 std::size_t resolve_cache_slots(std::size_t configured) {
   if (configured != 0) return configured;
-  if (const char* env = std::getenv("DTSNN_SHARD_CACHE_SLOTS")) {
+  // Construction-time read; datasets are built before worker threads start.
+  if (const char* env = std::getenv("DTSNN_SHARD_CACHE_SLOTS")) {  // NOLINT(concurrency-mt-unsafe)
     // Digits only (strtoull would silently wrap "-1" to a huge slot count)
     // and overflow-checked (errno=ERANGE clamps to ULLONG_MAX, same silent
     // unbounding), so a bad value can never void the bounded-working-set
@@ -170,7 +171,7 @@ void ShardedDataset::write_frame(std::size_t sample, std::size_t t,
   }
   const std::size_t frame = std::min(t, frames_per_sample_ - 1);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const std::size_t shard_index = locate(sample);
     const Shard& shard = shards_[shard_index];
     const std::vector<float>& frames = touch_shard(shard_index);
@@ -184,7 +185,7 @@ void ShardedDataset::write_frame(std::size_t sample, std::size_t t,
 }
 
 void ShardedDataset::prefetch(std::span<const std::size_t> samples) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<std::size_t> wanted;
   for (const std::size_t sample : samples) {
     if (sample >= labels_.size()) continue;  // materialize_batch validates later
@@ -198,7 +199,7 @@ void ShardedDataset::prefetch(std::span<const std::size_t> samples) const {
 }
 
 DatasetStorageStats ShardedDataset::storage_stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   DatasetStorageStats stats;
   stats.logical_bytes = frame_bytes_total_ + metadata_bytes_;
   stats.resident_bytes = resident_bytes_ + metadata_bytes_;

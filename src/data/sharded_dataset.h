@@ -18,10 +18,11 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace dtsnn::data {
 
@@ -52,17 +53,22 @@ class ShardedDataset final : public Dataset {
   }
   [[nodiscard]] std::size_t native_frames() const override { return frames_per_sample_; }
   void write_frame(std::size_t sample, std::size_t t,
-                   std::span<float> dst) const override;
+                   std::span<float> dst) const override DTSNN_EXCLUDES(mu_);
 
   /// Warm the cache for the shards holding `samples` (deduplicated, first
   /// cache_slots() distinct shards — prefetching more would only evict what
   /// was just fetched). The serving layer calls this at admission, and
   /// materialize_batch calls it for every chunk.
-  void prefetch(std::span<const std::size_t> samples) const override;
+  void prefetch(std::span<const std::size_t> samples) const override
+      DTSNN_EXCLUDES(mu_);
 
-  [[nodiscard]] DatasetStorageStats storage_stats() const override;
+  [[nodiscard]] DatasetStorageStats storage_stats() const override
+      DTSNN_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t num_shards() const DTSNN_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return shards_.size();
+  }
   [[nodiscard]] std::size_t cache_slots() const { return cache_slots_; }
   [[nodiscard]] std::uint64_t noise_seed() const { return noise_seed_; }
   /// Frame-block bytes across all shards (the evictable payload).
@@ -84,9 +90,9 @@ class ShardedDataset final : public Dataset {
   };
 
   /// Shard index owning `sample` (samples are contiguous across shards).
-  [[nodiscard]] std::size_t locate(std::size_t sample) const;
+  [[nodiscard]] std::size_t locate(std::size_t sample) const DTSNN_REQUIRES(mu_);
   /// Touch a shard under mu_: load (evicting LRU when full) or mark a hit.
-  const std::vector<float>& touch_shard(std::size_t shard) const;
+  const std::vector<float>& touch_shard(std::size_t shard) const DTSNN_REQUIRES(mu_);
 
   snn::Shape frame_shape_;
   std::size_t frame_numel_ = 0;
@@ -102,17 +108,20 @@ class ShardedDataset final : public Dataset {
   std::vector<double> difficulty_;
   std::vector<float> temporal_noise_;
 
-  mutable std::mutex mu_;
-  mutable std::vector<Shard> shards_;
-  mutable std::uint64_t lru_tick_ = 0;
+  mutable util::Mutex mu_;
+  /// Shard table: the vector's *structure* (paths, sample ranges) is fixed at
+  /// construction, but the cached frame blocks and LRU bookkeeping inside
+  /// each entry mutate on every touch, so the whole table lives under mu_.
+  mutable std::vector<Shard> shards_ DTSNN_GUARDED_BY(mu_);
+  mutable std::uint64_t lru_tick_ DTSNN_GUARDED_BY(mu_) = 0;
   /// Indices of resident shards (size <= cache_slots_): bounds the eviction
   /// victim search by the cache size, not the shard count.
-  mutable std::vector<std::size_t> resident_;
-  mutable std::size_t resident_bytes_ = 0;
-  mutable std::size_t peak_resident_bytes_ = 0;
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_misses_ = 0;
-  mutable std::size_t cache_evictions_ = 0;
+  mutable std::vector<std::size_t> resident_ DTSNN_GUARDED_BY(mu_);
+  mutable std::size_t resident_bytes_ DTSNN_GUARDED_BY(mu_) = 0;
+  mutable std::size_t peak_resident_bytes_ DTSNN_GUARDED_BY(mu_) = 0;
+  mutable std::size_t cache_hits_ DTSNN_GUARDED_BY(mu_) = 0;
+  mutable std::size_t cache_misses_ DTSNN_GUARDED_BY(mu_) = 0;
+  mutable std::size_t cache_evictions_ DTSNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dtsnn::data

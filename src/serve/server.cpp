@@ -45,14 +45,14 @@ InferenceServer::~InferenceServer() { drain(); }
 
 void InferenceServer::drain() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     draining_ = true;
   }
   cv_worker_.notify_all();
   // Serialize concurrent drainers: joinable()/join() on one std::thread
   // from two threads is a race. mu_ cannot guard the join (the worker
   // takes it), hence the dedicated mutex.
-  std::lock_guard<std::mutex> lk(drain_mu_);
+  util::MutexLock lk(drain_mu_);
   if (worker_.joinable()) worker_.join();
 }
 
@@ -70,8 +70,9 @@ std::future<std::vector<core::InferenceResult>> InferenceServer::submit(ServeReq
   // bounds and duplicates per the shared core validator, and the budget
   // override capped by the server budget so the exit histogram's bin count
   // is an invariant of the server, not of its traffic.
-  core::validate_request_samples(r.samples, dataset_.size(), "InferenceServer::submit",
-                                 /*allow_duplicates=*/false);
+  const std::size_t n_samples = core::validate_request_samples(
+      r.samples, dataset_.size(), "InferenceServer::submit",
+      /*allow_duplicates=*/false);
   const std::size_t budget = r.max_timesteps ? r.max_timesteps : max_timesteps_;
   if (budget > max_timesteps_) {
     throw std::invalid_argument("InferenceServer::submit: per-request max_timesteps " +
@@ -86,32 +87,32 @@ std::future<std::vector<core::InferenceResult>> InferenceServer::submit(ServeReq
   pending->deadline = req.deadline;
   pending->on_result = std::move(req.on_result);
   pending->submit_time = ServeClock::now();
-  pending->results.resize(r.samples.size());
-  pending->remaining = r.samples.size();
+  pending->results.resize(n_samples);
+  pending->remaining = n_samples;
   std::future<std::vector<core::InferenceResult>> fut = pending->promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (draining_) {
       throw std::runtime_error("InferenceServer::submit: server is draining");
     }
-    if (r.samples.empty()) {
+    if (n_samples == 0) {
       // Nothing to run (an empty dataset expands to an empty request):
       // resolve now — the worker only resolves promises as samples finish,
       // and there are none.
       pending->promise.set_value({});
       return fut;
     }
-    if (queue_.size() + r.samples.size() > config_.max_queue) {
+    if (queue_.size() + n_samples > config_.max_queue) {
       throw std::runtime_error("InferenceServer::submit: admission queue full (" +
                                std::to_string(queue_.size()) + " waiting, capacity " +
                                std::to_string(config_.max_queue) + ")");
     }
-    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    for (std::size_t i = 0; i < n_samples; ++i) {
       queue_.push_back(Unit{pending, i, r.samples[i]});
     }
     ++submitted_requests_;
-    submitted_samples_ += r.samples.size();
+    submitted_samples_ += n_samples;
   }
   cv_worker_.notify_all();
   return fut;
@@ -122,25 +123,96 @@ ServerStats InferenceServer::stats() const {
   std::vector<double> queue_window;
   std::vector<double> latency_window;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    s.submitted_requests = submitted_requests_;
-    s.submitted_samples = submitted_samples_;
-    s.completed_samples = completed_samples_;
-    s.failed_samples = failed_samples_;
-    s.deadline_forced_exits = deadline_forced_;
-    s.queue_depth = queue_.size();
-    s.live_samples = live_samples_;
-    s.peak_pool = peak_pool_;
-    s.exit_timesteps = exit_hist_;
-    s.mean_exit_timestep = completed_samples_ ? exit_hist_.mean() + 1.0 : 0.0;
-    queue_window = queue_waits_us_.snapshot();
-    latency_window = latencies_us_.snapshot();
+    util::MutexLock lk(mu_);
+    snapshot_counters(s, queue_window, latency_window);
   }
   // The sorts run outside the lock so a stats() poll never stalls
   // admission or the worker's completion publishing.
   s.queue_us = util::summarize_percentiles(queue_window);
   s.latency_us = util::summarize_percentiles(latency_window);
   return s;
+}
+
+void InferenceServer::snapshot_counters(ServerStats& s,
+                                        std::vector<double>& queue_window,
+                                        std::vector<double>& latency_window) const {
+  s.submitted_requests = submitted_requests_;
+  s.submitted_samples = submitted_samples_;
+  s.completed_samples = completed_samples_;
+  s.failed_samples = failed_samples_;
+  s.deadline_forced_exits = deadline_forced_;
+  s.queue_depth = queue_.size();
+  s.live_samples = live_samples_;
+  s.peak_pool = peak_pool_;
+  s.exit_timesteps = exit_hist_;
+  s.mean_exit_timestep = completed_samples_ ? exit_hist_.mean() + 1.0 : 0.0;
+  queue_window = queue_waits_us_.snapshot();
+  latency_window = latencies_us_.snapshot();
+}
+
+bool InferenceServer::wait_for_work(util::MutexLock& lk) {
+  while (!draining_ && queue_.empty()) cv_worker_.wait(lk);
+  if (queue_.empty()) return false;  // draining and fully drained
+  if (config_.admission_window.count() > 0 && queue_.size() < config_.max_pool) {
+    // Dynamic batching: an idle server holds the first arrivals until the
+    // pool would launch full or the window expires.
+    const ServeClock::time_point deadline = ServeClock::now() + config_.admission_window;
+    while (!draining_ && queue_.size() < config_.max_pool) {
+      if (cv_worker_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
+  }
+  return true;
+}
+
+void InferenceServer::purge_failed_slots(std::vector<Slot>& pool,
+                                         std::vector<std::size_t>& keep) {
+  if (pool.empty()) return;
+  std::size_t w = 0;
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    if (pool[j].owner->failed) {
+      ++failed_samples_;
+      continue;
+    }
+    if (w != j) {
+      pool[w] = std::move(pool[j]);
+      keep[w] = keep[j];
+    }
+    ++w;
+  }
+  if (w != pool.size()) {
+    pool.resize(w);
+    keep.resize(w);
+    live_samples_ = w;
+  }
+}
+
+std::size_t InferenceServer::admit_waiting(std::vector<Slot>& pool,
+                                           std::vector<std::size_t>& admitted_samples,
+                                           std::size_t classes) {
+  const ServeClock::time_point now = ServeClock::now();
+  std::size_t admitted = 0;
+  while (pool.size() < config_.max_pool && !queue_.empty()) {
+    Unit u = std::move(queue_.front());
+    queue_.pop_front();
+    if (u.owner->failed) {
+      // The request was already failed by a worker-side error; its
+      // promise holds the exception, so its stragglers are discarded.
+      ++failed_samples_;
+      continue;
+    }
+    Slot s;
+    s.owner = std::move(u.owner);
+    s.request_index = u.request_index;
+    s.sample = u.sample;
+    s.acc.assign(classes, 0.0);
+    s.admitted_at = now;
+    admitted_samples.push_back(s.sample);
+    pool.push_back(std::move(s));
+    ++admitted;
+  }
+  live_samples_ = pool.size();
+  peak_pool_ = std::max(peak_pool_, pool.size());
+  return admitted;
 }
 
 void InferenceServer::worker_loop() {
@@ -172,61 +244,13 @@ void InferenceServer::worker_loop() {
     std::size_t admitted = 0;
     std::vector<std::size_t> admitted_samples;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       // Purge slots whose request failed during last cycle's delivery (a
       // throwing result callback): their results would be discarded anyway,
-      // so stop spending timesteps on them and free the slots. pool[j]
-      // pairs with keep[j] here — both index last-stepped rows.
-      if (!pool.empty()) {
-        std::size_t w = 0;
-        for (std::size_t j = 0; j < pool.size(); ++j) {
-          if (pool[j].owner->failed) {
-            ++failed_samples_;
-            continue;
-          }
-          if (w != j) {
-            pool[w] = std::move(pool[j]);
-            keep[w] = keep[j];
-          }
-          ++w;
-        }
-        if (w != pool.size()) {
-          pool.resize(w);
-          keep.resize(w);
-          live_samples_ = w;
-        }
-      }
-      if (pool.empty()) {
-        cv_worker_.wait(lk, [&] { return draining_ || !queue_.empty(); });
-        if (queue_.empty()) break;  // draining and fully drained
-        if (config_.admission_window.count() > 0 && queue_.size() < config_.max_pool) {
-          cv_worker_.wait_for(lk, config_.admission_window, [&] {
-            return draining_ || queue_.size() >= config_.max_pool;
-          });
-        }
-      }
-      const ServeClock::time_point now = ServeClock::now();
-      while (pool.size() < config_.max_pool && !queue_.empty()) {
-        Unit u = std::move(queue_.front());
-        queue_.pop_front();
-        if (u.owner->failed) {
-          // The request was already failed by a worker-side error; its
-          // promise holds the exception, so its stragglers are discarded.
-          ++failed_samples_;
-          continue;
-        }
-        Slot s;
-        s.owner = std::move(u.owner);
-        s.request_index = u.request_index;
-        s.sample = u.sample;
-        s.acc.assign(k, 0.0);
-        s.admitted_at = now;
-        admitted_samples.push_back(s.sample);
-        pool.push_back(std::move(s));
-        ++admitted;
-      }
-      live_samples_ = pool.size();
-      peak_pool_ = std::max(peak_pool_, pool.size());
+      // so stop spending timesteps on them and free the slots.
+      purge_failed_slots(pool, keep);
+      if (pool.empty() && !wait_for_work(lk)) break;
+      admitted = admit_waiting(pool, admitted_samples, k);
     }
     if (pool.empty()) continue;
     // Warm storage-backed datasets for the newly admitted samples outside the
@@ -324,7 +348,7 @@ void InferenceServer::worker_loop() {
       active = false;
       stepped_rows = 0;
       keep.clear();
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       failed_samples_ += failed;
       live_samples_ = 0;
       continue;
@@ -364,7 +388,7 @@ void InferenceServer::worker_loop() {
     // partition the submitted ones, and discarded work never skews the
     // latency digests or the exit histogram.
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       for (const Finished& f : done) {
         if (!f.delivered) continue;
         ++completed_samples_;

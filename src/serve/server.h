@@ -29,12 +29,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -45,6 +43,8 @@
 #include "data/dataset.h"
 #include "snn/network.h"
 #include "util/stats.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace dtsnn::serve {
 
@@ -132,14 +132,15 @@ class InferenceServer {
   /// a throw on the worker thread (e.g. from a user ExitPolicy or result
   /// callback) fails the affected in-flight requests via their futures and
   /// the server keeps serving; it never takes the process down.
-  std::future<std::vector<core::InferenceResult>> submit(ServeRequest req);
+  std::future<std::vector<core::InferenceResult>> submit(ServeRequest req)
+      DTSNN_EXCLUDES(mu_);
 
   /// Graceful shutdown: stop accepting, run everything already accepted to
   /// completion, then stop the worker. Idempotent; also called by the
   /// destructor. After drain() the network is free for other users.
-  void drain();
+  void drain() DTSNN_EXCLUDES(mu_, drain_mu_);
 
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const DTSNN_EXCLUDES(mu_);
   [[nodiscard]] std::size_t max_timesteps() const { return max_timesteps_; }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   /// GEMM backend the pool's network math dispatches through.
@@ -180,7 +181,36 @@ class InferenceServer {
     ServeClock::time_point admitted_at;
   };
 
-  void worker_loop();
+  void worker_loop() DTSNN_EXCLUDES(mu_);
+
+  // ---- mu_-protected internals. Each helper is a single critical-section
+  // step of the worker/stats paths, annotated DTSNN_REQUIRES(mu_) so clang
+  // verifies it is only ever entered with the admission lock held.
+
+  /// Block until there is work (or drain); false when draining and fully
+  /// drained. Holds the admission window on an idle start so the first batch
+  /// launches fuller. `lk` is the caller's held lock on mu_ (CondVar waits
+  /// release/reacquire it).
+  bool wait_for_work(util::MutexLock& lk) DTSNN_REQUIRES(mu_);
+
+  /// Drop pool slots whose request failed during the last delivery phase
+  /// (their results would be discarded anyway). pool[j] pairs with keep[j]:
+  /// both index last-stepped network rows.
+  void purge_failed_slots(std::vector<Slot>& pool, std::vector<std::size_t>& keep)
+      DTSNN_REQUIRES(mu_);
+
+  /// Move waiting samples into free pool slots (`classes`-wide logit
+  /// accumulators); returns how many were admitted and appends their sample
+  /// indices to `admitted_samples` for post-lock prefetching.
+  std::size_t admit_waiting(std::vector<Slot>& pool,
+                            std::vector<std::size_t>& admitted_samples,
+                            std::size_t classes) DTSNN_REQUIRES(mu_);
+
+  /// Copy the counters and latency windows out under the lock; the caller
+  /// runs the percentile sorts on the copies after releasing it.
+  void snapshot_counters(ServerStats& s, std::vector<double>& queue_window,
+                         std::vector<double>& latency_window) const
+      DTSNN_REQUIRES(mu_);
 
   snn::SpikingNetwork& net_;
   const data::Dataset& dataset_;
@@ -188,25 +218,27 @@ class InferenceServer {
   std::size_t max_timesteps_;
   ServerConfig config_;
 
-  mutable std::mutex mu_;
-  std::mutex drain_mu_;  ///< serializes drain() callers around the join
-  std::condition_variable cv_worker_;
-  std::deque<Unit> queue_;
-  bool draining_ = false;
+  mutable util::Mutex mu_;
+  util::Mutex drain_mu_;  ///< serializes drain() callers around the join
+  util::CondVar cv_worker_;
+  std::deque<Unit> queue_ DTSNN_GUARDED_BY(mu_);
+  bool draining_ DTSNN_GUARDED_BY(mu_) = false;
 
-  // Counters guarded by mu_.
-  std::size_t submitted_requests_ = 0;
-  std::size_t submitted_samples_ = 0;
-  std::size_t completed_samples_ = 0;
-  std::size_t failed_samples_ = 0;
-  std::size_t deadline_forced_ = 0;
-  std::size_t live_samples_ = 0;
-  std::size_t peak_pool_ = 0;
-  util::Histogram exit_hist_;
-  util::BoundedSampleWindow queue_waits_us_;
-  util::BoundedSampleWindow latencies_us_;
+  std::size_t submitted_requests_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t submitted_samples_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t completed_samples_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t failed_samples_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t deadline_forced_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t live_samples_ DTSNN_GUARDED_BY(mu_) = 0;
+  std::size_t peak_pool_ DTSNN_GUARDED_BY(mu_) = 0;
+  util::Histogram exit_hist_ DTSNN_GUARDED_BY(mu_);
+  util::BoundedSampleWindow queue_waits_us_ DTSNN_GUARDED_BY(mu_);
+  util::BoundedSampleWindow latencies_us_ DTSNN_GUARDED_BY(mu_);
 
-  std::thread worker_;  ///< started last, joined by drain()
+  /// Started last in the constructor (single-threaded), joined under
+  /// drain_mu_: joinable()/join() on one std::thread from two drainers is
+  /// itself a race.
+  std::thread worker_ DTSNN_GUARDED_BY(drain_mu_);
 };
 
 }  // namespace dtsnn::serve

@@ -365,8 +365,10 @@ const GemmBackend& resolve_gemm_backend(const char* override_name) {
 }
 
 const GemmBackend& default_gemm_backend() {
-  static const GemmBackend& selected =
-      resolve_gemm_backend(std::getenv("DTSNN_GEMM_BACKEND"));
+  // Read exactly once (static init is itself serialized), never after
+  // threads that might setenv exist.
+  static const GemmBackend& selected = resolve_gemm_backend(
+      std::getenv("DTSNN_GEMM_BACKEND"));  // NOLINT(concurrency-mt-unsafe)
   return selected;
 }
 
@@ -383,6 +385,10 @@ namespace {
 
 std::size_t count_nonzeros(const float* a, std::size_t count) {
   std::size_t zeros = 0;
+  // Integer reduction: addition over size_t is associative, so the lanes'
+  // reassociation cannot change the count — the float-accumulation
+  // reassociation hazard the invariant linter bans does not apply here.
+  // lint:allow(omp-simd-reduction): integer count, no float accumulation.
 #pragma omp simd reduction(+ : zeros)
   for (std::size_t i = 0; i < count; ++i) zeros += a[i] == 0.0f;
   return count - zeros;
@@ -397,7 +403,7 @@ void GemmContext::record(GemmOpStats GemmStats::* op, const float* a, std::size_
   const double nonzeros =
       static_cast<double>(m && k ? count_nonzeros(a, m * k) : 0);
   const double flops = 2.0 * elements * static_cast<double>(n);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   GemmOpStats& s = stats_.*op;
   ++s.calls;
   s.flops += flops;
@@ -425,12 +431,12 @@ void GemmContext::gemm_bt(const float* a, const float* b, float* c, std::size_t 
 }
 
 GemmStats GemmContext::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void GemmContext::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = GemmStats{};
 }
 

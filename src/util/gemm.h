@@ -39,9 +39,11 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <span>
 #include <string_view>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace dtsnn::util {
 
@@ -173,17 +175,17 @@ class GemmContext {
   void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate = false);
 
-  [[nodiscard]] GemmStats stats() const;
-  void reset_stats();
+  [[nodiscard]] GemmStats stats() const DTSNN_EXCLUDES(mutex_);
+  void reset_stats() DTSNN_EXCLUDES(mutex_);
 
  private:
   void record(GemmOpStats GemmStats::* op, const float* a, std::size_t m, std::size_t k,
-              std::size_t n);
+              std::size_t n) DTSNN_EXCLUDES(mutex_);
 
   const GemmBackend* backend_;
   bool stats_enabled_ = true;
-  mutable std::mutex mutex_;  ///< guards stats_ only
-  GemmStats stats_;
+  mutable Mutex mutex_;
+  GemmStats stats_ DTSNN_GUARDED_BY(mutex_);
 };
 
 }  // namespace dtsnn::util

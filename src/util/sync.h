@@ -1,0 +1,97 @@
+// Annotated synchronization primitives.
+//
+// The only place in the repo allowed to name std::mutex /
+// std::condition_variable (scripts/check_invariants.py enforces this):
+// everything else locks through util::Mutex + util::MutexLock, whose
+// capability annotations (util/thread_annotations.h) let clang's
+// -Wthread-safety prove at compile time that every DTSNN_GUARDED_BY field is
+// only touched under its mutex and every DTSNN_REQUIRES helper is only
+// called with the lock held.
+//
+// Deliberately thin: the wrappers add no behavior over std::mutex /
+// std::unique_lock / std::condition_variable, only the static-analysis
+// surface. Predicate waits are written as explicit while-loops at the call
+// site (`while (!ready_) cv.wait(lock);`) rather than predicate lambdas:
+// the analysis treats a lambda body as a separate unannotated function, so
+// guarded reads inside a wait-predicate lambda would defeat the checking
+// that is the point of these types.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace dtsnn::util {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Lock through MutexLock; the raw lock()/unlock()
+/// exist for completeness and for adapters, not for call sites.
+class DTSNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DTSNN_ACQUIRE() { mu_.lock(); }
+  void unlock() DTSNN_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() DTSNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard / std::unique_lock of this
+/// codebase). Supports CondVar waits — the lock is released while blocked
+/// and re-held on return, which matches the analysis' view that the
+/// capability is held for the whole scope.
+class DTSNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DTSNN_ACQUIRE(mu) : lock_(mu.mu_) {}
+  // Empty body rather than `= default`: clang rejects a GNU attribute
+  // (the RELEASE annotation) on a defaulted special member.
+  ~MutexLock() DTSNN_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Annotated condition variable. Callers loop on their guarded predicate
+/// explicitly:
+///
+///   MutexLock lock(mu_);
+///   while (!draining_ && queue_.empty()) cv_.wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `lock`'s mutex and block; the mutex is re-held when
+  /// wait returns (spurious wakeups possible — always re-check the
+  /// predicate).
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// wait() with a deadline; std::cv_status::timeout once `deadline` passes.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dtsnn::util

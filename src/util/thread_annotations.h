@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis annotations (no-ops on other compilers).
+//
+// These macros attach the locking discipline to the code itself so clang's
+// -Wthread-safety checks it at compile time: every field guarded by a mutex
+// is declared DTSNN_GUARDED_BY(mu), every helper that assumes a held lock is
+// declared DTSNN_REQUIRES(mu), and a violation is a build error in the
+// thread-safety CI job instead of a race TSan may or may not schedule.
+//
+// Usage pattern (see util/sync.h for the annotated Mutex/MutexLock types):
+//
+//   class Cache {
+//     void evict_one() DTSNN_REQUIRES(mu_);   // caller must hold mu_
+//     mutable util::Mutex mu_;
+//     std::vector<Entry> entries_ DTSNN_GUARDED_BY(mu_);
+//   };
+//
+// On GCC (and any compiler without the capability attributes) every macro
+// expands to nothing, so annotated code compiles unchanged; the analysis
+// runs in the pinned-clang CI job.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DTSNN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DTSNN_THREAD_ANNOTATION
+#define DTSNN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define DTSNN_CAPABILITY(x) DTSNN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DTSNN_SCOPED_CAPABILITY DTSNN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define DTSNN_GUARDED_BY(x) DTSNN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding `x`.
+#define DTSNN_PT_GUARDED_BY(x) DTSNN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define DTSNN_REQUIRES(...) \
+  DTSNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (it will
+/// acquire them itself — calling with them held would deadlock).
+#define DTSNN_EXCLUDES(...) DTSNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define DTSNN_ACQUIRE(...) \
+  DTSNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define DTSNN_RELEASE(...) \
+  DTSNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it when returning `result`.
+#define DTSNN_TRY_ACQUIRE(result, ...) \
+  DTSNN_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define DTSNN_RETURN_CAPABILITY(x) DTSNN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model; every use must carry a
+/// comment justifying why it is safe.
+#define DTSNN_NO_THREAD_SAFETY_ANALYSIS \
+  DTSNN_THREAD_ANNOTATION(no_thread_safety_analysis)

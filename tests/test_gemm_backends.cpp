@@ -174,7 +174,9 @@ TEST_P(GemmBackendEach, DegenerateShapesAreDeterministic) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, GemmBackendEach,
                          testing::ValuesIn(util::gemm_backends().begin(),
                                            util::gemm_backends().end()),
-                         [](const auto& info) { return std::string(info.param->name()); });
+                         [](const auto& param_info) {
+                           return std::string(param_info.param->name());
+                         });
 
 // ------------------------------------------------- bitwise identity suite
 
@@ -263,9 +265,9 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::ValuesIn(util::gemm_backends().begin(),
                                        util::gemm_backends().end()),
                      testing::ValuesIn(identity_cases())),
-    [](const auto& info) {
-      const util::GemmBackend* backend = std::get<0>(info.param);
-      const IdentityCase& c = std::get<1>(info.param);
+    [](const auto& param_info) {
+      const util::GemmBackend* backend = std::get<0>(param_info.param);
+      const IdentityCase& c = std::get<1>(param_info.param);
       return std::string(backend->name()) + "_" + std::to_string(c.m) + "x" +
              std::to_string(c.k) + "x" + std::to_string(c.n) + "_" + fill_name(c.fill);
     });

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/exit_policy.h"
@@ -238,8 +240,9 @@ TEST(RequestValidation, EnginesRejectBadIndicesBeforeRunningAnything) {
   // validate_request_samples is also the duplicate detector for callers
   // that forbid duplicates (the serving admission path).
   const std::vector<std::size_t> dupes = {4, 2, 4};
-  EXPECT_NO_THROW(validate_request_samples(dupes, 10, "test"));
-  EXPECT_THROW(validate_request_samples(dupes, 10, "test", /*allow_duplicates=*/false),
+  EXPECT_EQ(validate_request_samples(dupes, 10, "test"), 3u);
+  EXPECT_THROW(std::ignore = validate_request_samples(dupes, 10, "test",
+                                                      /*allow_duplicates=*/false),
                std::invalid_argument);
 }
 

@@ -282,6 +282,9 @@ TEST(ShardedDataset, PrefetchWarmsTheCache) {
   EXPECT_LE(ds.storage_stats().resident_bytes, stats.peak_resident_bytes);
 }
 
+// NOLINTBEGIN(concurrency-mt-unsafe): this test deliberately mutates the
+// process environment (getenv/setenv/unsetenv). gtest runs tests serially in
+// one thread, so there is no concurrent reader.
 TEST(ShardedDataset, EnvVarControlsAutoCacheSlots) {
   TempDir dir("env");
   const ArrayDataset source = make_source(6, /*frames=*/1);
@@ -320,6 +323,7 @@ TEST(ShardedDataset, EnvVarControlsAutoCacheSlots) {
     ASSERT_EQ(unsetenv("DTSNN_SHARD_CACHE_SLOTS"), 0);
   }
 }
+// NOLINTEND(concurrency-mt-unsafe)
 
 TEST(ShardedDataset, OutOfRangeSampleThrows) {
   TempDir dir("range");

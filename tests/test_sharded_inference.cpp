@@ -119,7 +119,9 @@ TEST(ShardedInference, EnginesBitwiseIdenticalAcrossStorageBackends) {
       // The sharded runs actually exercised the cache.
       const data::DatasetStorageStats stats = sharded.storage_stats();
       EXPECT_GT(stats.cache_misses, 0u) << context;
-      if (cache_slots == 1) EXPECT_GT(stats.cache_evictions, 0u) << context;
+      if (cache_slots == 1) {
+        EXPECT_GT(stats.cache_evictions, 0u) << context;
+      }
     }
   }
 }
