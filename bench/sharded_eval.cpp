@@ -7,11 +7,19 @@
 // The shard partitioning is chosen so the total shard bytes exceed every
 // capped cache configuration: the capped runs genuinely stream from disk.
 //
+// Two async-data-plane sweeps ride along: the background prefetcher on vs
+// off through the streaming engine (overlap must not change a bit, and the
+// miss path must not get slower), and 1/2/4/8 concurrent readers streaming
+// frames through a capped cache (the pinned-refcount read plane must scale
+// and stay bitwise exact under contention).
+//
 // Flags: the common set (bench_common.h) plus
 //   --samples-per-shard <n>  shard granularity (default 64)
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -19,8 +27,10 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "core/inference.h"
+#include "data/prefetch.h"
 #include "data/shard.h"
 #include "data/sharded_dataset.h"
+#include "util/thread.h"
 
 using namespace dtsnn;
 
@@ -163,6 +173,111 @@ int main(int argc, char** argv) {
   report.set("worst_case_samples_per_sec", worst_case_sps);
   report.set("worst_case_hit_rate", worst_case_hit_rate);
   report.set("shard_bytes_exceed_cache_cap", capped_exceeded ? 1.0 : 0.0);
+
+  // ---------------------------------------------- prefetch on/off sweep
+  // Same capped cache, background prefetcher off (depth 0) vs the auto
+  // default: the overlap is steered through DTSNN_PREFETCH_DEPTH because
+  // that is exactly how a deployment toggles it. Identity with the
+  // in-memory oracle stays a hard gate in both modes; a slower miss path
+  // with prefetch ON is reported as a warning (it means the hints evict
+  // ahead of use instead of overlapping I/O).
+  // NOLINTBEGIN(concurrency-mt-unsafe): deliberate env mutation; the bench
+  // is single-threaded between the timed regions.
+  const std::size_t capped_slots = std::min<std::size_t>(2, num_shards);
+  const char* ambient_depth = std::getenv("DTSNN_PREFETCH_DEPTH");
+  const std::string saved_depth = ambient_depth ? ambient_depth : "";
+  double prefetch_sps[2] = {0.0, 0.0};
+  for (const bool prefetch_on : {false, true}) {
+    if (prefetch_on) {
+      unsetenv("DTSNN_PREFETCH_DEPTH");  // auto: ShardPrefetcher::kDefaultDepth
+    } else {
+      setenv("DTSNN_PREFETCH_DEPTH", "0", 1);
+    }
+    data::ShardCacheConfig config;
+    config.cache_slots = capped_slots;
+    const data::ShardedDataset sharded(shard_dir, config);
+    start = std::chrono::steady_clock::now();
+    const core::DtsnnResult result = core::evaluate_engine(engine, sharded);
+    const double sps = static_cast<double>(sharded.size()) / seconds_since(start);
+    prefetch_sps[prefetch_on] = sps;
+    const data::DatasetStorageStats stats = sharded.storage_stats();
+    const bool identical = identical_decisions(baseline, result) &&
+                           result.accuracy == baseline.accuracy;
+    all_identical = all_identical && identical;
+    const std::string prefix = prefetch_on ? "prefetch_on_" : "prefetch_off_";
+    report.set(prefix + "samples_per_sec", sps);
+    report.set(prefix + "hit_rate", stats.hit_rate());
+    report.set(prefix + "peak_resident_bytes",
+               static_cast<double>(stats.peak_resident_bytes));
+    std::printf("prefetch %-3s (cache %zu/%zu): %8.1f samples/s, hit rate %.1f%%, "
+                "identical %s\n",
+                prefetch_on ? "on" : "off", capped_slots, num_shards, sps,
+                100.0 * stats.hit_rate(), identical ? "yes" : "NO");
+  }
+  if (ambient_depth) {
+    setenv("DTSNN_PREFETCH_DEPTH", saved_depth.c_str(), 1);
+  } else {
+    unsetenv("DTSNN_PREFETCH_DEPTH");
+  }
+  // NOLINTEND(concurrency-mt-unsafe)
+  const double prefetch_speedup =
+      prefetch_sps[0] > 0.0 ? prefetch_sps[1] / prefetch_sps[0] : 0.0;
+  report.set("prefetch_speedup", prefetch_speedup);
+  if (prefetch_speedup < 1.0) {
+    std::printf("WARN: prefetch ON ran %.2fx the OFF throughput — lookahead is "
+                "not overlapping I/O on this machine.\n",
+                prefetch_speedup);
+  }
+
+  // ------------------------------------------- concurrent-reader sweep
+  // 1/2/4/8 threads partition the sample space and stream every frame
+  // through one shared capped cache, each read checked bitwise against the
+  // in-memory array (whose const reads are the thread-safe oracle).
+  bench::TablePrinter readers_table(
+      {"Readers", "Frames/s", "Hit rate", "Peak resident", "Identical"},
+      {8, 12, 10, 14, 10});
+  const std::size_t timesteps = spec.timesteps;
+  const std::size_t numel = snn::shape_numel(array.frame_shape());
+  bool readers_identical = true;
+  const std::vector<std::size_t> reader_sweep{1, 2, 4, 8};
+  for (const std::size_t readers : reader_sweep) {
+    data::ShardCacheConfig config;
+    config.cache_slots = capped_slots;
+    const data::ShardedDataset sharded(shard_dir, config);
+    std::atomic<std::size_t> mismatches{0};
+    start = std::chrono::steady_clock::now();
+    {
+      std::vector<util::Thread> threads;
+      threads.reserve(readers);
+      for (std::size_t w = 0; w < readers; ++w) {
+        threads.emplace_back([&, w] {
+          std::vector<float> got(numel);
+          std::vector<float> want(numel);
+          for (std::size_t s = w; s < sharded.size(); s += readers) {
+            for (std::size_t t = 0; t < timesteps; ++t) {
+              sharded.write_frame(s, t, got);
+              array.write_frame(s, t, want);
+              if (got != want) mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+    }  // scope join
+    const double elapsed = seconds_since(start);
+    const double fps = static_cast<double>(array.size() * timesteps) / elapsed;
+    const data::DatasetStorageStats stats = sharded.storage_stats();
+    readers_identical = readers_identical && mismatches.load() == 0;
+    const std::string prefix = bench::fmt("readers%zu_", readers);
+    report.set(prefix + "frames_per_sec", fps);
+    report.set(prefix + "hit_rate", stats.hit_rate());
+    report.set(prefix + "peak_resident_bytes",
+               static_cast<double>(stats.peak_resident_bytes));
+    readers_table.row({bench::fmt("%zu", readers), bench::fmt("%.1f", fps),
+                       bench::fmt("%.1f%%", 100.0 * stats.hit_rate()),
+                       bench::fmt("%zu", stats.peak_resident_bytes),
+                       mismatches.load() == 0 ? "yes" : "NO"});
+  }
+  report.set("concurrent_reads_identical", readers_identical ? "yes" : "NO");
   report.set("decisions_identical", all_identical ? "yes" : "NO");
 
   std::printf(
@@ -176,6 +291,11 @@ int main(int argc, char** argv) {
   }
   if (!all_identical) {
     std::printf("FAIL: sharded decisions diverged from the in-memory oracle.\n");
+    return 1;
+  }
+  if (!readers_identical) {
+    std::printf("FAIL: a concurrent reader observed frames differing from the\n"
+                "in-memory oracle.\n");
     return 1;
   }
   return 0;

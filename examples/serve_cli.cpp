@@ -10,13 +10,14 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
-#include <thread>
+#include <thread>  // std::this_thread::sleep_until (arrival pacing only)
 #include <vector>
 
 #include "core/evaluator.h"
 #include "serve/server.h"
 #include "util/arrival_trace.h"
 #include "util/sync.h"
+#include "util/thread.h"
 
 using namespace dtsnn;
 
@@ -59,7 +60,7 @@ int main() {
 
   // Client A: latency-sensitive — loose threshold plus a 40ms deadline.
   const core::EntropyExitPolicy loose(0.6);
-  std::thread client_a([&] {
+  util::Thread client_a([&] {
     util::ArrivalTraceSpec ts;
     ts.arrivals = 8;
     ts.mean_gap_us = 2000.0;
@@ -79,7 +80,7 @@ int main() {
   });
 
   // Client B: accuracy-first — one batched request, full budget.
-  std::thread client_b([&] {
+  util::Thread client_b([&] {
     serve::ServeRequest req;
     for (std::size_t s = 100; s < 112; ++s) req.request.samples.push_back(s);
     req.on_result = streamer("bulk client");

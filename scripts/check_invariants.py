@@ -29,6 +29,16 @@ with file:line diagnostics and a nonzero exit code on any finding:
                       a justification for provably associative (integer)
                       reductions.
 
+  raw-thread-mmap     Threads are spawned only through util::Thread
+                      (util/thread.h, join-on-destruction — a forgotten raw
+                      std::thread std::terminate's the process), and memory
+                      mapping goes only through util::MappedFile
+                      (util/mapped_file.h, RAII munmap + portable buffered
+                      fallback). Naming std::thread or calling mmap/munmap
+                      (or including <sys/mman.h>) outside src/util/ bypasses
+                      both. <thread> itself stays legal: std::this_thread
+                      sleep/yield are fine anywhere.
+
   bench-report        Every benchmark must emit a machine-readable
                       BENCH_*.json via bench::BenchReport; a bench/*.cpp
                       that never names BenchReport silently drops out of the
@@ -74,6 +84,7 @@ class Pattern:
 RULE_DESCRIPTIONS = {
     "wall-clock": "no wall-clock or unseeded randomness (determinism contract)",
     "naked-mutex": "std synchronization primitives only inside src/util/sync.h",
+    "raw-thread-mmap": "std::thread and mmap/munmap only inside src/util/",
     "omp-simd-reduction": "no '#pragma omp simd reduction' (float reassociation)",
     "bench-report": "every bench/*.cpp must emit through bench::BenchReport",
 }
@@ -116,6 +127,22 @@ NAKED_MUTEX_PATTERNS = [
             "primitive headers"),
 ]
 NAKED_MUTEX_ALLOWED = {Path("src/util/sync.h")}
+
+RAW_THREAD_MMAP_PATTERNS = [
+    Pattern(r"std\s*::\s*thread\b",
+            "raw std::thread bypasses util::Thread (util/thread.h); a handle "
+            "that leaves scope joinable std::terminate's the process"),
+    Pattern(r"\bmmap\s*\(",
+            "raw mmap() bypasses util::MappedFile (util/mapped_file.h) and "
+            "its RAII munmap + portable buffered fallback"),
+    Pattern(r"\bmunmap\s*\(",
+            "raw munmap() bypasses util::MappedFile (util/mapped_file.h); "
+            "mapping lifetime is owned by that handle"),
+    Pattern(r"#\s*include\s*<sys/mman\.h>",
+            "include util/mapped_file.h instead of the raw mapping syscalls"),
+]
+# The wrappers themselves live under src/util/ (thread.h, mapped_file.cpp).
+RAW_THREAD_MMAP_ALLOWED_PREFIX = ("src", "util")
 
 OMP_SIMD_REDUCTION = Pattern(
     r"#\s*pragma\s+omp\b.*\bsimd\b.*\breduction\s*\(",
@@ -238,6 +265,8 @@ def scan_file(path: Path, rel: Path) -> list[Finding]:
     ]
     if rel not in NAKED_MUTEX_ALLOWED:
         line_rules.append(("naked-mutex", NAKED_MUTEX_PATTERNS))
+    if rel.parts[:2] != RAW_THREAD_MMAP_ALLOWED_PREFIX:
+        line_rules.append(("raw-thread-mmap", RAW_THREAD_MMAP_PATTERNS))
 
     for idx, code in enumerate(scrubbed):
         for rule, patterns in line_rules:

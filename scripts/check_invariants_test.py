@@ -40,6 +40,10 @@ EXPECTED_BAD = [
     ("src/locking.cpp", 6, "naked-mutex"),       # std::mutex
     ("src/locking.cpp", 7, "naked-mutex"),       # std::condition_variable
     ("src/locking.cpp", 10, "naked-mutex"),      # std::lock_guard
+    ("src/dataplane.cpp", 4, "raw-thread-mmap"),   # #include <sys/mman.h>
+    ("src/dataplane.cpp", 7, "raw-thread-mmap"),   # std::thread
+    ("src/dataplane.cpp", 12, "raw-thread-mmap"),  # mmap(
+    ("src/dataplane.cpp", 13, "raw-thread-mmap"),  # munmap(
     ("src/kernels.cpp", 7, "omp-simd-reduction"),
     ("bench/silent_bench.cpp", 1, "bench-report"),
 ]

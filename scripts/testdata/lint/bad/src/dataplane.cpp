@@ -1,0 +1,14 @@
+// Fixture for check_invariants_test.py: every raw threading / memory-mapping
+// construct banned outside src/util/, exactly once each. Line numbers are
+// asserted by the test — append only.
+#include <sys/mman.h>  // line 4: raw mapping header
+
+void spawn() {
+  std::thread worker([] {});  // line 7: raw std::thread
+  worker.join();
+}
+
+void map_region(int fd, long length) {
+  void* addr = mmap(nullptr, length, 1, 1, fd, 0);  // line 12: raw mmap()
+  munmap(addr, length);                             // line 13: raw munmap()
+}

@@ -21,3 +21,8 @@ int operand() {
   int rando = 3;  // identifier containing 'rand' must not match \brand\b
   return rando;
 }
+
+// std::this_thread (sleep/yield pacing) and <thread> itself are legal
+// anywhere; only naming std::thread is confined to src/util/.
+#include <thread>
+void pace() { std::this_thread::yield(); }

@@ -1,0 +1,24 @@
+// Fixture: the raw-thread-mmap allowlist. Anything under src/util/ (relative
+// to the fixture root) may name std::thread and call mmap/munmap — this is
+// where util::Thread and util::MappedFile live.
+#include <sys/mman.h>
+#include <thread>
+
+namespace fixture {
+
+class Thread {
+ public:
+  template <typename Fn>
+  explicit Thread(Fn&& fn) : thread_(static_cast<Fn&&>(fn)) {}
+  ~Thread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+void* map_file(int fd, long length) { return mmap(nullptr, length, 1, 1, fd, 0); }
+void unmap(void* addr, long length) { munmap(addr, length); }
+
+}  // namespace fixture

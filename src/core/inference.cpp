@@ -8,6 +8,7 @@
 
 #include "core/engine.h"
 #include "core/entropy.h"
+#include "data/prefetch.h"
 #include "snn/loss.h"
 #include "util/gemm.h"
 #include "util/math.h"
@@ -263,6 +264,25 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
   acc.assign(initial * k, 0.0);
   net_.begin_inference(initial);
 
+  // Background lookahead over the *waiting tail*: while the pool steps, the
+  // prefetcher warms the shards of the samples that will be admitted into
+  // freed slots next, so a refill's first write_frame hits a resident shard
+  // instead of stalling the whole pool on a load. Inactive (zero cost) for
+  // in-memory datasets or DTSNN_PREFETCH_DEPTH=0.
+  data::ShardPrefetcher prefetcher(dataset);
+  std::size_t hinted = 0;
+  const auto hint_waiting = [&]() {
+    if (!prefetcher.active()) return;
+    const std::size_t horizon =
+        std::min(request.samples.size(), next + batch_size_ * prefetcher.depth());
+    if (hinted < next) hinted = next;
+    if (hinted >= horizon) return;
+    prefetcher.enqueue(
+        std::span<const std::size_t>(request.samples).subspan(hinted, horizon - hinted));
+    hinted = horizon;
+  };
+  hint_waiting();
+
   std::vector<float> cum(k);
   std::vector<std::size_t> keep;
   while (!live.empty()) {
@@ -314,6 +334,7 @@ void BatchedSequentialEngine::run_streaming(const data::Dataset& dataset,
         keep.push_back(snn::Layer::kFreshRow);
         live.push_back({next++, 0});
       }
+      hint_waiting();  // the admission point moved — extend the lookahead
       if (live.empty()) break;
       net_.compact_inference_state(keep);
       acc.resize(live.size() * k);

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -155,6 +156,8 @@ snn::EncodedBatch materialize_batch(const Dataset& dataset,
                                     std::span<const std::size_t> indices,
                                     std::size_t timesteps);
 
+class ShardPrefetcher;
+
 /// Streaming chunked iteration over dataset samples: encodes at most
 /// `chunk_samples` samples at a time, so consumers hold one chunk of encoded
 /// frames instead of the whole split (O(chunk), not O(dataset)) and
@@ -168,13 +171,26 @@ snn::EncodedBatch materialize_batch(const Dataset& dataset,
 ///
 /// Iterates either samples [0, count) or an explicit index list (borrowed —
 /// it must outlive the cursor).
+///
+/// The cursor runs a background ShardPrefetcher for the cursor's lifetime:
+/// before encoding chunk k it hints chunks (k, k + depth], so a
+/// storage-backed dataset overlaps the next shard loads with this chunk's
+/// encode + inference. `prefetch_depth` = nullopt defers to the
+/// DTSNN_PREFETCH_DEPTH environment variable (0 disables; default
+/// ShardPrefetcher::kDefaultDepth); fully-resident datasets spawn no thread.
+/// Encoded chunks are bitwise identical with prefetch on or off.
 class BatchCursor {
  public:
   BatchCursor(const Dataset& dataset, std::span<const std::size_t> indices,
-              std::size_t timesteps, std::size_t chunk_samples);
+              std::size_t timesteps, std::size_t chunk_samples,
+              std::optional<std::size_t> prefetch_depth = std::nullopt);
   /// Range form over samples [0, count).
   BatchCursor(const Dataset& dataset, std::size_t count, std::size_t timesteps,
-              std::size_t chunk_samples);
+              std::size_t chunk_samples,
+              std::optional<std::size_t> prefetch_depth = std::nullopt);
+  ~BatchCursor();  // out-of-line: ShardPrefetcher is incomplete here
+  BatchCursor(const BatchCursor&) = delete;
+  BatchCursor& operator=(const BatchCursor&) = delete;
 
   /// Encode the next chunk; false once the sequence is exhausted.
   bool next();
@@ -190,6 +206,10 @@ class BatchCursor {
   [[nodiscard]] std::size_t total() const { return total_; }
 
  private:
+  /// Hint upcoming chunks (up to depth chunks past the current one) to the
+  /// background prefetcher. No-op when the prefetcher is inactive.
+  void schedule_lookahead();
+
   const Dataset& dataset_;
   std::span<const std::size_t> index_list_;  ///< empty in range form
   bool use_range_;
@@ -200,6 +220,8 @@ class BatchCursor {
   std::size_t next_start_ = 0;
   std::size_t chunk_start_ = 0;
   std::size_t chunk_size_ = 0;
+  std::size_t prefetch_next_ = 0;  ///< first sequence position not yet hinted
+  std::unique_ptr<ShardPrefetcher> prefetcher_;
   snn::EncodedBatch batch_;
 };
 

@@ -1,0 +1,90 @@
+#include "data/prefetch.h"
+
+#include <exception>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace dtsnn::data {
+
+ShardPrefetcher::ShardPrefetcher(const Dataset& dataset, std::optional<std::size_t> depth)
+    : dataset_(dataset) {
+  if (depth.has_value()) {
+    depth_ = *depth;
+  } else if (const auto env = util::env_u64("DTSNN_PREFETCH_DEPTH")) {
+    depth_ = static_cast<std::size_t>(*env);
+  } else {
+    depth_ = kDefaultDepth;
+  }
+  // Fully-resident storage (cache_slots == 0) has nothing to warm; don't
+  // spend a thread on it.
+  active_ = depth_ > 0 && dataset_.storage_stats().cache_slots > 0;
+  if (active_) {
+    worker_ = util::Thread([this] { worker_loop(); });
+  }
+}
+
+ShardPrefetcher::~ShardPrefetcher() {
+  {
+    util::MutexLock lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // worker_'s destructor joins; queued hints are abandoned (they are hints).
+}
+
+void ShardPrefetcher::enqueue(std::span<const std::size_t> samples) {
+  if (!active_ || samples.empty()) return;
+  {
+    util::MutexLock lk(mu_);
+    if (stopping_) return;
+    if (queue_.size() == depth_) {
+      // The consumer has outrun this hint; the newest request wins.
+      queue_.pop_front();
+      ++stats_.dropped;
+    }
+    queue_.emplace_back(samples.begin(), samples.end());
+    ++stats_.enqueued;
+  }
+  cv_.notify_all();
+}
+
+void ShardPrefetcher::wait_idle() {
+  if (!active_) return;
+  util::MutexLock lk(mu_);
+  while (!stopping_ && (busy_ || !queue_.empty())) cv_.wait(lk);
+}
+
+ShardPrefetcher::Stats ShardPrefetcher::stats() const {
+  util::MutexLock lk(mu_);
+  return stats_;
+}
+
+void ShardPrefetcher::worker_loop() {
+  for (;;) {
+    std::vector<std::size_t> hint;
+    {
+      util::MutexLock lk(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lk);
+      if (stopping_) return;
+      hint = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      dataset_.prefetch(hint);
+    } catch (const std::exception& e) {
+      // Advisory by contract: the consumer's own read will surface a real
+      // storage failure loudly; a failed warm only loses the overlap.
+      DTSNN_LOG_WARN("ShardPrefetcher: background prefetch failed: %s", e.what());
+    }
+    {
+      util::MutexLock lk(mu_);
+      busy_ = false;
+      ++stats_.completed;
+      cv_.notify_all();  // wait_idle barrier
+    }
+  }
+}
+
+}  // namespace dtsnn::data

@@ -15,20 +15,50 @@ constexpr std::array<char, 8> kMagic = {'D', 'T', 'S', 'N', 'S', 'H', 'R', 'D'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kFixedHeaderBytes = 56;
 
+// Byte offsets of the fixed header fields (format v1) — every diagnostic
+// names the field and its offset so a corrupt shard can be inspected with a
+// hex dump without consulting this file.
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffShapeC = 12;
+constexpr std::size_t kOffShapeH = 16;
+constexpr std::size_t kOffShapeW = 20;
+constexpr std::size_t kOffFramesPerSample = 24;
+constexpr std::size_t kOffNumClasses = 28;
+constexpr std::size_t kOffNoiseSeed = 32;
+constexpr std::size_t kOffNumSamples = 40;
+constexpr std::size_t kOffShardIndex = 48;
+constexpr std::size_t kOffShardCount = 52;
+
+std::string field_at(const char* field, std::size_t offset) {
+  return std::string("field '") + field + "' at byte offset " + std::to_string(offset);
+}
+
 template <typename T>
 void put(std::ofstream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-T get(std::ifstream& in, const std::filesystem::path& path) {
+T get(std::ifstream& in, const std::filesystem::path& path, const char* field,
+      std::size_t offset) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
   if (!in) {
     throw ShardError(ShardError::Kind::kTruncated,
-                     "shard " + path.string() + ": header ends prematurely");
+                     "shard " + path.string() + ": header ends prematurely reading " +
+                         field_at(field, offset) + " (need " + std::to_string(sizeof(T)) +
+                         " bytes)");
   }
   return value;
+}
+
+void require_header(bool ok, const std::filesystem::path& path, const char* field,
+                    std::size_t offset, const std::string& why) {
+  if (!ok) {
+    throw ShardError(ShardError::Kind::kCorruptHeader,
+                     "shard " + path.string() + ": degenerate header geometry: " +
+                         field_at(field, offset) + " " + why);
+  }
 }
 
 template <typename T>
@@ -39,13 +69,16 @@ void write_column(std::ofstream& out, const std::vector<T>& column) {
 
 template <typename T>
 void read_column(std::ifstream& in, std::vector<T>& column, std::size_t count,
-                 const std::filesystem::path& path, const char* what) {
+                 const std::filesystem::path& path, const char* what,
+                 std::size_t offset) {
   column.resize(count);
   in.read(reinterpret_cast<char*>(column.data()),
           static_cast<std::streamsize>(count * sizeof(T)));
   if (!in) {
-    throw ShardError(ShardError::Kind::kTruncated, "shard " + path.string() +
-                                                       ": " + what + " column truncated");
+    throw ShardError(ShardError::Kind::kTruncated,
+                     "shard " + path.string() + ": " + what +
+                         " column truncated at byte offset " + std::to_string(offset) +
+                         " (need " + std::to_string(count * sizeof(T)) + " bytes)");
   }
 }
 
@@ -108,28 +141,52 @@ void ShardWriter::finish() {
                      "shard " + path_.string() + ": no samples added");
   }
 
-  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open for writing");
+  // Crash safety: write the complete file to a `.tmp` sibling, then rename
+  // onto the final path. rename() within one directory is atomic, so the
+  // final path never exposes a partially-written shard — an interrupted
+  // export leaves only a `.tmp` leftover, which no reader or directory scan
+  // ever picks up.
+  const std::filesystem::path tmp(path_.string() + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() +
+                                                  ": cannot open temporary file " +
+                                                  tmp.string() + " for writing");
+    }
+    out.write(kMagic.data(), kMagic.size());
+    put<std::uint32_t>(out, kVersion);
+    for (const std::size_t dim : header_.frame_shape) {
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(dim));
+    }
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.frames_per_sample));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.num_classes));
+    put<std::uint64_t>(out, header_.noise_seed);
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(header_.num_samples));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_index));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_count));
+    write_column(out, frames_);
+    std::vector<std::int32_t> labels32(labels_.begin(), labels_.end());
+    write_column(out, labels32);
+    write_column(out, difficulty_);
+    write_column(out, temporal_noise_);
+    out.close();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() +
+                                                  ": write to temporary file " +
+                                                  tmp.string() + " failed");
+    }
   }
-  out.write(kMagic.data(), kMagic.size());
-  put<std::uint32_t>(out, kVersion);
-  for (const std::size_t dim : header_.frame_shape) {
-    put<std::uint32_t>(out, static_cast<std::uint32_t>(dim));
-  }
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.frames_per_sample));
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.num_classes));
-  put<std::uint64_t>(out, header_.noise_seed);
-  put<std::uint64_t>(out, static_cast<std::uint64_t>(header_.num_samples));
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_index));
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(header_.shard_count));
-  write_column(out, frames_);
-  std::vector<std::int32_t> labels32(labels_.begin(), labels_.end());
-  write_column(out, labels32);
-  write_column(out, difficulty_);
-  write_column(out, temporal_noise_);
-  if (!out) {
-    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": write failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() +
+                                                ": atomic rename from " + tmp.string() +
+                                                " failed: " + ec.message());
   }
   // Marked written only on success, so a failed finish() (full disk, ...)
   // can be retried instead of silently no-opping.
@@ -149,27 +206,42 @@ ShardReader::ShardReader(std::filesystem::path path) : path_(std::move(path)) {
     throw ShardError(ShardError::Kind::kBadMagic,
                      "shard " + path_.string() + ": bad magic (not a DT-SNN shard file)");
   }
-  const auto version = get<std::uint32_t>(in, path_);
+  const auto version = get<std::uint32_t>(in, path_, "version", kOffVersion);
   if (version != kVersion) {
     throw ShardError(ShardError::Kind::kBadVersion,
                      "shard " + path_.string() + ": unsupported format version " +
                          std::to_string(version) + " (expected " +
-                         std::to_string(kVersion) + ")");
+                         std::to_string(kVersion) + ", " +
+                         field_at("version", kOffVersion) + ")");
   }
   header_.frame_shape.resize(3);
-  for (auto& dim : header_.frame_shape) dim = get<std::uint32_t>(in, path_);
-  header_.frames_per_sample = get<std::uint32_t>(in, path_);
-  header_.num_classes = get<std::uint32_t>(in, path_);
-  header_.noise_seed = get<std::uint64_t>(in, path_);
-  header_.num_samples = static_cast<std::size_t>(get<std::uint64_t>(in, path_));
-  header_.shard_index = get<std::uint32_t>(in, path_);
-  header_.shard_count = get<std::uint32_t>(in, path_);
-  if (header_.frame_numel() == 0 || header_.frames_per_sample == 0 ||
-      header_.num_classes == 0 || header_.num_samples == 0 ||
-      header_.shard_count == 0 || header_.shard_index >= header_.shard_count) {
-    throw ShardError(ShardError::Kind::kCorruptHeader,
-                     "shard " + path_.string() + ": degenerate header geometry");
-  }
+  header_.frame_shape[0] = get<std::uint32_t>(in, path_, "frame shape C", kOffShapeC);
+  header_.frame_shape[1] = get<std::uint32_t>(in, path_, "frame shape H", kOffShapeH);
+  header_.frame_shape[2] = get<std::uint32_t>(in, path_, "frame shape W", kOffShapeW);
+  header_.frames_per_sample =
+      get<std::uint32_t>(in, path_, "frames_per_sample", kOffFramesPerSample);
+  header_.num_classes = get<std::uint32_t>(in, path_, "num_classes", kOffNumClasses);
+  header_.noise_seed = get<std::uint64_t>(in, path_, "noise_seed", kOffNoiseSeed);
+  header_.num_samples = static_cast<std::size_t>(
+      get<std::uint64_t>(in, path_, "num_samples", kOffNumSamples));
+  header_.shard_index = get<std::uint32_t>(in, path_, "shard_index", kOffShardIndex);
+  header_.shard_count = get<std::uint32_t>(in, path_, "shard_count", kOffShardCount);
+
+  require_header(header_.frame_numel() != 0, path_, "frame shape C*H*W", kOffShapeC,
+                 "must be nonzero in every dimension");
+  require_header(header_.frames_per_sample != 0, path_, "frames_per_sample",
+                 kOffFramesPerSample, "must be nonzero");
+  require_header(header_.num_classes != 0, path_, "num_classes", kOffNumClasses,
+                 "must be nonzero");
+  require_header(header_.num_samples != 0, path_, "num_samples", kOffNumSamples,
+                 "must be nonzero");
+  require_header(header_.shard_count != 0, path_, "shard_count", kOffShardCount,
+                 "must be nonzero");
+  require_header(header_.shard_index < header_.shard_count, path_, "shard_index",
+                 kOffShardIndex,
+                 "is " + std::to_string(header_.shard_index) +
+                     " but shard_count (byte offset " + std::to_string(kOffShardCount) +
+                     ") is " + std::to_string(header_.shard_count));
 
   const std::uintmax_t actual = std::filesystem::file_size(path_);
   const std::uintmax_t expected = kFixedHeaderBytes + header_.payload_bytes();
@@ -187,13 +259,17 @@ void ShardReader::read_metadata(std::vector<int>& labels, std::vector<double>& d
   if (!in) {
     throw ShardError(ShardError::Kind::kIo, "shard " + path_.string() + ": cannot open");
   }
-  in.seekg(static_cast<std::streamoff>(kFixedHeaderBytes +
-                                       header_.frames_floats() * sizeof(float)));
+  const std::size_t labels_off =
+      kFixedHeaderBytes + header_.frames_floats() * sizeof(float);
+  const std::size_t difficulty_off =
+      labels_off + header_.num_samples * sizeof(std::int32_t);
+  const std::size_t noise_off = difficulty_off + header_.num_samples * sizeof(double);
+  in.seekg(static_cast<std::streamoff>(labels_off));
   std::vector<std::int32_t> labels32;
-  read_column(in, labels32, header_.num_samples, path_, "label");
+  read_column(in, labels32, header_.num_samples, path_, "label", labels_off);
   labels.assign(labels32.begin(), labels32.end());
-  read_column(in, difficulty, header_.num_samples, path_, "difficulty");
-  read_column(in, temporal_noise, header_.num_samples, path_, "temporal_noise");
+  read_column(in, difficulty, header_.num_samples, path_, "difficulty", difficulty_off);
+  read_column(in, temporal_noise, header_.num_samples, path_, "temporal_noise", noise_off);
 }
 
 std::vector<float> ShardReader::read_frames() const {
@@ -203,8 +279,45 @@ std::vector<float> ShardReader::read_frames() const {
   }
   in.seekg(static_cast<std::streamoff>(kFixedHeaderBytes));
   std::vector<float> frames;
-  read_column(in, frames, header_.frames_floats(), path_, "frame");
+  read_column(in, frames, header_.frames_floats(), path_, "frame", kFixedHeaderBytes);
   return frames;
+}
+
+ShardFrames ShardReader::map_frames(ShardIo io) const {
+  ShardFrames block;
+  const bool map_it =
+      io == ShardIo::kMapped || (io == ShardIo::kAuto && util::MappedFile::mmap_supported());
+  if (!map_it) {
+    block.buffer_ = read_frames();
+    block.frames_ = std::span<const float>(block.buffer_.data(), block.buffer_.size());
+    return block;
+  }
+
+  try {
+    block.file_ = util::MappedFile(path_, util::MappedFile::Mode::kMapped);
+  } catch (const std::runtime_error& e) {
+    throw ShardError(ShardError::Kind::kIo, e.what());
+  }
+  // The size was validated at ShardReader construction, but the mapping sees
+  // the file as it is *now* — re-check so a shard replaced/truncated in
+  // between cannot hand out a span past the end of the mapping.
+  const std::size_t expected = kFixedHeaderBytes + header_.payload_bytes();
+  if (block.file_.size() != expected) {
+    throw ShardError(ShardError::Kind::kTruncated,
+                     "shard " + path_.string() + ": file is " +
+                         std::to_string(block.file_.size()) +
+                         " bytes at map time but the header promised " +
+                         std::to_string(expected) + " (changed since open)");
+  }
+  // Byte 56 is a multiple of alignof(float), so the frame block is aligned.
+  block.frames_ = std::span<const float>(
+      reinterpret_cast<const float*>(block.file_.data() + kFixedHeaderBytes),
+      header_.frames_floats());
+  // Kick off asynchronous readahead: without this, the lazily-faulting
+  // mapping would defer all disk I/O to the consumer's first touch and the
+  // prefetcher would overlap nothing.
+  block.file_.advise_willneed();
+  return block;
 }
 
 // ------------------------------------------------------------ export_shards
@@ -224,8 +337,11 @@ std::size_t export_shards(const ArrayDataset& dataset, const std::filesystem::pa
                      "export_shards: cannot create " + dir.string() + ": " + ec.message());
   }
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() == kShardExtension) {
-      std::filesystem::remove(entry.path());
+    const std::filesystem::path& p = entry.path();
+    const bool stale_tmp =
+        p.extension() == ".tmp" && p.stem().extension() == kShardExtension;
+    if (p.extension() == kShardExtension || stale_tmp) {
+      std::filesystem::remove(p);
     }
   }
 

@@ -25,6 +25,10 @@
 //           -     f64 difficulty [num_samples]
 //           -     f32 temporal_noise [num_samples]
 //
+// The frame block starting at byte 56 (a multiple of alignof(float)) is what
+// makes the zero-copy plane possible: ShardReader::map_frames can hand out a
+// span aliasing a read-only mmap of the file with no payload copy.
+//
 // The (shard_index, shard_count) pair makes an incomplete set loud: the
 // noise stream and the labels are addressed by *global* sample index, so a
 // silently missing middle shard would shift every later sample onto the
@@ -34,7 +38,7 @@
 // The deterministic sensor-noise stream is keyed by (noise_seed, *global*
 // sample index, timestep) — see data::detail::apply_temporal_noise — so a
 // sample reads back bitwise identical regardless of which shard, cache slot,
-// or storage backend serves it.
+// I/O mode, or storage backend serves it.
 
 #pragma once
 
@@ -46,6 +50,7 @@
 #include <vector>
 
 #include "snn/tensor.h"
+#include "util/mapped_file.h"
 
 namespace dtsnn::data {
 
@@ -56,7 +61,8 @@ inline constexpr const char* kShardExtension = ".dtshard";
 
 /// Loud, typed shard-file error: every way a shard can be unusable gets its
 /// own kind so callers (and tests) can distinguish corruption classes, and
-/// every message names the offending file.
+/// every message names the offending file plus the byte offset / field that
+/// failed validation.
 class ShardError : public std::runtime_error {
  public:
   enum class Kind {
@@ -97,6 +103,41 @@ struct ShardHeader {
   [[nodiscard]] std::size_t payload_bytes() const;
 };
 
+/// How frame payloads are materialized into memory.
+enum class ShardIo {
+  kAuto,      ///< mapped when the platform supports it, else buffered
+              ///< (ShardedDataset additionally honors DTSNN_SHARD_MMAP=0)
+  kMapped,    ///< zero-copy mmap of the shard file (throws if unsupported)
+  kBuffered,  ///< portable buffered read into a private copy
+};
+
+/// A shard's resident frame block: either a read-only mapping of the shard
+/// file (zero-copy — the span aliases the shared page cache) or a private
+/// buffered copy, with an identical read surface. Move-only; a moved-from
+/// block is only good for destruction or reassignment.
+class ShardFrames {
+ public:
+  ShardFrames() = default;
+  ShardFrames(ShardFrames&&) noexcept = default;
+  ShardFrames& operator=(ShardFrames&&) noexcept = default;
+  ShardFrames(const ShardFrames&) = delete;
+  ShardFrames& operator=(const ShardFrames&) = delete;
+
+  /// [num_samples * frames_per_sample * frame_numel] raw (pre-noise) floats.
+  [[nodiscard]] std::span<const float> frames() const { return frames_; }
+  /// Frame-payload bytes this block accounts for (identical for both modes,
+  /// so resident/peak byte stats do not depend on the I/O mode).
+  [[nodiscard]] std::size_t bytes() const { return frames_.size() * sizeof(float); }
+  /// True when the block aliases an mmap rather than owning a copy.
+  [[nodiscard]] bool zero_copy() const { return file_.mapped(); }
+
+ private:
+  friend class ShardReader;
+  util::MappedFile file_;      // live when zero_copy()
+  std::vector<float> buffer_;  // live for the buffered fallback
+  std::span<const float> frames_;
+};
+
 /// Streams samples into one shard file; the file is written by an explicit
 /// finish() call only (columnar layout needs the full sample set, and a
 /// writer abandoned by an exception must not leave a truncated shard on
@@ -117,9 +158,13 @@ class ShardWriter {
 
   [[nodiscard]] std::size_t samples() const { return labels_.size(); }
 
-  /// Write the file. Idempotent. Throws ShardError(kCorruptHeader) when no
-  /// samples were added: a zero-sample shard is rejected by ShardReader, so
-  /// it is never written.
+  /// Write the file crash-safely: the bytes go to a `<path>.tmp` sibling
+  /// first and are renamed onto `path` only after a clean close, so an
+  /// interrupted export can never leave a truncated file that still passes
+  /// the magic check — the final path either holds a complete shard or
+  /// nothing. Idempotent. Throws ShardError(kCorruptHeader) when no samples
+  /// were added: a zero-sample shard is rejected by ShardReader, so it is
+  /// never written.
   void finish();
 
  private:
@@ -149,6 +194,13 @@ class ShardReader {
   /// [num_samples * frames_per_sample * frame_numel].
   [[nodiscard]] std::vector<float> read_frames() const;
 
+  /// Materialize the frame block per `io`: kMapped aliases a read-only mmap
+  /// of the file (zero payload copy; re-validates the on-disk size against
+  /// the header first) and kicks off asynchronous readahead; kBuffered is
+  /// read_frames() behind the same interface. kAuto maps when supported
+  /// (env knobs are resolved by ShardedDataset, not here).
+  [[nodiscard]] ShardFrames map_frames(ShardIo io = ShardIo::kAuto) const;
+
  private:
   std::filesystem::path path_;
   ShardHeader header_;
@@ -156,7 +208,8 @@ class ShardReader {
 
 /// Export an in-memory dataset into `dir` as shard files of at most
 /// `samples_per_shard` samples each (`shard_00000.dtshard`, ...; the last
-/// shard may be ragged). Existing shard files in `dir` are replaced. Returns
+/// shard may be ragged). Existing shard files — and stale `.tmp` leftovers
+/// from an interrupted earlier export — in `dir` are replaced. Returns
 /// the number of shards written. The noise seed travels in every header, so
 /// ShardedDataset reproduces the source's frames bitwise.
 std::size_t export_shards(const ArrayDataset& dataset, const std::filesystem::path& dir,

@@ -1,11 +1,11 @@
 #include "data/sharded_dataset.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
-#include "data/shard.h"
+#include "util/env.h"
+#include "util/mapped_file.h"
 
 namespace dtsnn::data {
 
@@ -14,24 +14,30 @@ namespace {
 std::size_t resolve_cache_slots(std::size_t configured) {
   if (configured != 0) return configured;
   // Construction-time read; datasets are built before worker threads start.
-  if (const char* env = std::getenv("DTSNN_SHARD_CACHE_SLOTS")) {  // NOLINT(concurrency-mt-unsafe)
-    // Digits only (strtoull would silently wrap "-1" to a huge slot count)
-    // and overflow-checked (errno=ERANGE clamps to ULLONG_MAX, same silent
-    // unbounding), so a bad value can never void the bounded-working-set
-    // guarantee quietly.
-    const std::string value(env);
-    const bool digits = !value.empty() && value.find_first_not_of("0123456789") ==
-                                              std::string::npos;
-    errno = 0;
-    const unsigned long long parsed = digits ? std::strtoull(env, nullptr, 10) : 0;
-    if (!digits || parsed == 0 || errno == ERANGE) {
-      throw std::invalid_argument(
-          std::string("DTSNN_SHARD_CACHE_SLOTS must be a positive integer, got '") +
-          env + "'");
-    }
-    return static_cast<std::size_t>(parsed);
+  // env_u64 rejects junk, "-1" (no sign accepted), overflow, and — via
+  // min_value — zero, so a bad value can never void the bounded-working-set
+  // guarantee quietly.
+  if (const auto env = util::env_u64("DTSNN_SHARD_CACHE_SLOTS", /*min_value=*/1)) {
+    return static_cast<std::size_t>(*env);
   }
   return ShardCacheConfig::kDefaultCacheSlots;
+}
+
+ShardIo resolve_io(ShardIo configured) {
+  if (configured == ShardIo::kBuffered) return configured;
+  if (configured == ShardIo::kMapped) {
+    if (!util::MappedFile::mmap_supported()) {
+      throw std::invalid_argument(
+          "ShardCacheConfig: ShardIo::kMapped requested but mmap is unsupported on "
+          "this platform");
+    }
+    return configured;
+  }
+  // kAuto: DTSNN_SHARD_MMAP=0 forces the portable buffered path (useful for
+  // A/B-ing the zero-copy plane); otherwise map whenever the platform can.
+  const auto flag = util::env_flag("DTSNN_SHARD_MMAP");
+  if (flag.has_value() && !*flag) return ShardIo::kBuffered;
+  return util::MappedFile::mmap_supported() ? ShardIo::kMapped : ShardIo::kBuffered;
 }
 
 void check_sibling(const ShardHeader& first, const std::filesystem::path& first_path,
@@ -53,7 +59,7 @@ void check_sibling(const ShardHeader& first, const std::filesystem::path& first_
 }  // namespace
 
 ShardedDataset::ShardedDataset(const std::filesystem::path& dir, ShardCacheConfig config)
-    : cache_slots_(resolve_cache_slots(config.cache_slots)) {
+    : cache_slots_(resolve_cache_slots(config.cache_slots)), io_(resolve_io(config.io)) {
   std::error_code ec;
   std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
@@ -77,7 +83,7 @@ ShardedDataset::ShardedDataset(const std::filesystem::path& dir, ShardCacheConfi
   for (const auto& path : paths) {
     const ShardReader reader(path);
     const ShardHeader& header = reader.header();
-    if (shards_.empty()) {
+    if (info_.empty()) {
       first = header;
       frame_shape_ = header.frame_shape;
       frame_numel_ = header.frame_numel();
@@ -85,23 +91,23 @@ ShardedDataset::ShardedDataset(const std::filesystem::path& dir, ShardCacheConfi
       num_classes_ = header.num_classes;
       noise_seed_ = header.noise_seed;
     } else {
-      check_sibling(first, shards_.front().path, header, path);
+      check_sibling(first, info_.front().path, header, path);
     }
     // Ordinal i must sit at sorted position i: the noise stream and labels
     // are addressed by global sample index, so a missing or duplicated
     // middle shard would silently shift every later sample's identity.
-    if (header.shard_index != shards_.size()) {
+    if (header.shard_index != info_.size()) {
       throw ShardError(ShardError::Kind::kIncompleteSet,
                        "shard " + path.string() + ": holds ordinal " +
                            std::to_string(header.shard_index) +
-                           " but is shard file #" + std::to_string(shards_.size()) +
+                           " but is shard file #" + std::to_string(info_.size()) +
                            " of " + dir.string() +
                            " — the directory is missing or duplicating shards");
     }
-    Shard shard;
-    shard.path = path;
-    shard.first_sample = labels_.size();
-    shard.samples = header.num_samples;
+    ShardInfo info;
+    info.path = path;
+    info.first_sample = labels_.size();
+    info.samples = header.num_samples;
     reader.read_metadata(labels, difficulty, temporal_noise);
     labels_.insert(labels_.end(), labels.begin(), labels.end());
     difficulty_.insert(difficulty_.end(), difficulty.begin(), difficulty.end());
@@ -110,56 +116,160 @@ ShardedDataset::ShardedDataset(const std::filesystem::path& dir, ShardCacheConfi
     frame_bytes_total_ += header.frames_floats() * sizeof(float);
     max_shard_frame_bytes_ =
         std::max(max_shard_frame_bytes_, header.frames_floats() * sizeof(float));
-    shards_.push_back(std::move(shard));
+    info_.push_back(std::move(info));
   }
-  if (shards_.size() != first.shard_count) {
+  if (info_.size() != first.shard_count) {
     throw ShardError(ShardError::Kind::kIncompleteSet,
                      "ShardedDataset: " + dir.string() + " holds " +
-                         std::to_string(shards_.size()) + " shard files but the set "
+                         std::to_string(info_.size()) + " shard files but the set "
                          "declares " + std::to_string(first.shard_count) +
                          " — trailing shards are missing");
   }
   metadata_bytes_ = labels_.size() * (sizeof(int) + sizeof(double) + sizeof(float));
+  {
+    util::MutexLock lk(mu_);
+    slots_.resize(info_.size());
+  }
 }
 
 std::size_t ShardedDataset::locate(std::size_t sample) const {
-  // First shard whose range starts past `sample`, minus one.
+  // First shard whose range starts past `sample`, minus one. info_ is
+  // immutable after construction, so no lock.
   const auto it = std::upper_bound(
-      shards_.begin(), shards_.end(), sample,
-      [](std::size_t s, const Shard& shard) { return s < shard.first_sample; });
-  return static_cast<std::size_t>(it - shards_.begin()) - 1;
+      info_.begin(), info_.end(), sample,
+      [](std::size_t s, const ShardInfo& info) { return s < info.first_sample; });
+  return static_cast<std::size_t>(it - info_.begin()) - 1;
 }
 
-const std::vector<float>& ShardedDataset::touch_shard(std::size_t shard_index) const {
-  Shard& shard = shards_[shard_index];
-  shard.last_used = ++lru_tick_;
-  if (shard.resident) {
-    ++cache_hits_;
-    return shard.frames;
+ShardFrames ShardedDataset::load_block(std::size_t shard) const {
+  return ShardReader(info_[shard].path).map_frames(io_);
+}
+
+bool ShardedDataset::reserve_slot() const {
+  if (resident_.size() + loading_ < cache_slots_) {
+    ++loading_;
+    return true;
   }
-  ++cache_misses_;
-  if (resident_.size() >= cache_slots_) {
-    // Evict the least-recently-used resident shard (resident_ is bounded by
-    // cache_slots_, so the victim search never scans the full shard table).
-    std::size_t victim_pos = 0;
-    for (std::size_t i = 1; i < resident_.size(); ++i) {
-      if (shards_[resident_[i]].last_used < shards_[resident_[victim_pos]].last_used) {
-        victim_pos = i;
-      }
+  // Evict the least-recently-used *unpinned* resident shard. Pinned shards
+  // have a reader copying from their block right now; in-flight loads are
+  // not in resident_ and are never victims.
+  std::size_t victim_pos = resident_.size();
+  for (std::size_t i = 0; i < resident_.size(); ++i) {
+    const Slot& cand = slots_[resident_[i]];
+    if (cand.pins != 0) continue;
+    if (victim_pos == resident_.size() ||
+        cand.last_used < slots_[resident_[victim_pos]].last_used) {
+      victim_pos = i;
     }
-    Shard& evicted = shards_[resident_[victim_pos]];
-    resident_bytes_ -= evicted.frames.size() * sizeof(float);
-    evicted.frames = {};
-    evicted.resident = false;
-    resident_.erase(resident_.begin() + static_cast<std::ptrdiff_t>(victim_pos));
-    ++cache_evictions_;
   }
-  shard.frames = ShardReader(shard.path).read_frames();
-  shard.resident = true;
-  resident_.push_back(shard_index);
-  resident_bytes_ += shard.frames.size() * sizeof(float);
+  if (victim_pos == resident_.size()) return false;  // every slot pinned/claimed
+  Slot& victim = slots_[resident_[victim_pos]];
+  resident_bytes_ -= victim.block.bytes();
+  victim.block = ShardFrames();
+  victim.state = SlotState::kEvicted;
+  resident_.erase(resident_.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+  ++cache_evictions_;
+  ++loading_;
+  return true;
+}
+
+void ShardedDataset::publish_loaded(std::size_t shard, ShardFrames&& block,
+                                    std::size_t pins) const {
+  Slot& slot = slots_[shard];
+  slot.block = std::move(block);
+  slot.state = SlotState::kResident;
+  slot.pins = pins;
+  --loading_;
+  resident_.push_back(shard);
+  resident_bytes_ += slot.block.bytes();
   peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
-  return shard.frames;
+  cv_.notify_all();
+}
+
+void ShardedDataset::abort_load(std::size_t shard) const {
+  util::MutexLock lk(mu_);
+  slots_[shard].state = SlotState::kEvicted;
+  --loading_;
+  cv_.notify_all();
+}
+
+std::span<const float> ShardedDataset::pin_shard(std::size_t shard) const {
+  {
+    util::MutexLock lk(mu_);
+    for (;;) {
+      Slot& slot = slots_[shard];
+      if (slot.state == SlotState::kResident) {
+        slot.last_used = ++lru_tick_;
+        ++slot.pins;
+        ++cache_hits_;
+        return slot.block.frames();
+      }
+      if (slot.state == SlotState::kLoading) {
+        // Another thread is filling this very shard — coalesce onto its load
+        // instead of issuing a duplicate read (counts as a hit once it
+        // lands: this thread caused no I/O).
+        cv_.wait(lk);
+        continue;
+      }
+      // kEvicted: claim capacity, or wait for an unpin/publish to free some.
+      if (!reserve_slot()) {
+        cv_.wait(lk);
+        continue;
+      }
+      slot.state = SlotState::kLoading;
+      slot.last_used = ++lru_tick_;
+      ++cache_misses_;
+      break;
+    }
+  }
+  // Disk I/O with mu_ released: concurrent readers keep hitting other
+  // resident shards while this load is in flight.
+  ShardFrames block;
+  try {
+    block = load_block(shard);
+  } catch (...) {
+    abort_load(shard);
+    throw;
+  }
+  util::MutexLock lk(mu_);
+  publish_loaded(shard, std::move(block), /*pins=*/1);
+  return slots_[shard].block.frames();
+}
+
+void ShardedDataset::unpin_shard(std::size_t shard) const {
+  util::MutexLock lk(mu_);
+  Slot& slot = slots_[shard];
+  if (--slot.pins == 0) {
+    // The shard just became evictable — wake reserve_slot waiters.
+    cv_.notify_all();
+  }
+}
+
+void ShardedDataset::warm_shard(std::size_t shard) const {
+  {
+    util::MutexLock lk(mu_);
+    Slot& slot = slots_[shard];
+    if (slot.state == SlotState::kResident) {
+      slot.last_used = ++lru_tick_;
+      ++cache_hits_;
+      return;
+    }
+    if (slot.state == SlotState::kLoading) return;  // load already in flight
+    if (!reserve_slot()) return;  // prefetch is a hint: never wait, never harm
+    slot.state = SlotState::kLoading;
+    slot.last_used = ++lru_tick_;
+    ++cache_misses_;
+  }
+  ShardFrames block;
+  try {
+    block = load_block(shard);
+  } catch (...) {
+    abort_load(shard);
+    throw;
+  }
+  util::MutexLock lk(mu_);
+  // pins = 0: prefetch warms, the consumer pins later.
+  publish_loaded(shard, std::move(block), /*pins=*/0);
 }
 
 void ShardedDataset::write_frame(std::size_t sample, std::size_t t,
@@ -170,22 +280,24 @@ void ShardedDataset::write_frame(std::size_t sample, std::size_t t,
                             std::to_string(labels_.size()) + ")");
   }
   const std::size_t frame = std::min(t, frames_per_sample_ - 1);
-  {
-    util::MutexLock lk(mu_);
-    const std::size_t shard_index = locate(sample);
-    const Shard& shard = shards_[shard_index];
-    const std::vector<float>& frames = touch_shard(shard_index);
-    const std::size_t local = sample - shard.first_sample;
-    const float* src = frames.data() + (local * frames_per_sample_ + frame) * frame_numel_;
-    std::memcpy(dst.data(), src, frame_numel_ * sizeof(float));
-  }
+  const std::size_t shard = locate(sample);
+  const std::size_t local = sample - info_[shard].first_sample;
+
+  const std::span<const float> frames = pin_shard(shard);
+  // Only the (noexcept) copy sits between pin and unpin, so no unwind guard
+  // is needed; the pin keeps eviction away from the block while we read it.
+  const float* src = frames.data() + (local * frames_per_sample_ + frame) * frame_numel_;
+  std::memcpy(dst.data(), src, frame_numel_ * sizeof(float));
+  unpin_shard(shard);
+
   // Same stream, keyed by the *global* sample index, as every other storage
   // backend — bitwise identity does not depend on shard layout.
   detail::apply_temporal_noise(dst, temporal_noise_[sample], noise_seed_, sample, t);
 }
 
 void ShardedDataset::prefetch(std::span<const std::size_t> samples) const {
-  util::MutexLock lk(mu_);
+  // Dedup to shards lock-free (locate reads the immutable table), then warm
+  // each best-effort.
   std::vector<std::size_t> wanted;
   for (const std::size_t sample : samples) {
     if (sample >= labels_.size()) continue;  // materialize_batch validates later
@@ -195,7 +307,7 @@ void ShardedDataset::prefetch(std::span<const std::size_t> samples) const {
       if (wanted.size() == cache_slots_) break;
     }
   }
-  for (const std::size_t shard : wanted) touch_shard(shard);
+  for (const std::size_t shard : wanted) warm_shard(shard);
 }
 
 DatasetStorageStats ShardedDataset::storage_stats() const {
@@ -204,7 +316,7 @@ DatasetStorageStats ShardedDataset::storage_stats() const {
   stats.logical_bytes = frame_bytes_total_ + metadata_bytes_;
   stats.resident_bytes = resident_bytes_ + metadata_bytes_;
   stats.peak_resident_bytes = peak_resident_bytes_ + metadata_bytes_;
-  stats.shard_count = shards_.size();
+  stats.shard_count = info_.size();
   stats.cache_slots = cache_slots_;
   stats.cache_hits = cache_hits_;
   stats.cache_misses = cache_misses_;

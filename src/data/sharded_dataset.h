@@ -7,20 +7,43 @@
 // shard_bytes), not O(dataset). Reads are bitwise identical to the
 // ArrayDataset the shards were exported from: the deterministic sensor-noise
 // stream is keyed by (noise_seed, global sample index, timestep), so cache
-// evictions, shard boundaries, and re-reads never change a single bit of an
-// encoded frame.
+// evictions, shard boundaries, I/O mode, and re-reads never change a single
+// bit of an encoded frame.
+//
+// Concurrency model (the "pinned cache" layer of the data plane): the shard
+// table itself (paths, sample ranges, metadata columns) is immutable after
+// construction, so locate() and metadata reads take no lock at all. Only the
+// per-shard cache slots are guarded. A reader *pins* its shard under the
+// mutex (refcount bump + hit/LRU bookkeeping, O(1)), then copies the frame
+// *outside* the lock — N readers hitting resident shards no longer convoy on
+// one global mutex around their memcpys, and a miss's disk I/O happens with
+// the lock released (the slot is claimed in a kLoading state; other readers
+// of the same shard coalesce onto that load instead of issuing their own).
+// Eviction only ever selects an unpinned resident shard, so a frame copy can
+// never race a munmap/free of the block it is reading. Deadlock-free by
+// construction: a thread holds at most one pin and never blocks while
+// holding it.
+//
+// Frame blocks are zero-copy by default: a resident shard is a read-only
+// mmap of the .dtshard file (ShardReader::map_frames), so a cache fill costs
+// no payload copy and N processes over one shard store share page-cache
+// pages. DTSNN_SHARD_MMAP=0 (or ShardIo::kBuffered) falls back to the
+// portable buffered read with identical semantics and byte accounting.
 //
 // write_frame/prefetch are internally synchronized, so the dataset can be
-// shared by OpenMP evaluation workers and the serving worker thread (the
-// Dataset contract treats const access as thread-safe).
+// shared by OpenMP evaluation workers, the serving worker thread, and a
+// background ShardPrefetcher (the Dataset contract treats const access as
+// thread-safe).
 
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/shard.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
@@ -31,6 +54,10 @@ struct ShardCacheConfig {
   /// environment variable when set (must parse to >= 1, loud error
   /// otherwise), else kDefaultCacheSlots.
   std::size_t cache_slots = 0;
+
+  /// How frame blocks are materialized. kAuto honors DTSNN_SHARD_MMAP=0
+  /// (forces buffered) and otherwise maps when the platform supports it.
+  ShardIo io = ShardIo::kAuto;
 
   static constexpr std::size_t kDefaultCacheSlots = 4;
 };
@@ -57,7 +84,11 @@ class ShardedDataset final : public Dataset {
 
   /// Warm the cache for the shards holding `samples` (deduplicated, first
   /// cache_slots() distinct shards — prefetching more would only evict what
-  /// was just fetched). The serving layer calls this at admission, and
+  /// was just fetched). Best-effort and wait-free with respect to readers:
+  /// shards already loading are skipped, and nothing is evicted-for or
+  /// waited-on when every slot is pinned/claimed — a prefetch is a hint, so
+  /// it must never stall or sabotage the consumers it serves. The serving
+  /// layer and ShardPrefetcher call this ahead of reads, and
   /// materialize_batch calls it for every chunk.
   void prefetch(std::span<const std::size_t> samples) const override
       DTSNN_EXCLUDES(mu_);
@@ -65,11 +96,10 @@ class ShardedDataset final : public Dataset {
   [[nodiscard]] DatasetStorageStats storage_stats() const override
       DTSNN_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t num_shards() const DTSNN_EXCLUDES(mu_) {
-    util::MutexLock lk(mu_);
-    return shards_.size();
-  }
+  [[nodiscard]] std::size_t num_shards() const { return info_.size(); }
   [[nodiscard]] std::size_t cache_slots() const { return cache_slots_; }
+  /// Resolved I/O mode (never kAuto): kMapped when blocks alias mmaps.
+  [[nodiscard]] ShardIo io_mode() const { return io_; }
   [[nodiscard]] std::uint64_t noise_seed() const { return noise_seed_; }
   /// Frame-block bytes across all shards (the evictable payload).
   [[nodiscard]] std::size_t frame_bytes_total() const { return frame_bytes_total_; }
@@ -80,19 +110,52 @@ class ShardedDataset final : public Dataset {
   }
 
  private:
-  struct Shard {
+  /// Immutable per-shard identity, fixed at construction — readable without
+  /// the lock.
+  struct ShardInfo {
     std::filesystem::path path;
     std::size_t first_sample = 0;  ///< global index of this shard's sample 0
     std::size_t samples = 0;
-    std::vector<float> frames;     ///< resident frame block, empty when evicted
-    bool resident = false;
-    std::uint64_t last_used = 0;   ///< LRU tick of the most recent touch
+  };
+
+  enum class SlotState {
+    kEvicted,   ///< no block; a reader must claim a slot and load
+    kLoading,   ///< a thread is filling the block with mu_ released
+    kResident,  ///< block readable; evictable only while pins == 0
+  };
+
+  /// Mutable cache state of one shard, guarded by mu_. The block's *contents*
+  /// are immutable once kResident; pins make eviction wait, so readers copy
+  /// from the block outside the lock.
+  struct Slot {
+    SlotState state = SlotState::kEvicted;
+    ShardFrames block;
+    std::size_t pins = 0;         ///< readers currently copying from block
+    std::uint64_t last_used = 0;  ///< LRU tick of the most recent touch
   };
 
   /// Shard index owning `sample` (samples are contiguous across shards).
-  [[nodiscard]] std::size_t locate(std::size_t sample) const DTSNN_REQUIRES(mu_);
-  /// Touch a shard under mu_: load (evicting LRU when full) or mark a hit.
-  const std::vector<float>& touch_shard(std::size_t shard) const DTSNN_REQUIRES(mu_);
+  [[nodiscard]] std::size_t locate(std::size_t sample) const;
+  /// Read the shard's frame block from disk (no lock held).
+  [[nodiscard]] ShardFrames load_block(std::size_t shard) const;
+
+  /// Pin `shard` resident and return its frame block. Hits are O(1) under
+  /// the lock; misses claim a slot (kLoading), load with the lock released,
+  /// and publish with the pin already held. Waits (on cv_) only when the
+  /// shard is mid-load by another thread or every slot is pinned/claimed.
+  [[nodiscard]] std::span<const float> pin_shard(std::size_t shard) const
+      DTSNN_EXCLUDES(mu_);
+  void unpin_shard(std::size_t shard) const DTSNN_EXCLUDES(mu_);
+  /// Best-effort load for prefetch: never waits, leaves the shard unpinned.
+  void warm_shard(std::size_t shard) const DTSNN_EXCLUDES(mu_);
+
+  /// Claim capacity for one load: free slot if available, else evict the
+  /// least-recently-used *unpinned* resident shard. False when every slot is
+  /// pinned or claimed by an in-flight load.
+  [[nodiscard]] bool reserve_slot() const DTSNN_REQUIRES(mu_);
+  void publish_loaded(std::size_t shard, ShardFrames&& block,
+                      std::size_t pins) const DTSNN_REQUIRES(mu_);
+  void abort_load(std::size_t shard) const DTSNN_EXCLUDES(mu_);
 
   snn::Shape frame_shape_;
   std::size_t frame_numel_ = 0;
@@ -100,23 +163,27 @@ class ShardedDataset final : public Dataset {
   std::size_t num_classes_ = 0;
   std::uint64_t noise_seed_ = 0;
   std::size_t cache_slots_ = 0;
+  ShardIo io_ = ShardIo::kBuffered;
   std::size_t frame_bytes_total_ = 0;
   std::size_t max_shard_frame_bytes_ = 0;
   std::size_t metadata_bytes_ = 0;
 
+  std::vector<ShardInfo> info_;  ///< immutable after construction
   std::vector<int> labels_;
   std::vector<double> difficulty_;
   std::vector<float> temporal_noise_;
 
   mutable util::Mutex mu_;
-  /// Shard table: the vector's *structure* (paths, sample ranges) is fixed at
-  /// construction, but the cached frame blocks and LRU bookkeeping inside
-  /// each entry mutate on every touch, so the whole table lives under mu_.
-  mutable std::vector<Shard> shards_ DTSNN_GUARDED_BY(mu_);
+  /// Signaled on publish, load abort, and last-unpin — the three events that
+  /// can unblock a waiter in pin_shard.
+  mutable util::CondVar cv_;
+  mutable std::vector<Slot> slots_ DTSNN_GUARDED_BY(mu_);
   mutable std::uint64_t lru_tick_ DTSNN_GUARDED_BY(mu_) = 0;
   /// Indices of resident shards (size <= cache_slots_): bounds the eviction
   /// victim search by the cache size, not the shard count.
   mutable std::vector<std::size_t> resident_ DTSNN_GUARDED_BY(mu_);
+  /// In-flight loads; resident_.size() + loading_ <= cache_slots_ always.
+  mutable std::size_t loading_ DTSNN_GUARDED_BY(mu_) = 0;
   mutable std::size_t resident_bytes_ DTSNN_GUARDED_BY(mu_) = 0;
   mutable std::size_t peak_resident_bytes_ DTSNN_GUARDED_BY(mu_) = 0;
   mutable std::size_t cache_hits_ DTSNN_GUARDED_BY(mu_) = 0;

@@ -27,7 +27,8 @@ InferenceServer::InferenceServer(snn::SpikingNetwork& net, const data::Dataset& 
       config_(config),
       exit_hist_(std::max<std::size_t>(max_timesteps, 1)),
       queue_waits_us_(std::max<std::size_t>(config.latency_window, 1)),
-      latencies_us_(std::max<std::size_t>(config.latency_window, 1)) {
+      latencies_us_(std::max<std::size_t>(config.latency_window, 1)),
+      prefetcher_(dataset) {
   if (max_timesteps_ == 0) {
     throw std::invalid_argument("InferenceServer: max_timesteps == 0");
   }
@@ -38,7 +39,7 @@ InferenceServer::InferenceServer(snn::SpikingNetwork& net, const data::Dataset& 
   if (config_.latency_window == 0) {
     throw std::invalid_argument("InferenceServer: latency_window == 0");
   }
-  worker_ = std::thread([this] { worker_loop(); });
+  worker_ = util::Thread([this] { worker_loop(); });
 }
 
 InferenceServer::~InferenceServer() { drain(); }
@@ -49,7 +50,7 @@ void InferenceServer::drain() {
     draining_ = true;
   }
   cv_worker_.notify_all();
-  // Serialize concurrent drainers: joinable()/join() on one std::thread
+  // Serialize concurrent drainers: joinable()/join() on one thread handle
   // from two threads is a race. mu_ cannot guard the join (the worker
   // takes it), hence the dedicated mutex.
   util::MutexLock lk(drain_mu_);
@@ -255,9 +256,18 @@ void InferenceServer::worker_loop() {
     if (pool.empty()) continue;
     // Warm storage-backed datasets for the newly admitted samples outside the
     // admission lock: requests may target samples in not-yet-resident shards,
-    // and prefetching here turns the pool's per-timestep frame reads into
-    // cache hits instead of worker-blocking shard loads mid-step.
-    if (!admitted_samples.empty()) dataset_.prefetch(admitted_samples);
+    // and prefetching turns the pool's per-timestep frame reads into cache
+    // hits instead of worker-blocking shard loads mid-step. With the
+    // background prefetcher active the warm overlaps this cycle's pool step;
+    // otherwise (fully-resident dataset or DTSNN_PREFETCH_DEPTH=0) fall back
+    // to the synchronous warm.
+    if (!admitted_samples.empty()) {
+      if (prefetcher_.active()) {
+        prefetcher_.enqueue(admitted_samples);
+      } else {
+        dataset_.prefetch(admitted_samples);
+      }
+    }
 
     done.clear();
     try {

@@ -35,15 +35,16 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/exit_policy.h"
 #include "core/inference.h"
 #include "data/dataset.h"
+#include "data/prefetch.h"
 #include "snn/network.h"
 #include "util/stats.h"
 #include "util/sync.h"
+#include "util/thread.h"
 #include "util/thread_annotations.h"
 
 namespace dtsnn::serve {
@@ -235,10 +236,17 @@ class InferenceServer {
   util::BoundedSampleWindow queue_waits_us_ DTSNN_GUARDED_BY(mu_);
   util::BoundedSampleWindow latencies_us_ DTSNN_GUARDED_BY(mu_);
 
+  /// Warms storage-backed datasets for each admission cycle's samples off
+  /// the worker thread, so shard loads overlap the pool's timestep compute.
+  /// Inactive (and the admission prefetch falls back to synchronous) for
+  /// fully-resident datasets or DTSNN_PREFETCH_DEPTH=0. Declared before
+  /// worker_ so it outlives the thread that enqueues into it.
+  data::ShardPrefetcher prefetcher_;
+
   /// Started last in the constructor (single-threaded), joined under
-  /// drain_mu_: joinable()/join() on one std::thread from two drainers is
+  /// drain_mu_: joinable()/join() on one thread handle from two drainers is
   /// itself a race.
-  std::thread worker_ DTSNN_GUARDED_BY(drain_mu_);
+  util::Thread worker_ DTSNN_GUARDED_BY(drain_mu_);
 };
 
 }  // namespace dtsnn::serve

@@ -1,0 +1,68 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dtsnn::util {
+namespace {
+
+[[noreturn]] void fail(const char* name, const std::string& value, const char* expected) {
+  throw std::invalid_argument(std::string(name) + "='" + value + "' is invalid: expected " +
+                              expected);
+}
+
+std::string lowered(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> env_string(const char* name) {
+  // The process environment is only mutated by single-threaded test/bench
+  // mains, never by library code, so the read itself is benign.
+  const char* raw = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (raw == nullptr) return std::nullopt;
+  return std::string(raw);
+}
+
+std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t min_value) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return std::nullopt;
+  const std::string& value = *raw;
+
+  bool all_digits = !value.empty();
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      all_digits = false;
+      break;
+    }
+  }
+  if (!all_digits) fail(name, value, "an unsigned decimal integer");
+
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end != value.c_str() + value.size()) {
+    fail(name, value, "an unsigned decimal integer within uint64 range");
+  }
+  if (parsed < min_value) {
+    fail(name, value,
+         ("an integer >= " + std::to_string(min_value)).c_str());
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<bool> env_flag(const char* name) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return std::nullopt;
+  const std::string value = lowered(*raw);
+  if (value == "1" || value == "true" || value == "on" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "off" || value == "no") return false;
+  fail(name, *raw, "a boolean (0/1/true/false/on/off/yes/no)");
+}
+
+}  // namespace dtsnn::util

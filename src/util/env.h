@@ -1,0 +1,34 @@
+// Typed environment-variable knobs.
+//
+// Every DTSNN_* tunable (shard cache slots, GEMM backend selection, prefetch
+// depth, mmap toggle) is read through these helpers instead of ad-hoc
+// std::getenv + strtoull at each call site. The contract is deliberately
+// loud: an unset variable is std::nullopt (callers fall back to their
+// default), but a *malformed* value throws std::invalid_argument naming the
+// variable, the offending text, and the accepted form — a typo'd knob must
+// never be silently ignored into a default.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dtsnn::util {
+
+/// Raw lookup: the value of `name`, or nullopt when unset. The implementation
+/// is the repo's single std::getenv call site.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Unsigned-integer knob. Accepts decimal digits only (no sign, no spaces,
+/// no suffix); rejects empty values, junk, overflow past uint64, and values
+/// below `min_value`. Returns nullopt when unset, throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] std::optional<std::uint64_t> env_u64(const char* name,
+                                                   std::uint64_t min_value = 0);
+
+/// Boolean knob. Accepts 0/1/true/false/on/off/yes/no (case-insensitive).
+/// Returns nullopt when unset, throws std::invalid_argument otherwise.
+[[nodiscard]] std::optional<bool> env_flag(const char* name);
+
+}  // namespace dtsnn::util

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "util/env.h"
 #include "util/gemm_internal.h"
 
 namespace dtsnn::util {
@@ -367,8 +368,10 @@ const GemmBackend& resolve_gemm_backend(const char* override_name) {
 const GemmBackend& default_gemm_backend() {
   // Read exactly once (static init is itself serialized), never after
   // threads that might setenv exist.
-  static const GemmBackend& selected = resolve_gemm_backend(
-      std::getenv("DTSNN_GEMM_BACKEND"));  // NOLINT(concurrency-mt-unsafe)
+  static const GemmBackend& selected = [] {
+    const auto env = env_string("DTSNN_GEMM_BACKEND");
+    return std::cref(resolve_gemm_backend(env ? env->c_str() : nullptr));
+  }();
   return selected;
 }
 

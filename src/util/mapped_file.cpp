@@ -1,0 +1,134 @@
+#include "util/mapped_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DTSNN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DTSNN_HAVE_MMAP 0
+#endif
+
+namespace dtsnn::util {
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path, const char* what) {
+  throw std::runtime_error("MappedFile: " + path.string() + ": " + what);
+}
+
+}  // namespace
+
+bool MappedFile::mmap_supported() { return DTSNN_HAVE_MMAP != 0; }
+
+MappedFile::MappedFile(const std::filesystem::path& path, Mode mode) {
+  const bool want_map = mode == Mode::kMapped || (mode == Mode::kAuto && mmap_supported());
+  if (mode == Mode::kMapped && !mmap_supported()) {
+    fail(path, "mmap requested but unsupported on this platform");
+  }
+
+#if DTSNN_HAVE_MMAP
+  if (want_map) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail(path, "cannot open for mapping");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      fail(path, "cannot stat");
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) {
+      // mmap of length 0 is invalid; an empty file maps to an empty handle.
+      ::close(fd);
+      return;
+    }
+    // MAP_SHARED + PROT_READ: the mapping is a read-only window onto the
+    // shared page cache, so N processes over one shard store share physical
+    // pages. The fd can be closed immediately — the mapping keeps the file
+    // alive.
+    void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) fail(path, "mmap failed");
+    data_ = static_cast<const std::byte*>(addr);
+    mapped_ = true;
+    return;
+  }
+#else
+  (void)want_map;
+#endif
+
+  // Buffered fallback: one read into private memory, identical read surface.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail(path, "cannot open for reading");
+  const std::streamoff end = in.tellg();
+  if (end < 0) fail(path, "cannot determine size");
+  buffer_.resize(static_cast<std::size_t>(end));
+  in.seekg(0, std::ios::beg);
+  if (!buffer_.empty() &&
+      !in.read(reinterpret_cast<char*>(buffer_.data()),
+               static_cast<std::streamsize>(buffer_.size()))) {
+    fail(path, "short read");
+  }
+  data_ = buffer_.data();
+  size_ = buffer_.size();
+}
+
+void MappedFile::release() noexcept {
+#if DTSNN_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    // const_cast: munmap takes void* but the mapping was handed out
+    // read-only; nothing is written through it here.
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_ && !buffer_.empty()) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.buffer_.clear();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    buffer_ = std::move(other.buffer_);
+    if (!mapped_ && !buffer_.empty()) data_ = buffer_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::advise_willneed() const {
+#if DTSNN_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    // Best effort: a failed advise only loses the readahead overlap.
+    ::posix_madvise(const_cast<std::byte*>(data_), size_, POSIX_MADV_WILLNEED);
+  }
+#endif
+}
+
+}  // namespace dtsnn::util

@@ -1,0 +1,67 @@
+// Read-only memory-mapped file with a portable buffered fallback.
+//
+// The zero-copy layer of the shard data plane: a resident shard block is a
+// MappedFile over the .dtshard file, so a cache fill costs an mmap (no frame
+// payload copy) and the page cache is shared across every process mapping
+// the same shard store. On platforms without mmap — or when forced via
+// Mode::kBuffered / DTSNN_SHARD_MMAP=0 — the same object owns a plain
+// buffered copy of the file instead, with an identical read surface.
+//
+// This is the only file in the repo allowed to call mmap/munmap directly
+// (scripts/check_invariants.py pins that, like util/sync.h for std::mutex).
+
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+namespace dtsnn::util {
+
+class MappedFile {
+ public:
+  enum class Mode {
+    kAuto,      ///< map when the platform supports it, else buffered read
+    kMapped,    ///< mmap or throw std::runtime_error
+    kBuffered,  ///< portable buffered read (owns a private copy)
+  };
+
+  MappedFile() = default;  ///< empty handle: data() == nullptr, size() == 0
+  explicit MappedFile(const std::filesystem::path& path, Mode mode = Mode::kAuto);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+  /// True when backed by a live mapping (false for the buffered fallback and
+  /// for an empty handle).
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  /// Ask the OS to start reading the whole range into the page cache
+  /// asynchronously. mmap alone faults pages lazily, so a prefetcher that
+  /// maps without advising would defer all disk I/O to the consumer's first
+  /// touch — this call is what makes mapped prefetch actually overlap I/O
+  /// with compute. No-op for buffered/empty handles (the read already
+  /// happened).
+  void advise_willneed() const;
+
+  /// Whether this build/platform can service Mode::kMapped.
+  [[nodiscard]] static bool mmap_supported();
+
+ private:
+  void release() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> buffer_;  // storage for the buffered fallback
+};
+
+}  // namespace dtsnn::util

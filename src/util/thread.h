@@ -1,0 +1,47 @@
+// Join-on-destruction thread handle — the only way this repo spawns threads.
+//
+// scripts/check_invariants.py bans naming std::thread outside src/util/ so
+// every worker in the tree goes through this wrapper: a Thread that leaves
+// scope is joined, never detached and never std::terminate'd for being
+// forgotten. Deliberately thin (no interrupt tokens, no pooling): the
+// serving worker, the shard prefetcher, and test client threads all want
+// exactly "run this callable, join before the captures die".
+
+#pragma once
+
+#include <thread>
+#include <utility>
+
+namespace dtsnn::util {
+
+class Thread {
+ public:
+  Thread() = default;
+
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  ~Thread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      if (thread_.joinable()) thread_.join();
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  [[nodiscard]] bool joinable() const { return thread_.joinable(); }
+  void join() { thread_.join(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace dtsnn::util

@@ -2,10 +2,12 @@
 // several threads hammer ShardedDataset::write_frame / prefetch /
 // storage_stats / num_shards through a 1-slot cache (every read of a
 // different shard evicts the previous one), each thread walking the sample
-// space in a different order so the LRU slot is contended constantly. The
-// Dataset contract says const access is thread-safe AND bitwise
-// deterministic — so beyond "no data race", every frame a thread reads must
-// equal the single-threaded ArrayDataset reference bit for bit.
+// space in a different order so the pinned cache slot is contended
+// constantly — and, in the mixed test, a background ShardPrefetcher fights
+// the readers for that same slot. The Dataset contract says const access is
+// thread-safe AND bitwise deterministic — so beyond "no data race", every
+// frame a thread reads must equal the single-threaded ArrayDataset reference
+// bit for bit.
 
 #include <unistd.h>
 
@@ -13,14 +15,15 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
+#include "data/prefetch.h"
 #include "data/shard.h"
 #include "data/sharded_dataset.h"
+#include "util/thread.h"
 
 namespace dtsnn::data {
 namespace {
@@ -62,6 +65,22 @@ ArrayDataset make_source(std::size_t samples) {
   return ds;
 }
 
+/// Frame (s, t) of every sample, read single-threaded from the in-memory
+/// source — the bitwise oracle for every concurrent read below.
+std::vector<std::vector<float>> reference_frames(const ArrayDataset& source,
+                                                 std::size_t samples,
+                                                 std::size_t timesteps) {
+  const std::size_t numel = snn::shape_numel(source.frame_shape());
+  std::vector<std::vector<float>> reference(samples * timesteps,
+                                            std::vector<float>(numel));
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      source.write_frame(s, t, reference[s * timesteps + t]);
+    }
+  }
+  return reference;
+}
+
 TEST(ConcurrentAccess, ShardedReadsBitwiseStableUnderOneSlotCacheContention) {
   constexpr std::size_t kSamples = 24;
   constexpr std::size_t kTimesteps = 3;
@@ -77,51 +96,47 @@ TEST(ConcurrentAccess, ShardedReadsBitwiseStableUnderOneSlotCacheContention) {
   const ShardedDataset sharded(dir.path(), config);
   ASSERT_GT(sharded.num_shards(), 1u);
 
-  // Single-threaded reference: frame (s, t) from the in-memory source.
   const std::size_t numel = snn::shape_numel(source.frame_shape());
-  std::vector<std::vector<float>> reference(kSamples * kTimesteps,
-                                            std::vector<float>(numel));
-  for (std::size_t s = 0; s < kSamples; ++s) {
-    for (std::size_t t = 0; t < kTimesteps; ++t) {
-      source.write_frame(s, t, reference[s * kTimesteps + t]);
-    }
-  }
+  const std::vector<std::vector<float>> reference =
+      reference_frames(source, kSamples, kTimesteps);
 
   std::atomic<std::size_t> mismatches{0};
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  for (std::size_t w = 0; w < kThreads; ++w) {
-    threads.emplace_back([&, w] {
-      std::vector<float> frame(numel);
-      std::vector<std::size_t> one_sample(1);
-      for (std::size_t round = 0; round < kRounds; ++round) {
-        for (std::size_t i = 0; i < kSamples; ++i) {
-          // Thread w walks the samples with stride w+1: distinct shard
-          // sequences per thread, so the single cache slot keeps flipping.
-          const std::size_t s = (i * (w + 1) + round) % kSamples;
-          if (w % 2 == 0) {
-            one_sample[0] = s;
-            sharded.prefetch(one_sample);
-          }
-          for (std::size_t t = 0; t < kTimesteps; ++t) {
-            sharded.write_frame(s, t, frame);
-            if (frame != reference[s * kTimesteps + t]) {
+  {
+    std::vector<util::Thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      threads.emplace_back([&, w] {
+        std::vector<float> frame(numel);
+        std::vector<std::size_t> one_sample(1);
+        for (std::size_t round = 0; round < kRounds; ++round) {
+          for (std::size_t i = 0; i < kSamples; ++i) {
+            // Thread w walks the samples with stride w+1: distinct shard
+            // sequences per thread, so the single cache slot keeps flipping.
+            const std::size_t s = (i * (w + 1) + round) % kSamples;
+            if (w % 2 == 0) {
+              one_sample[0] = s;
+              sharded.prefetch(one_sample);
+            }
+            for (std::size_t t = 0; t < kTimesteps; ++t) {
+              sharded.write_frame(s, t, frame);
+              if (frame != reference[s * kTimesteps + t]) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            // Interleave the stats snapshot readers the serving layer uses.
+            const DatasetStorageStats stats = sharded.storage_stats();
+            if (stats.resident_bytes > stats.peak_resident_bytes) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (sharded.num_shards() == 0) {
               mismatches.fetch_add(1, std::memory_order_relaxed);
             }
           }
-          // Interleave the stats snapshot readers the serving layer uses.
-          const DatasetStorageStats stats = sharded.storage_stats();
-          if (stats.resident_bytes > stats.peak_resident_bytes) {
-            mismatches.fetch_add(1, std::memory_order_relaxed);
-          }
-          if (sharded.num_shards() == 0) {
-            mismatches.fetch_add(1, std::memory_order_relaxed);
-          }
         }
-      }
-    });
+      });
+    }
+    for (util::Thread& t : threads) t.join();
   }
-  for (std::thread& t : threads) t.join();
 
   EXPECT_EQ(mismatches.load(), 0u)
       << "a concurrent reader observed a frame differing from the "
@@ -134,6 +149,85 @@ TEST(ConcurrentAccess, ShardedReadsBitwiseStableUnderOneSlotCacheContention) {
   EXPECT_GT(stats.cache_evictions, 0u);
   // 1-slot bound: resident = always-resident metadata + at most one shard's
   // frame block (metadata bytes = logical minus the evictable frame total).
+  const std::size_t metadata_bytes = stats.logical_bytes - sharded.frame_bytes_total();
+  EXPECT_LE(stats.resident_bytes, metadata_bytes + sharded.max_shard_frame_bytes());
+}
+
+// The full data plane under maximum contention: 8 reader threads AND a
+// background ShardPrefetcher all fighting for a single cache slot. The
+// prefetcher's warms are best-effort loads that evict whatever the readers
+// just paged in; readers pin slots mid-copy; eviction must still never yank
+// a block out from under a pinned reader, loads must coalesce, and every
+// byte read must stay bitwise equal to the reference. (The prefetcher is
+// given an explicit depth so the test is independent of the
+// DTSNN_PREFETCH_DEPTH environment the CI matrix sets.)
+TEST(ConcurrentAccess, MixedPrefetcherAndReadersBitwiseStableThroughOneSlotCache) {
+  constexpr std::size_t kSamples = 24;
+  constexpr std::size_t kTimesteps = 3;
+  constexpr std::size_t kReaders = 8;
+  constexpr std::size_t kRounds = 4;
+
+  const ArrayDataset source = make_source(kSamples);
+  TempDir dir("mixed");
+  export_shards(source, dir.path(), /*samples_per_shard=*/5);
+
+  ShardCacheConfig config;
+  config.cache_slots = 1;
+  const ShardedDataset sharded(dir.path(), config);
+  ASSERT_GT(sharded.num_shards(), 1u);
+
+  const std::size_t numel = snn::shape_numel(source.frame_shape());
+  const std::vector<std::vector<float>> reference =
+      reference_frames(source, kSamples, kTimesteps);
+
+  std::atomic<std::size_t> mismatches{0};
+  ShardPrefetcher::Stats prefetch_stats;
+  {
+    ShardPrefetcher prefetcher(sharded, /*depth=*/4);
+    ASSERT_TRUE(prefetcher.active());
+    ASSERT_EQ(prefetcher.depth(), 4u);
+
+    std::vector<util::Thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t w = 0; w < kReaders; ++w) {
+      readers.emplace_back([&, w] {
+        std::vector<float> frame(numel);
+        std::vector<std::size_t> hint(2);
+        for (std::size_t round = 0; round < kRounds; ++round) {
+          for (std::size_t i = 0; i < kSamples; ++i) {
+            const std::size_t s = (i * (w + 1) + round) % kSamples;
+            // Every reader also feeds the shared prefetcher lookahead hints
+            // for samples it will touch soon — enqueue must be safe from any
+            // thread, and the worker's warms race the readers' pins.
+            hint[0] = (s + 5) % kSamples;
+            hint[1] = (s + 10) % kSamples;
+            prefetcher.enqueue(hint);
+            for (std::size_t t = 0; t < kTimesteps; ++t) {
+              sharded.write_frame(s, t, frame);
+              if (frame != reference[s * kTimesteps + t]) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (util::Thread& t : readers) t.join();
+    prefetcher.wait_idle();
+    prefetch_stats = prefetcher.stats();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a reader racing the background prefetcher observed a frame "
+         "differing from the single-threaded reference";
+  EXPECT_GT(prefetch_stats.enqueued, 0u);
+  // Depth-bounded queue: everything accepted was either serviced or
+  // displaced by a newer hint, never lost to accounting.
+  EXPECT_EQ(prefetch_stats.completed + prefetch_stats.dropped, prefetch_stats.enqueued);
+
+  const DatasetStorageStats stats = sharded.storage_stats();
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_GT(stats.cache_evictions, 0u);
   const std::size_t metadata_bytes = stats.logical_bytes - sharded.frame_bytes_total();
   EXPECT_LE(stats.resident_bytes, metadata_bytes + sharded.max_shard_frame_bytes());
 }

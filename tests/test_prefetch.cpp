@@ -1,0 +1,256 @@
+// ShardPrefetcher unit tests plus the BatchCursor lookahead contract. The
+// prefetcher is strictly advisory, so the properties under test are: the
+// activation rules (depth 0 / fully-resident storage spawn no worker), hints
+// warming the shard cache asynchronously, the depth bound dropping stale
+// hints instead of blocking, clean shutdown with hints still queued, the
+// DTSNN_PREFETCH_DEPTH knob — and, for the cursor, that a ragged final chunk
+// with prefetch depth 1 yields bitwise-identical batches to a prefetch-off
+// cursor and to the in-memory source.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/prefetch.h"
+#include "data/shard.h"
+#include "data/sharded_dataset.h"
+
+namespace dtsnn::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("dtsnn_prefetch_test_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+ArrayDataset make_source(std::size_t samples) {
+  ArrayDataset ds({1, 2, 2}, /*frames=*/2, /*classes=*/4);
+  ds.set_noise_seed(0xabcdef01);
+  const std::size_t numel = 4 * 2;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<float> data(numel);
+    for (std::size_t i = 0; i < numel; ++i) {
+      data[i] = 0.5f * static_cast<float>(s) + 0.125f * static_cast<float>(i);
+    }
+    ds.add_sample(std::move(data), static_cast<int>(s % 4),
+                  static_cast<double>(s) / samples, /*temporal_noise=*/0.02f * (s % 2));
+  }
+  return ds;
+}
+
+// ----------------------------------------------------------- activation
+
+TEST(ShardPrefetcher, DepthZeroAndResidentStorageDeactivate) {
+  const ArrayDataset resident = make_source(4);
+  // Fully-resident storage has nothing to prefetch: no worker regardless of
+  // depth.
+  const ShardPrefetcher on_resident(resident, /*depth=*/4);
+  EXPECT_FALSE(on_resident.active());
+
+  TempDir dir("deactivate");
+  export_shards(resident, dir.path(), 2);
+  const ShardedDataset sharded(dir.path());
+  ShardPrefetcher depth_zero(sharded, /*depth=*/0);
+  EXPECT_FALSE(depth_zero.active());
+  // enqueue on an inactive prefetcher is a harmless no-op.
+  const std::vector<std::size_t> hint{0, 1};
+  depth_zero.enqueue(hint);
+  const ShardPrefetcher::Stats stats = depth_zero.stats();
+  EXPECT_EQ(stats.enqueued, 0u);
+
+  const ShardPrefetcher active(sharded, /*depth=*/1);
+  EXPECT_TRUE(active.active());
+  EXPECT_EQ(active.depth(), 1u);
+}
+
+TEST(ShardPrefetcher, HintsWarmTheCacheAsynchronously) {
+  TempDir dir("warm");
+  const ArrayDataset source = make_source(8);
+  export_shards(source, dir.path(), 2);  // 4 shards
+  ShardCacheConfig config;
+  config.cache_slots = 2;
+  const ShardedDataset sharded(dir.path(), config);
+
+  ShardPrefetcher prefetcher(sharded, /*depth=*/2);
+  ASSERT_TRUE(prefetcher.active());
+  const std::vector<std::size_t> hint{0, 3};  // shards 0 and 1
+  prefetcher.enqueue(hint);
+  prefetcher.wait_idle();
+
+  // The worker's loads count as misses; the consumer's reads then hit.
+  const std::size_t misses_after_warm = sharded.storage_stats().cache_misses;
+  EXPECT_EQ(misses_after_warm, 2u);
+  std::vector<float> frame(snn::shape_numel(sharded.frame_shape()));
+  sharded.write_frame(0, 0, frame);
+  sharded.write_frame(3, 0, frame);
+  const DatasetStorageStats stats = sharded.storage_stats();
+  EXPECT_EQ(stats.cache_misses, misses_after_warm);
+  EXPECT_EQ(stats.cache_hits, 2u);
+
+  const ShardPrefetcher::Stats pf = prefetcher.stats();
+  EXPECT_EQ(pf.enqueued, 1u);
+  EXPECT_EQ(pf.completed, 1u);
+  EXPECT_EQ(pf.dropped, 0u);
+}
+
+TEST(ShardPrefetcher, DepthBoundDropsOldestInsteadOfBlocking) {
+  TempDir dir("depth");
+  const ArrayDataset source = make_source(8);
+  export_shards(source, dir.path(), 2);
+  const ShardedDataset sharded(dir.path());
+
+  ShardPrefetcher prefetcher(sharded, /*depth=*/1);
+  // Burst-enqueue more hints than the queue can hold; enqueue must never
+  // block, and accounting must balance: accepted = serviced + displaced.
+  std::vector<std::size_t> hint(1);
+  for (std::size_t s = 0; s < 8; ++s) {
+    hint[0] = s;
+    prefetcher.enqueue(hint);
+  }
+  prefetcher.wait_idle();
+  const ShardPrefetcher::Stats stats = prefetcher.stats();
+  EXPECT_EQ(stats.enqueued, 8u);
+  EXPECT_EQ(stats.completed + stats.dropped, stats.enqueued);
+  EXPECT_GT(stats.completed, 0u);
+}
+
+TEST(ShardPrefetcher, DestructionWithQueuedHintsIsClean) {
+  TempDir dir("shutdown");
+  const ArrayDataset source = make_source(8);
+  export_shards(source, dir.path(), 2);
+  const ShardedDataset sharded(dir.path());
+  {
+    ShardPrefetcher prefetcher(sharded, /*depth=*/8);
+    std::vector<std::size_t> hint(1);
+    for (std::size_t s = 0; s < 8; ++s) {
+      hint[0] = s;
+      prefetcher.enqueue(hint);
+    }
+    // Destructor must stop and join the worker without draining the queue.
+  }
+  SUCCEED();
+}
+
+// NOLINTBEGIN(concurrency-mt-unsafe): deliberate env mutation; gtest runs
+// tests serially in one thread.
+TEST(ShardPrefetcher, EnvVarControlsAutoDepth) {
+  TempDir dir("env");
+  const ArrayDataset source = make_source(4);
+  export_shards(source, dir.path(), 2);
+  const ShardedDataset sharded(dir.path());
+
+  const char* ambient = std::getenv("DTSNN_PREFETCH_DEPTH");
+  const std::string saved = ambient ? ambient : "";
+
+  ASSERT_EQ(setenv("DTSNN_PREFETCH_DEPTH", "5", 1), 0);
+  EXPECT_EQ(ShardPrefetcher(sharded).depth(), 5u);
+  ASSERT_EQ(setenv("DTSNN_PREFETCH_DEPTH", "0", 1), 0);
+  EXPECT_FALSE(ShardPrefetcher(sharded).active());
+  ASSERT_EQ(setenv("DTSNN_PREFETCH_DEPTH", "fast", 1), 0);
+  EXPECT_THROW(ShardPrefetcher{sharded}, std::invalid_argument);
+  ASSERT_EQ(unsetenv("DTSNN_PREFETCH_DEPTH"), 0);
+  EXPECT_EQ(ShardPrefetcher(sharded).depth(), ShardPrefetcher::kDefaultDepth);
+
+  // An explicit depth wins over the environment.
+  ASSERT_EQ(setenv("DTSNN_PREFETCH_DEPTH", "7", 1), 0);
+  EXPECT_EQ(ShardPrefetcher(sharded, /*depth=*/1).depth(), 1u);
+
+  if (ambient) {
+    ASSERT_EQ(setenv("DTSNN_PREFETCH_DEPTH", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("DTSNN_PREFETCH_DEPTH"), 0);
+  }
+}
+// NOLINTEND(concurrency-mt-unsafe)
+
+// ------------------------------------------------------ BatchCursor lookahead
+
+// Ragged final chunk + minimum lookahead: 10 samples in chunks of 4 yield
+// 4/4/2, and a depth-1 prefetcher hints exactly one chunk ahead, so the
+// final (short) chunk arrives via a short hint. Everything must be bitwise
+// identical to a prefetch-off cursor and to the in-memory source.
+TEST(BatchCursor, RaggedFinalChunkBitwiseIdenticalWithDepthOnePrefetch) {
+  TempDir dir("ragged");
+  const ArrayDataset source = make_source(10);
+  export_shards(source, dir.path(), 3);
+  ShardCacheConfig config;
+  config.cache_slots = 2;
+  const ShardedDataset sharded(dir.path(), config);
+
+  constexpr std::size_t kTimesteps = 3;
+  constexpr std::size_t kChunk = 4;
+  BatchCursor on(sharded, sharded.size(), kTimesteps, kChunk, /*prefetch_depth=*/1);
+  BatchCursor off(sharded, sharded.size(), kTimesteps, kChunk, /*prefetch_depth=*/0);
+  BatchCursor oracle(source, source.size(), kTimesteps, kChunk, /*prefetch_depth=*/0);
+
+  const std::vector<std::size_t> expected_sizes{4, 4, 2};
+  std::size_t chunk = 0;
+  while (oracle.next()) {
+    ASSERT_TRUE(on.next());
+    ASSERT_TRUE(off.next());
+    ASSERT_LT(chunk, expected_sizes.size());
+    EXPECT_EQ(oracle.chunk_size(), expected_sizes[chunk]);
+    EXPECT_EQ(on.chunk_size(), expected_sizes[chunk]);
+    EXPECT_EQ(on.start(), oracle.start());
+    ASSERT_EQ(on.batch().x.shape(), oracle.batch().x.shape());
+    for (std::size_t i = 0; i < oracle.batch().x.numel(); ++i) {
+      ASSERT_EQ(on.batch().x[i], oracle.batch().x[i]) << "chunk " << chunk;
+      ASSERT_EQ(off.batch().x[i], oracle.batch().x[i]) << "chunk " << chunk;
+    }
+    EXPECT_EQ(on.batch().labels, oracle.batch().labels);
+    ++chunk;
+  }
+  EXPECT_FALSE(on.next());
+  EXPECT_FALSE(off.next());
+  EXPECT_EQ(chunk, expected_sizes.size());
+}
+
+// The index-list form with an out-of-order selection exercises the subspan
+// hint path; identity must hold there too.
+TEST(BatchCursor, IndexListLookaheadBitwiseIdentical) {
+  TempDir dir("list");
+  const ArrayDataset source = make_source(9);
+  export_shards(source, dir.path(), 2);
+  ShardCacheConfig config;
+  config.cache_slots = 1;  // lookahead warms shards the next chunk evicts into
+  const ShardedDataset sharded(dir.path(), config);
+
+  const std::vector<std::size_t> picks{8, 0, 5, 2, 7, 1, 6};
+  constexpr std::size_t kTimesteps = 2;
+  BatchCursor on(sharded, picks, kTimesteps, /*chunk_samples=*/3, /*prefetch_depth=*/2);
+  BatchCursor oracle(source, picks, kTimesteps, /*chunk_samples=*/3,
+                     /*prefetch_depth=*/0);
+  while (oracle.next()) {
+    ASSERT_TRUE(on.next());
+    ASSERT_EQ(on.batch().x.shape(), oracle.batch().x.shape());
+    for (std::size_t i = 0; i < oracle.batch().x.numel(); ++i) {
+      ASSERT_EQ(on.batch().x[i], oracle.batch().x[i]);
+    }
+    EXPECT_EQ(on.batch().labels, oracle.batch().labels);
+  }
+  EXPECT_FALSE(on.next());
+}
+
+}  // namespace
+}  // namespace dtsnn::data

@@ -10,7 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
-#include <thread>
+#include <thread>  // std::this_thread::sleep_for (client pacing only)
 
 #include <gtest/gtest.h>
 
@@ -18,6 +18,7 @@
 #include "core/evaluator.h"
 #include "core/exit_policy.h"
 #include "serve/server.h"
+#include "util/thread.h"
 
 namespace dtsnn::serve {
 namespace {
@@ -94,7 +95,7 @@ TEST(InferenceServer, ServedBitwiseIdenticalToOfflineOracleAcrossPresets) {
         InferenceServer server(e.net, ds, *policy, timesteps, config);
         // 4 client threads submit interleaved single-sample requests.
         constexpr std::size_t kClients = 4;
-        std::vector<std::thread> clients;
+        std::vector<util::Thread> clients;
         for (std::size_t c = 0; c < kClients; ++c) {
           clients.emplace_back([&, c] {
             for (std::size_t s = c; s < n; s += kClients) {
@@ -317,7 +318,7 @@ TEST(InferenceServer, ConcurrentMixedPolicyRequests) {
 
   InferenceServer server(e.net, ds, tight, 3, ServerConfig{.max_pool = 6});
   std::vector<std::future<std::vector<InferenceResult>>> tight_futs(4), loose_futs(4);
-  std::vector<std::thread> clients;
+  std::vector<util::Thread> clients;
   for (std::size_t c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
       // Each client submits one 4-sample tight request and one loose

@@ -1,8 +1,10 @@
 // Shard-format and ShardedDataset tests: round-trip fidelity, bitwise
 // identity of frame reads against the source ArrayDataset (the storage
-// backend must never change a bit, including under a thrashing 1-slot
-// cache), LRU cache accounting, prefetch, the DTSNN_SHARD_CACHE_SLOTS knob,
-// and one loud typed error per corruption class.
+// backend must never change a bit, including under a thrashing 1-slot cache
+// and across the mmap/buffered I/O modes), crash-safe atomic shard export,
+// LRU cache accounting, prefetch, the DTSNN_SHARD_CACHE_SLOTS knob, and one
+// loud typed error per corruption class — each naming the file AND the byte
+// offset/field so a corrupt shard can be diagnosed with a hex dump alone.
 
 #include <unistd.h>
 
@@ -15,6 +17,7 @@
 #include "data/dataset.h"
 #include "data/shard.h"
 #include "data/sharded_dataset.h"
+#include "util/mapped_file.h"
 
 namespace dtsnn::data {
 namespace {
@@ -72,6 +75,37 @@ void expect_bitwise_equal_reads(const Dataset& a, const Dataset& b,
       ASSERT_EQ(fa, fb) << "sample " << s << " t " << t;
     }
   }
+}
+
+/// Expect a ShardError of `kind` whose message mentions every needle (the
+/// offending file plus the field name / byte offset of the bad bytes).
+template <typename Fn>
+void expect_shard_error(Fn&& fn, ShardError::Kind kind,
+                        const std::vector<std::string>& needles) {
+  try {
+    fn();
+    FAIL() << "expected ShardError";
+  } catch (const ShardError& e) {
+    EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind)) << e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "missing '" << needle << "' in: " << e.what();
+    }
+  }
+}
+
+/// Write one valid single-sample shard and return its path.
+fs::path write_valid_shard(const fs::path& dir) {
+  ShardHeader header;
+  header.frame_shape = {1, 1, 2};
+  header.frames_per_sample = 1;
+  header.num_classes = 2;
+  header.noise_seed = 5;
+  const fs::path path = dir / ("valid" + std::string(kShardExtension));
+  ShardWriter writer(path, header);
+  writer.add_sample(std::vector<float>{1, 2}, 0, 0.5, 0.0f);
+  writer.finish();
+  return path;
 }
 
 // ------------------------------------------------------------- round trips
@@ -146,6 +180,88 @@ TEST(ShardFormat, AbandonedWriterLeavesNoFile) {
   EXPECT_FALSE(fs::exists(path));
 }
 
+// ------------------------------------------------------- crash-safe export
+
+TEST(ShardFormat, FinishPublishesAtomicallyAndLeavesNoTemp) {
+  TempDir dir("atomic");
+  const fs::path path = dir.path() / ("atomic" + std::string(kShardExtension));
+  ShardHeader header;
+  header.frame_shape = {1, 1, 1};
+  header.frames_per_sample = 1;
+  header.num_classes = 2;
+  ShardWriter writer(path, header);
+  writer.add_sample(std::vector<float>{1}, 0, 0.0, 0.0f);
+  writer.finish();
+  // The staging file must be renamed away, and the published shard readable.
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  EXPECT_EQ(ShardReader(path).header().num_samples, 1u);
+}
+
+TEST(ShardFormat, CrashBeforeRenameIsInvisibleAndCleanedUpByExport) {
+  // Simulate a writer that died after flushing its staging file but before
+  // the atomic rename: the directory holds only "*.dtshard.tmp". That state
+  // must be invisible to ShardedDataset (no half-published shard can load)…
+  TempDir dir("crash");
+  const fs::path published = write_valid_shard(dir.path());
+  const fs::path staged = dir.path() / ("crash" + std::string(kShardExtension) + ".tmp");
+  fs::copy_file(published, staged);
+  fs::remove(published);
+  expect_shard_error([&] { ShardedDataset ds(dir.path()); }, ShardError::Kind::kIo,
+                     {"no .dtshard files"});
+
+  // …and a later export into the same directory sweeps the stale staging
+  // file along with any previous shard generation.
+  const ArrayDataset source = make_source(4, /*frames=*/1);
+  export_shards(source, dir.path(), 2);
+  EXPECT_FALSE(fs::exists(staged));
+  EXPECT_EQ(ShardedDataset(dir.path()).size(), 4u);
+}
+
+// ------------------------------------------------------------- frame blocks
+
+TEST(ShardFormat, MapFramesBitwiseIdenticalAcrossIoModes) {
+  TempDir dir("map");
+  const fs::path path = write_valid_shard(dir.path());
+  const ShardReader reader(path);
+  const std::vector<float> copied = reader.read_frames();
+
+  const ShardFrames buffered = reader.map_frames(ShardIo::kBuffered);
+  EXPECT_FALSE(buffered.zero_copy());
+  ASSERT_EQ(buffered.frames().size(), copied.size());
+  EXPECT_EQ(buffered.bytes(), copied.size() * sizeof(float));
+  for (std::size_t i = 0; i < copied.size(); ++i) {
+    EXPECT_EQ(buffered.frames()[i], copied[i]);
+  }
+
+  if (util::MappedFile::mmap_supported()) {
+    const ShardFrames mapped = reader.map_frames(ShardIo::kMapped);
+    EXPECT_TRUE(mapped.zero_copy());
+    ASSERT_EQ(mapped.frames().size(), copied.size());
+    EXPECT_EQ(mapped.bytes(), buffered.bytes());
+    for (std::size_t i = 0; i < copied.size(); ++i) {
+      EXPECT_EQ(mapped.frames()[i], copied[i]);
+    }
+    // kAuto resolves to the zero-copy path whenever the platform has mmap.
+    EXPECT_TRUE(reader.map_frames(ShardIo::kAuto).zero_copy());
+  } else {
+    EXPECT_THROW((void)reader.map_frames(ShardIo::kMapped), ShardError);
+    EXPECT_FALSE(reader.map_frames(ShardIo::kAuto).zero_copy());
+  }
+}
+
+TEST(ShardFormat, MapFramesDetectsFileShrunkAfterOpen) {
+  // The mapped path re-validates the on-disk size at map time: a shard
+  // truncated between open and map must fail loudly, not fault later.
+  if (!util::MappedFile::mmap_supported()) GTEST_SKIP() << "no mmap on this platform";
+  TempDir dir("shrunk");
+  const fs::path path = write_valid_shard(dir.path());
+  const ShardReader reader(path);  // validates the intact file
+  fs::resize_file(path, fs::file_size(path) - 4);
+  expect_shard_error([&] { (void)reader.map_frames(ShardIo::kMapped); },
+                     ShardError::Kind::kTruncated, {"changed since open"});
+}
+
 TEST(ExportShards, SplitsIntoRaggedShards) {
   TempDir dir("ragged");
   const ArrayDataset source = make_source(10);
@@ -181,6 +297,34 @@ TEST(ShardedDataset, BitwiseIdenticalToArrayDatasetIncludingNoise) {
   // Timesteps past native_frames clamp to the last frame but keep their own
   // noise draw — both backends must agree there too.
   expect_bitwise_equal_reads(source, sharded, /*timesteps=*/5);
+}
+
+TEST(ShardedDataset, MappedAndBufferedIoBitwiseIdentical) {
+  // The I/O mode is a pure transport choice: zero-copy mmap and the portable
+  // buffered fallback must produce identical bits (noise included).
+  TempDir dir("io_modes");
+  const ArrayDataset source = make_source(10, /*frames=*/3);
+  export_shards(source, dir.path(), 3);
+
+  ShardCacheConfig buffered;
+  buffered.cache_slots = 2;
+  buffered.io = ShardIo::kBuffered;
+  const ShardedDataset via_buffer(dir.path(), buffered);
+  EXPECT_EQ(via_buffer.io_mode(), ShardIo::kBuffered);
+  expect_bitwise_equal_reads(source, via_buffer, /*timesteps=*/4);
+
+  if (util::MappedFile::mmap_supported()) {
+    ShardCacheConfig mapped = buffered;
+    mapped.io = ShardIo::kMapped;
+    const ShardedDataset via_mmap(dir.path(), mapped);
+    EXPECT_EQ(via_mmap.io_mode(), ShardIo::kMapped);
+    expect_bitwise_equal_reads(source, via_mmap, /*timesteps=*/4);
+    expect_bitwise_equal_reads(via_buffer, via_mmap, /*timesteps=*/4);
+  } else {
+    ShardCacheConfig mapped = buffered;
+    mapped.io = ShardIo::kMapped;
+    EXPECT_THROW(ShardedDataset(dir.path(), mapped), std::invalid_argument);
+  }
 }
 
 TEST(ShardedDataset, OneSlotCacheThrashingPreservesIdentity) {
@@ -323,6 +467,37 @@ TEST(ShardedDataset, EnvVarControlsAutoCacheSlots) {
     ASSERT_EQ(unsetenv("DTSNN_SHARD_CACHE_SLOTS"), 0);
   }
 }
+
+TEST(ShardedDataset, EnvVarDisablesMmapUnderAutoIo) {
+  TempDir dir("env_mmap");
+  const ArrayDataset source = make_source(4, /*frames=*/1);
+  export_shards(source, dir.path(), 2);
+
+  const char* ambient = std::getenv("DTSNN_SHARD_MMAP");
+  const std::string saved = ambient ? ambient : "";
+
+  // DTSNN_SHARD_MMAP=0 forces the buffered fallback even where mmap exists;
+  // the reads stay bitwise identical either way (covered above).
+  ASSERT_EQ(setenv("DTSNN_SHARD_MMAP", "0", 1), 0);
+  EXPECT_EQ(ShardedDataset(dir.path()).io_mode(), ShardIo::kBuffered);
+  ASSERT_EQ(setenv("DTSNN_SHARD_MMAP", "maybe", 1), 0);
+  EXPECT_THROW(ShardedDataset(dir.path()), std::invalid_argument);
+  ASSERT_EQ(unsetenv("DTSNN_SHARD_MMAP"), 0);
+  EXPECT_EQ(ShardedDataset(dir.path()).io_mode(),
+            util::MappedFile::mmap_supported() ? ShardIo::kMapped : ShardIo::kBuffered);
+
+  // An explicit config wins over the environment.
+  ASSERT_EQ(setenv("DTSNN_SHARD_MMAP", "1", 1), 0);
+  ShardCacheConfig config;
+  config.io = ShardIo::kBuffered;
+  EXPECT_EQ(ShardedDataset(dir.path(), config).io_mode(), ShardIo::kBuffered);
+
+  if (ambient) {
+    ASSERT_EQ(setenv("DTSNN_SHARD_MMAP", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("DTSNN_SHARD_MMAP"), 0);
+  }
+}
 // NOLINTEND(concurrency-mt-unsafe)
 
 TEST(ShardedDataset, OutOfRangeSampleThrows) {
@@ -337,32 +512,6 @@ TEST(ShardedDataset, OutOfRangeSampleThrows) {
 
 // ---------------------------------------------------------- corruption errors
 
-/// Expect a ShardError of `kind` whose message mentions the file.
-template <typename Fn>
-void expect_shard_error(Fn&& fn, ShardError::Kind kind, const std::string& needle) {
-  try {
-    fn();
-    FAIL() << "expected ShardError";
-  } catch (const ShardError& e) {
-    EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind)) << e.what();
-    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
-  }
-}
-
-/// Write one valid single-sample shard and return its path.
-fs::path write_valid_shard(const fs::path& dir) {
-  ShardHeader header;
-  header.frame_shape = {1, 1, 2};
-  header.frames_per_sample = 1;
-  header.num_classes = 2;
-  header.noise_seed = 5;
-  const fs::path path = dir / ("valid" + std::string(kShardExtension));
-  ShardWriter writer(path, header);
-  writer.add_sample(std::vector<float>{1, 2}, 0, 0.5, 0.0f);
-  writer.finish();
-  return path;
-}
-
 void patch_bytes(const fs::path& path, std::streamoff offset,
                  const std::vector<char>& bytes) {
   std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
@@ -376,7 +525,7 @@ TEST(ShardErrors, BadMagic) {
   const fs::path path = write_valid_shard(dir.path());
   patch_bytes(path, 0, {'N', 'O', 'P', 'E'});
   expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kBadMagic,
-                     path.string());
+                     {path.string()});
 }
 
 TEST(ShardErrors, BadVersion) {
@@ -384,15 +533,16 @@ TEST(ShardErrors, BadVersion) {
   const fs::path path = write_valid_shard(dir.path());
   patch_bytes(path, 8, {99, 0, 0, 0});  // u32 version field
   expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kBadVersion,
-                     "version 99");
+                     {"version 99", "field 'version' at byte offset 8"});
 }
 
 TEST(ShardErrors, CorruptHeaderGeometry) {
   TempDir dir("bad_header");
   const fs::path path = write_valid_shard(dir.path());
   patch_bytes(path, 28, {0, 0, 0, 0});  // u32 num_classes = 0
-  expect_shard_error([&] { ShardReader reader(path); },
-                     ShardError::Kind::kCorruptHeader, "degenerate");
+  expect_shard_error(
+      [&] { ShardReader reader(path); }, ShardError::Kind::kCorruptHeader,
+      {"degenerate", "field 'num_classes' at byte offset 28", path.string()});
 }
 
 TEST(ShardErrors, ZeroSampleShardRejectedAtBothEnds) {
@@ -404,13 +554,14 @@ TEST(ShardErrors, ZeroSampleShardRejectedAtBothEnds) {
   header.num_classes = 2;
   ShardWriter writer(dir.path() / ("z" + std::string(kShardExtension)), header);
   expect_shard_error([&] { writer.finish(); }, ShardError::Kind::kCorruptHeader,
-                     "no samples");
+                     {"no samples"});
   // ...and the reader rejects a handcrafted one (num_samples patched to 0 —
   // the header check fires before the size check).
   const fs::path path = write_valid_shard(dir.path());
   patch_bytes(path, 40, {0, 0, 0, 0, 0, 0, 0, 0});  // u64 num_samples = 0
   expect_shard_error([&] { ShardReader reader(path); },
-                     ShardError::Kind::kCorruptHeader, "degenerate");
+                     ShardError::Kind::kCorruptHeader,
+                     {"degenerate", "field 'num_samples' at byte offset 40"});
 }
 
 TEST(ShardErrors, TruncatedPayload) {
@@ -418,20 +569,20 @@ TEST(ShardErrors, TruncatedPayload) {
   const fs::path path = write_valid_shard(dir.path());
   fs::resize_file(path, fs::file_size(path) - 5);
   expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kTruncated,
-                     "truncated");
+                     {"truncated"});
   // Trailing bytes are just as loud: the size must match exactly.
   const fs::path grown = write_valid_shard(dir.path());
   fs::resize_file(grown, fs::file_size(grown) + 3);
   expect_shard_error([&] { ShardReader reader(grown); }, ShardError::Kind::kTruncated,
-                     "trailing");
+                     {"trailing"});
 }
 
 TEST(ShardErrors, TruncatedMidHeader) {
   TempDir dir("short_header");
   const fs::path path = write_valid_shard(dir.path());
-  fs::resize_file(path, 20);  // ends inside the shape fields
+  fs::resize_file(path, 20);  // ends right where frame shape W should start
   expect_shard_error([&] { ShardReader reader(path); }, ShardError::Kind::kTruncated,
-                     "header");
+                     {"header ends prematurely", "field 'frame shape W' at byte offset 20"});
 }
 
 TEST(ShardErrors, SiblingShapeMismatch) {
@@ -454,7 +605,7 @@ TEST(ShardErrors, SiblingShapeMismatch) {
     writer.finish();
   }
   expect_shard_error([&] { ShardedDataset ds(dir.path()); },
-                     ShardError::Kind::kShapeMismatch, "disagrees with sibling");
+                     ShardError::Kind::kShapeMismatch, {"disagrees with sibling"});
 
   // A noise-seed mismatch is the same class of corruption: the noise stream
   // is part of the data contract.
@@ -467,7 +618,7 @@ TEST(ShardErrors, SiblingShapeMismatch) {
     writer.finish();
   }
   expect_shard_error([&] { ShardedDataset ds(dir.path()); },
-                     ShardError::Kind::kShapeMismatch, "noise seed");
+                     ShardError::Kind::kShapeMismatch, {"noise seed"});
 }
 
 TEST(ShardErrors, MissingSiblingShardIsLoud) {
@@ -481,13 +632,13 @@ TEST(ShardErrors, MissingSiblingShardIsLoud) {
 
   fs::remove(dir.path() / ("shard_00001" + std::string(kShardExtension)));
   expect_shard_error([&] { ShardedDataset ds(dir.path()); },
-                     ShardError::Kind::kIncompleteSet, "missing");
+                     ShardError::Kind::kIncompleteSet, {"missing"});
 
   // A missing *trailing* shard is caught by the declared shard count.
   export_shards(source, dir.path(), 3);
   fs::remove(dir.path() / ("shard_00002" + std::string(kShardExtension)));
   expect_shard_error([&] { ShardedDataset ds(dir.path()); },
-                     ShardError::Kind::kIncompleteSet, "trailing");
+                     ShardError::Kind::kIncompleteSet, {"trailing"});
 
   // Intact set loads fine again.
   export_shards(source, dir.path(), 3);
@@ -497,11 +648,11 @@ TEST(ShardErrors, MissingSiblingShardIsLoud) {
 TEST(ShardErrors, MissingOrEmptyDirectory) {
   TempDir dir("empty");
   expect_shard_error([&] { ShardedDataset ds(dir.path()); }, ShardError::Kind::kIo,
-                     "no .dtshard files");
+                     {"no .dtshard files"});
   expect_shard_error([&] { ShardedDataset ds(dir.path() / "nonexistent"); },
-                     ShardError::Kind::kIo, "nonexistent");
+                     ShardError::Kind::kIo, {"nonexistent"});
   expect_shard_error([&] { ShardReader reader(dir.path() / "missing.dtshard"); },
-                     ShardError::Kind::kIo, "cannot open");
+                     ShardError::Kind::kIo, {"cannot open"});
 }
 
 }  // namespace

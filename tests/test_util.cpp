@@ -1,7 +1,14 @@
-// Unit tests for util: rng, math, stats, csv, gemm, arrival traces.
+// Unit tests for util: rng, math, stats, csv, gemm, arrival traces, env
+// knobs, mapped files, thread handles.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -9,10 +16,13 @@
 
 #include "util/arrival_trace.h"
 #include "util/csv.h"
+#include "util/env.h"
 #include "util/gemm.h"
+#include "util/mapped_file.h"
 #include "util/math.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread.h"
 
 namespace dtsnn {
 namespace {
@@ -423,6 +433,193 @@ TEST(ArrivalTrace, BurstsShareTimestampsAndZeroGapIsImmediate) {
   spec.burst = 1;
   spec.mean_gap_us = -1.0;
   EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- Env
+
+// NOLINTBEGIN(concurrency-mt-unsafe): these tests deliberately mutate the
+// process environment through setenv/unsetenv; gtest runs tests serially in
+// one thread, so there is no concurrent reader. Each test uses its own
+// DTSNN_TEST_*-prefixed variable so no real knob is perturbed.
+TEST(Env, StringReturnsValueOrNullopt) {
+  ASSERT_EQ(unsetenv("DTSNN_TEST_STR"), 0);
+  EXPECT_FALSE(util::env_string("DTSNN_TEST_STR").has_value());
+  ASSERT_EQ(setenv("DTSNN_TEST_STR", "hello", 1), 0);
+  EXPECT_EQ(util::env_string("DTSNN_TEST_STR"), std::optional<std::string>("hello"));
+  ASSERT_EQ(setenv("DTSNN_TEST_STR", "", 1), 0);
+  EXPECT_EQ(util::env_string("DTSNN_TEST_STR"), std::optional<std::string>(""));
+  ASSERT_EQ(unsetenv("DTSNN_TEST_STR"), 0);
+}
+
+TEST(Env, U64ParsesDigitsOnlyAndIsLoudOtherwise) {
+  ASSERT_EQ(unsetenv("DTSNN_TEST_U64"), 0);
+  EXPECT_FALSE(util::env_u64("DTSNN_TEST_U64").has_value());
+
+  ASSERT_EQ(setenv("DTSNN_TEST_U64", "0", 1), 0);
+  EXPECT_EQ(util::env_u64("DTSNN_TEST_U64"), std::optional<std::uint64_t>(0));
+  ASSERT_EQ(setenv("DTSNN_TEST_U64", "18446744073709551615", 1), 0);  // UINT64_MAX
+  EXPECT_EQ(util::env_u64("DTSNN_TEST_U64"),
+            std::optional<std::uint64_t>(UINT64_MAX));
+
+  // Malformed values throw and the message names variable + value + form.
+  for (const char* bad : {"", " 1", "1 ", "+1", "-1", "0x10", "3.5", "two",
+                          "18446744073709551616" /* UINT64_MAX + 1 */}) {
+    ASSERT_EQ(setenv("DTSNN_TEST_U64", bad, 1), 0);
+    try {
+      (void)util::env_u64("DTSNN_TEST_U64");
+      FAIL() << "expected std::invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::strstr(e.what(), "DTSNN_TEST_U64"), nullptr) << e.what();
+    }
+  }
+
+  // min_value turns a syntactically-valid-but-meaningless 0 into an error.
+  ASSERT_EQ(setenv("DTSNN_TEST_U64", "0", 1), 0);
+  EXPECT_THROW((void)util::env_u64("DTSNN_TEST_U64", /*min_value=*/1),
+               std::invalid_argument);
+  ASSERT_EQ(setenv("DTSNN_TEST_U64", "1", 1), 0);
+  EXPECT_EQ(util::env_u64("DTSNN_TEST_U64", /*min_value=*/1),
+            std::optional<std::uint64_t>(1));
+  ASSERT_EQ(unsetenv("DTSNN_TEST_U64"), 0);
+}
+
+TEST(Env, FlagAcceptsCommonSpellings) {
+  ASSERT_EQ(unsetenv("DTSNN_TEST_FLAG"), 0);
+  EXPECT_FALSE(util::env_flag("DTSNN_TEST_FLAG").has_value());
+  for (const char* truthy : {"1", "true", "TRUE", "on", "On", "yes", "YES"}) {
+    ASSERT_EQ(setenv("DTSNN_TEST_FLAG", truthy, 1), 0);
+    EXPECT_EQ(util::env_flag("DTSNN_TEST_FLAG"), std::optional<bool>(true)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "False", "off", "OFF", "no", "No"}) {
+    ASSERT_EQ(setenv("DTSNN_TEST_FLAG", falsy, 1), 0);
+    EXPECT_EQ(util::env_flag("DTSNN_TEST_FLAG"), std::optional<bool>(false)) << falsy;
+  }
+  for (const char* bad : {"", "2", "maybe", "yep", "tru"}) {
+    ASSERT_EQ(setenv("DTSNN_TEST_FLAG", bad, 1), 0);
+    EXPECT_THROW((void)util::env_flag("DTSNN_TEST_FLAG"), std::invalid_argument)
+        << bad;
+  }
+  ASSERT_EQ(unsetenv("DTSNN_TEST_FLAG"), 0);
+}
+// NOLINTEND(concurrency-mt-unsafe)
+
+// ------------------------------------------------------------ MappedFile
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("dtsnn_mapped_file_test_" + std::to_string(::getpid()) + ".bin");
+    std::ofstream out(path_, std::ios::binary);
+    out.write(payload_.data(), static_cast<std::streamsize>(payload_.size()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+
+  [[nodiscard]] static bool contents_match(const util::MappedFile& f,
+                                           const std::string& expected) {
+    return f.size() == expected.size() &&
+           std::memcmp(f.data(), expected.data(), expected.size()) == 0;
+  }
+
+  std::filesystem::path path_;
+  std::string payload_ = "zero-copy data plane payload";
+};
+
+TEST_F(MappedFileTest, ReadsIdenticalBytesInBothModes) {
+  const util::MappedFile buffered(path_, util::MappedFile::Mode::kBuffered);
+  EXPECT_FALSE(buffered.mapped());
+  EXPECT_TRUE(contents_match(buffered, payload_));
+  EXPECT_EQ(buffered.bytes().size(), payload_.size());
+
+  if (util::MappedFile::mmap_supported()) {
+    const util::MappedFile mapped(path_, util::MappedFile::Mode::kMapped);
+    EXPECT_TRUE(mapped.mapped());
+    EXPECT_TRUE(contents_match(mapped, payload_));
+    mapped.advise_willneed();  // must be harmless on a live mapping
+    const util::MappedFile automatic(path_);
+    EXPECT_TRUE(automatic.mapped());  // kAuto resolves to the zero-copy path
+  } else {
+    EXPECT_THROW(util::MappedFile(path_, util::MappedFile::Mode::kMapped),
+                 std::runtime_error);
+    EXPECT_FALSE(util::MappedFile(path_).mapped());
+  }
+  buffered.advise_willneed();  // no-op for the buffered fallback
+}
+
+TEST_F(MappedFileTest, MoveTransfersContentsAndEmptyHandleIsInert) {
+  util::MappedFile original(path_, util::MappedFile::Mode::kBuffered);
+  util::MappedFile moved(std::move(original));
+  EXPECT_TRUE(contents_match(moved, payload_));
+
+  util::MappedFile assigned;
+  EXPECT_EQ(assigned.size(), 0u);
+  EXPECT_EQ(assigned.data(), nullptr);
+  EXPECT_FALSE(assigned.mapped());
+  assigned.advise_willneed();  // empty handle: no-op, no crash
+  assigned = std::move(moved);
+  EXPECT_TRUE(contents_match(assigned, payload_));
+
+  if (util::MappedFile::mmap_supported()) {
+    util::MappedFile mapped(path_, util::MappedFile::Mode::kMapped);
+    util::MappedFile mapped_moved(std::move(mapped));
+    EXPECT_TRUE(mapped_moved.mapped());
+    EXPECT_TRUE(contents_match(mapped_moved, payload_));
+  }
+}
+
+TEST_F(MappedFileTest, MissingFileThrowsWithPath) {
+  const std::filesystem::path missing = path_.string() + ".nope";
+  try {
+    const util::MappedFile f(missing);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing.string()), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(MappedFileTest, EmptyFileYieldsEmptyHandle) {
+  std::ofstream(path_, std::ios::binary | std::ios::trunc).flush();
+  const util::MappedFile f(path_);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_FALSE(f.mapped());  // nothing to map; reads see an empty span
+}
+
+// ------------------------------------------------------------------ Thread
+
+TEST(Thread, JoinsOnDestructionBeforeCapturesDie) {
+  std::atomic<int> ran{0};
+  {
+    util::Thread t([&] { ran.fetch_add(1); });
+    // Leaving scope joins; if it detached instead, `ran` could be written
+    // after destruction and TSan/ASan would flag this test.
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Thread, ExplicitJoinAndMove) {
+  std::atomic<int> ran{0};
+  util::Thread t([&] { ran.fetch_add(1); });
+  EXPECT_TRUE(t.joinable());
+  util::Thread moved(std::move(t));
+  EXPECT_TRUE(moved.joinable());
+  moved.join();
+  EXPECT_FALSE(moved.joinable());
+  EXPECT_EQ(ran.load(), 1);
+
+  // Move-assignment over a live thread joins the old one first.
+  std::atomic<int> second{0};
+  util::Thread slot([&] { second.fetch_add(1); });
+  slot = util::Thread([&] { second.fetch_add(10); });
+  EXPECT_GE(second.load(), 1);  // the displaced thread completed before reuse
+  slot.join();
+  EXPECT_EQ(second.load(), 11);
+
+  const util::Thread idle;
+  EXPECT_FALSE(idle.joinable());
 }
 
 }  // namespace
