@@ -31,6 +31,8 @@
 
 #include "bench_common.h"
 #include "core/calibration.h"
+#include "core/quantize.h"
+#include "snn/quantize.h"
 #include "util/gemm.h"
 
 using namespace dtsnn;
@@ -192,6 +194,7 @@ int main(int argc, char** argv) {
     if (calib_is_new) thetas.push_back(calib.theta);
 
     double best_iso_batched = 0.0;  // best batched img/s at iso-accuracy
+    double float_b32_theta030 = 0.0;  // quantized-tier comparison baseline
     for (const double theta : thetas) {
       const core::EntropyExitPolicy policy(theta);
       core::SequentialEngine seq(e.net, policy, 4);
@@ -201,6 +204,7 @@ int main(int argc, char** argv) {
       all_identical = all_identical && identical_decisions(r1, rb);
 
       const double same_policy = rb.images_per_sec / r1.images_per_sec;
+      if (key_of(theta) == "0.30") float_b32_theta030 = rb.images_per_sec;
       if (min_same_policy_speedup < 0.0 || same_policy < min_same_policy_speedup) {
         min_same_policy_speedup = same_policy;
       }
@@ -231,6 +235,45 @@ int main(int argc, char** argv) {
       report.set(model + bench::fmt("_theta%.2f_accuracy", theta), r1.accuracy);
       report.set(model + bench::fmt("_theta%.2f_avg_timesteps", theta), r1.avg_timesteps);
     }
+
+    // Quantized GEMM tier (util/gemm.h, tolerance-gated identity): calibrate
+    // INT8/INT4 weights against the float oracle on the measured samples,
+    // then rerun the batched DT-SNN operating point theta=0.30 under the
+    // quantized backend. Reported, not gated — the hard per-preset flip gate
+    // lives in bench/gemm_microbench.
+    for (const int bits : {8, 4}) {
+      core::QuantCalibrationConfig config;
+      config.spec.bits = bits;
+      config.max_samples = samples;
+      const core::EntropyExitPolicy policy030(0.3);
+      const core::QuantCalibrationReport qr = core::calibrate_quantized(
+          e.net, *e.bundle.test, policy030, 4, config);
+      const std::string backend_name = bits == 8 ? "int8_spike" : "int4_spike";
+      util::GemmContext quant_ctx(
+          *util::as_quantized_backend(util::find_gemm_backend(backend_name)));
+      e.net.set_gemm_context(&quant_ctx);
+      core::BatchedSequentialEngine batched(e.net, policy030, 4, kBatch);
+      const auto rq = measure(batched, *e.bundle.test, samples);
+      e.net.set_gemm_context(nullptr);
+
+      const std::string prefix = model + "_" + backend_name;
+      report.set(prefix + "_theta0.30_batch32_images_per_sec", rq.images_per_sec);
+      report.set(prefix + "_theta0.30_batch32_vs_float_speedup",
+                 float_b32_theta030 > 0.0 ? rq.images_per_sec / float_b32_theta030
+                                          : 0.0);
+      report.set(prefix + "_prediction_flip_rate", qr.diff.prediction_flip_rate);
+      report.set(prefix + "_exit_flip_rate", qr.diff.exit_flip_rate);
+      report.set(prefix + "_accuracy_delta", qr.accuracy_delta);
+      report.set(prefix + "_weight_footprint_ratio", qr.footprint_ratio);
+      std::printf(
+          "  %s @ theta=0.30 batch32: %.1f img/s (%.2fx of float), flips %.2f%%, "
+          "accuracy %+.2fpp, weights %.1fx smaller\n",
+          backend_name.c_str(), rq.images_per_sec,
+          float_b32_theta030 > 0.0 ? rq.images_per_sec / float_b32_theta030 : 0.0,
+          100 * qr.diff.prediction_flip_rate, 100 * qr.accuracy_delta,
+          qr.footprint_ratio);
+    }
+    snn::clear_network_quantized_weights(e.net);
 
     // A model with no iso-accuracy operating point contributes 0, which the
     // min must keep (it means the headline claim failed for that model).

@@ -50,6 +50,7 @@ struct CliArgs {
         "  %s eval  --model M --dataset D [--timesteps T] --ckpt FILE\n"
         "           [--theta TH] [--noise] [--scale F]\n"
         "common: --gemm-backend scalar_ref|blocked_omp|avx2|sparse_spike\n"
+        "                       |int8_spike|int4_spike (need calibrated scales)\n"
         "        (default: DTSNN_GEMM_BACKEND env, else avx2 when supported)\n"
         "models: vgg_mini vgg_micro resnet_mini resnet_micro\n"
         "datasets: sync10 sync100 syntin syndvs\n",

@@ -44,6 +44,16 @@ with file:line diagnostics and a nonzero exit code on any finding:
                       that never names BenchReport silently drops out of the
                       measurement record.
 
+  quant-bitwise-oracle  The quantized GEMM tier (int8_spike / int4_spike) is
+                      tolerance-gated, not bitwise (util/gemm.h): comparing
+                      its floats bitwise against the scalar_ref oracle with
+                      EXPECT_EQ / EXPECT_FLOAT_EQ encodes an identity the
+                      contract deliberately does not promise, and such a
+                      test rots into flakiness with any legal kernel change.
+                      Quantized-tier tests (tests/*quant*) route decision
+                      comparisons through core::compare_decisions or use an
+                      explicit EXPECT_NEAR bound.
+
 Comment and string-literal text is scrubbed before matching, so prose about
 a banned construct never trips a rule. A genuine exception is waived inline
 with a justification comment on the flagged line or one of the three lines
@@ -87,6 +97,9 @@ RULE_DESCRIPTIONS = {
     "raw-thread-mmap": "std::thread and mmap/munmap only inside src/util/",
     "omp-simd-reduction": "no '#pragma omp simd reduction' (float reassociation)",
     "bench-report": "every bench/*.cpp must emit through bench::BenchReport",
+    "quant-bitwise-oracle": "quantized-tier tests must not EXPECT_EQ floats "
+                            "against the scalar_ref oracle (tolerance gate "
+                            "via core::compare_decisions / EXPECT_NEAR)",
 }
 
 WALL_CLOCK_PATTERNS = [
@@ -149,6 +162,16 @@ OMP_SIMD_REDUCTION = Pattern(
     "simd reduction reassociates the accumulator across lanes; on float math "
     "this breaks the bitwise cross-backend identity contract (PR 3 gemm_bt "
     "lesson). Waive only for provably associative integer reductions.")
+
+QUANT_BITWISE_ORACLE = Pattern(
+    r"(EXPECT|ASSERT)_(EQ|FLOAT_EQ|DOUBLE_EQ)\s*\(.*\b(oracle|scalar_ref)",
+    "bitwise comparison against the float oracle in a quantized-tier test: "
+    "the quantized backends are tolerance-gated, not bitwise (util/gemm.h). "
+    "Gate decisions through core::compare_decisions or bound values with "
+    "EXPECT_NEAR.")
+# Applies to test files whose name marks them as quantized-tier coverage.
+QUANT_TEST_DIR = "tests"
+QUANT_NAME_MARKER = "quant"
 
 WAIVER_RE = re.compile(r"lint:allow\(([a-z0-9-]+)\)")
 
@@ -267,6 +290,9 @@ def scan_file(path: Path, rel: Path) -> list[Finding]:
         line_rules.append(("naked-mutex", NAKED_MUTEX_PATTERNS))
     if rel.parts[:2] != RAW_THREAD_MMAP_ALLOWED_PREFIX:
         line_rules.append(("raw-thread-mmap", RAW_THREAD_MMAP_PATTERNS))
+    if (rel.parts and rel.parts[0] == QUANT_TEST_DIR
+            and QUANT_NAME_MARKER in rel.name.lower()):
+        line_rules.append(("quant-bitwise-oracle", [QUANT_BITWISE_ORACLE]))
 
     for idx, code in enumerate(scrubbed):
         for rule, patterns in line_rules:

@@ -46,6 +46,7 @@ EXPECTED_BAD = [
     ("src/dataplane.cpp", 13, "raw-thread-mmap"),  # munmap(
     ("src/kernels.cpp", 7, "omp-simd-reduction"),
     ("bench/silent_bench.cpp", 1, "bench-report"),
+    ("tests/test_quant_gate.cpp", 8, "quant-bitwise-oracle"),
 ]
 
 DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): error: \[(?P<rule>[a-z-]+)\] ")

@@ -1,0 +1,9 @@
+// Fixture: a quantized-tier test comparing floats bitwise against the
+// scalar_ref oracle. The quantized backends are tolerance-gated, so this
+// must trip quant-bitwise-oracle (pinned at line 8).
+
+void test_quant_gate() {
+  float oracle_logits[4] = {0, 0, 0, 0};
+  float quant_logits[4] = {0, 0, 0, 0};
+  EXPECT_FLOAT_EQ(oracle_logits[0], quant_logits[0]);
+}

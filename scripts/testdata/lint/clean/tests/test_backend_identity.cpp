@@ -1,0 +1,10 @@
+// Fixture: a NON-quantized test file (no "quant" in the filename) comparing
+// bitwise against the oracle. The bitwise-tier identity contract promises
+// exactly this, so quant-bitwise-oracle must not fire here.
+
+void test_backend_identity() {
+  float oracle_logits[4] = {0, 0, 0, 0};
+  float backend_logits[4] = {0, 0, 0, 0};
+  EXPECT_EQ(oracle_logits[0], backend_logits[0]);
+  EXPECT_FLOAT_EQ(oracle_logits[1], backend_logits[1]);
+}

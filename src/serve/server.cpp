@@ -6,6 +6,8 @@
 
 #include "snn/layer.h"
 #include "snn/loss.h"
+#include "snn/quantize.h"
+#include "util/quant.h"
 
 namespace dtsnn::serve {
 
@@ -39,6 +41,30 @@ InferenceServer::InferenceServer(snn::SpikingNetwork& net, const data::Dataset& 
   if (config_.latency_window == 0) {
     throw std::invalid_argument("InferenceServer: latency_window == 0");
   }
+  if (!config_.gemm_backend.empty()) {
+    // Per-model backend selection. Resolve loudly (unknown / unavailable
+    // names throw) and, for the quantized tier, verify calibrated weights at
+    // the right bit-width up front — a misconfigured model must fail at
+    // construction, not on the worker thread mid-request.
+    const util::GemmBackend& backend =
+        util::resolve_gemm_backend(config_.gemm_backend.c_str());
+    if (const util::QuantizedGemmBackend* qb = util::as_quantized_backend(&backend)) {
+      const int bits = snn::network_quantized_bits(net_);
+      if (bits != qb->weight_bits()) {
+        throw util::QuantizationError(
+            util::QuantizationError::Kind::kUncalibrated,
+            "InferenceServer: ServerConfig.gemm_backend '" + config_.gemm_backend +
+                "' needs weights calibrated at " +
+                std::to_string(qb->weight_bits()) + " bits, but the network " +
+                (bits == 0   ? std::string("has no calibrated quantized weights")
+                 : bits == -1 ? std::string("is in a partial/mixed quantized state")
+                              : "is calibrated at " + std::to_string(bits) + " bits") +
+                "; run core::calibrate_quantized first");
+      }
+    }
+    owned_gemm_context_.emplace(backend);
+    net_.set_gemm_context(&*owned_gemm_context_);
+  }
   worker_ = util::Thread([this] { worker_loop(); });
 }
 
@@ -55,6 +81,9 @@ void InferenceServer::drain() {
   // takes it), hence the dedicated mutex.
   util::MutexLock lk(drain_mu_);
   if (worker_.joinable()) worker_.join();
+  // The worker no longer steps the network; release it back to the process
+  // default context ("after drain() the network is free for other users").
+  if (owned_gemm_context_.has_value()) net_.set_gemm_context(nullptr);
 }
 
 std::string InferenceServer::gemm_backend() const {

@@ -63,6 +63,15 @@ struct ServerConfig {
   /// Latency digests cover the most recent this-many completed samples
   /// (bounded memory for a long-running server; total counts keep growing).
   std::size_t latency_window = 8192;
+  /// GEMM backend for this server's network, by registry name ("" = leave
+  /// the network on its current context). This is the per-model tier
+  /// selector: a multi-model deployment serves one model quantized
+  /// ("int8_spike" / "int4_spike") and another at full precision without
+  /// touching the process-wide default. Unknown names throw
+  /// std::invalid_argument, unavailable ones std::runtime_error, and a
+  /// quantized backend on a network without matching calibrated weights
+  /// throws util::QuantizationError — all at construction, never mid-serve.
+  std::string gemm_backend;
 };
 
 /// One client submission: which samples to run and how, plus serving-only
@@ -218,6 +227,11 @@ class InferenceServer {
   const core::ExitPolicy& default_policy_;
   std::size_t max_timesteps_;
   ServerConfig config_;
+
+  /// Owned context when config.gemm_backend forces a backend: the network is
+  /// pointed at it for the serve lifetime (the server has exclusive use of
+  /// the net) and reverted to the process default at drain().
+  std::optional<util::GemmContext> owned_gemm_context_;
 
   mutable util::Mutex mu_;
   util::Mutex drain_mu_;  ///< serializes drain() callers around the join

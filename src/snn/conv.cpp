@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/logging.h"
+
 namespace dtsnn::snn {
 
 namespace {
@@ -194,6 +196,17 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
       gemm.gemm_bt(col.data(), weight_.value.data(), pix.data(), n * oh * ow, patch,
                    out_channels_);
     }
+  } else if (const util::QuantizedGemmBackend* qb =
+                 util::as_quantized_backend(&gemm.backend())) {
+    // Quantized inference tier: im2col + qgemm. The quantized kernel already
+    // streams only the spike-selected quantized weight rows, so the direct
+    // scatter path is not used; results are deterministic and
+    // batch-composition invariant, but tolerance-gated (not bitwise) versus
+    // the float tier. Requires calibrated weights at this backend's
+    // bit-width — fails loudly otherwise.
+    require_quantized_weights(*qb, qweight_, "Conv2d");
+    im2col(x, geom_, col);
+    gemm.qgemm(col.data(), qweight_, pix.data(), n * oh * ow, patch, out_channels_);
   } else {
     // Inference path: LIF spike activations are mostly zeros, so the cost
     // scales with spike density instead of the dense FLOP count. Both eval
@@ -265,6 +278,18 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor dx;
   col2im(dcol, geom_, dx);
   return dx;
+}
+
+void Conv2d::set_quantized_weights(util::QuantizedMatrix q) {
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  if (q.out() != out_channels_ || q.in() != patch) {
+    throw util::QuantizationError(
+        util::QuantizationError::Kind::kShapeMismatch,
+        util::format("Conv2d: quantized weights [%zu x %zu] do not match float "
+                     "weights [%zu x %zu]",
+                     q.out(), q.in(), out_channels_, patch));
+  }
+  qweight_ = std::move(q);
 }
 
 std::vector<Param*> Conv2d::params() {

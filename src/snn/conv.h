@@ -4,11 +4,12 @@
 
 #include "snn/im2col.h"
 #include "snn/layer.h"
+#include "snn/quantize.h"
 #include "util/rng.h"
 
 namespace dtsnn::snn {
 
-class Conv2d final : public Layer {
+class Conv2d final : public Layer, public QuantizedWeightHolder {
  public:
   /// Kaiming-uniform initialized convolution. `bias` adds a per-output-channel
   /// offset (disabled when a norm layer follows, matching common practice).
@@ -34,6 +35,17 @@ class Conv2d final : public Layer {
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
 
+  // QuantizedWeightHolder: optional post-training quantized weight copy,
+  // consumed by eval forwards when a quantized backend is selected.
+  [[nodiscard]] const Tensor& quantizable_weight() const override {
+    return weight_.value;
+  }
+  [[nodiscard]] const util::QuantizedMatrix& quantized_weights() const override {
+    return qweight_;
+  }
+  void set_quantized_weights(util::QuantizedMatrix q) override;
+  void clear_quantized_weights() override { qweight_ = util::QuantizedMatrix(); }
+
  private:
   /// Materialize (or reuse) the W^T [Cin*K*K, Cout] scratch for the
   /// A-stationary spike-sparse GEMM form.
@@ -43,6 +55,7 @@ class Conv2d final : public Layer {
   bool has_bias_;
   Param weight_;
   Param bias_;
+  util::QuantizedMatrix qweight_;
 
   // Training-time caches.
   ConvGeometry geom_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "util/gemm.h"
+#include "util/logging.h"
+#include "util/quant.h"
 
 namespace dtsnn::snn {
 
@@ -28,9 +30,21 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   }
   const std::size_t n = x.dim(0);
   Tensor out({n, out_features_});
-  // out = x * W^T
-  gemm_context().gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_,
-                         out_features_);
+  util::GemmContext& gemm = gemm_context();
+  const util::QuantizedGemmBackend* qb =
+      train ? nullptr : util::as_quantized_backend(&gemm.backend());
+  if (qb != nullptr) {
+    // Quantized inference tier: spikes select quantized weight rows
+    // (multiply-free integer accumulate, dequantized per scale group).
+    // Requires calibrated weights at this backend's bit-width — fails loudly
+    // otherwise. Training forwards never take this path.
+    require_quantized_weights(*qb, qweight_, "Linear");
+    gemm.qgemm(x.data(), qweight_, out.data(), n, in_features_, out_features_);
+  } else {
+    // out = x * W^T
+    gemm.gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_,
+                 out_features_);
+  }
   if (has_bias_) {
     const float* b = bias_.value.data();
 #pragma omp parallel for schedule(static)
@@ -69,6 +83,17 @@ Tensor Linear::backward(const Tensor& grad_out) {
   gemm_context().gemm(grad_out.data(), weight_.value.data(), dx.data(), n, out_features_,
                       in_features_);
   return dx;
+}
+
+void Linear::set_quantized_weights(util::QuantizedMatrix q) {
+  if (q.out() != out_features_ || q.in() != in_features_) {
+    throw util::QuantizationError(
+        util::QuantizationError::Kind::kShapeMismatch,
+        util::format("Linear: quantized weights [%zu x %zu] do not match float "
+                     "weights [%zu x %zu]",
+                     q.out(), q.in(), out_features_, in_features_));
+  }
+  qweight_ = std::move(q);
 }
 
 std::vector<Param*> Linear::params() {

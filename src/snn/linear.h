@@ -3,11 +3,12 @@
 #pragma once
 
 #include "snn/layer.h"
+#include "snn/quantize.h"
 #include "util/rng.h"
 
 namespace dtsnn::snn {
 
-class Linear final : public Layer {
+class Linear final : public Layer, public QuantizedWeightHolder {
  public:
   Linear(std::size_t in_features, std::size_t out_features, bool bias, util::Rng& rng);
 
@@ -24,11 +25,23 @@ class Linear final : public Layer {
   Param& bias() { return bias_; }
   [[nodiscard]] bool has_bias() const { return has_bias_; }
 
+  // QuantizedWeightHolder: optional post-training quantized weight copy,
+  // consumed by eval forwards when a quantized backend is selected.
+  [[nodiscard]] const Tensor& quantizable_weight() const override {
+    return weight_.value;
+  }
+  [[nodiscard]] const util::QuantizedMatrix& quantized_weights() const override {
+    return qweight_;
+  }
+  void set_quantized_weights(util::QuantizedMatrix q) override;
+  void clear_quantized_weights() override { qweight_ = util::QuantizedMatrix(); }
+
  private:
   std::size_t in_features_, out_features_;
   bool has_bias_;
   Param weight_;
   Param bias_;
+  util::QuantizedMatrix qweight_;
   Tensor input_cache_;
   bool have_cache_ = false;
 };

@@ -12,13 +12,29 @@
 #include <vector>
 
 #include "snn/norm.h"
+#include "snn/quantize.h"
+#include "util/quant.h"
 
 namespace dtsnn::snn {
 
 namespace {
 
 constexpr char kMagic[4] = {'D', 'T', 'S', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends the quantized-weight section (see save_checkpoint).
+// Version-1 files still load; they simply carry no quantized weights.
+constexpr std::uint32_t kVersion = 2;
+
+/// Weight-bearing layers in stable visit order; index into this vector is
+/// the holder id stored in the quantized checkpoint section.
+std::vector<QuantizedWeightHolder*> quantized_holders(SpikingNetwork& net) {
+  std::vector<QuantizedWeightHolder*> holders;
+  net.visit([&holders](Layer& l) {
+    if (auto* holder = dynamic_cast<QuantizedWeightHolder*>(&l)) {
+      holders.push_back(holder);
+    }
+  });
+  return holders;
+}
 
 /// Named tensors to (de)serialize: params then BN buffers, in stable order.
 std::vector<std::pair<std::string, Tensor*>> checkpoint_entries(SpikingNetwork& net) {
@@ -71,6 +87,33 @@ void save_checkpoint(SpikingNetwork& net, const std::string& path) {
     out.write(reinterpret_cast<const char*>(tensor->data()),
               static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
   }
+
+  // Quantized-weight section (version 2): calibrated QuantizedMatrix state
+  // per weight-bearing layer, keyed by holder visit order. Layout:
+  //   u64 quant_count | per matrix: u64 holder_index | u32 bits |
+  //   u64 group_size | u64 out | u64 in | u64 packed_bytes | packed bytes |
+  //   u64 scale_count | f32 scales[]
+  auto holders = quantized_holders(net);
+  std::uint64_t quant_count = 0;
+  for (const QuantizedWeightHolder* holder : holders) {
+    quant_count += holder->quantized_weights().empty() ? 0 : 1;
+  }
+  write_pod(out, quant_count);
+  for (std::size_t hi = 0; hi < holders.size(); ++hi) {
+    const util::QuantizedMatrix& q = holders[hi]->quantized_weights();
+    if (q.empty()) continue;
+    write_pod(out, static_cast<std::uint64_t>(hi));
+    write_pod(out, static_cast<std::uint32_t>(q.bits()));
+    write_pod(out, static_cast<std::uint64_t>(q.group_size()));
+    write_pod(out, static_cast<std::uint64_t>(q.out()));
+    write_pod(out, static_cast<std::uint64_t>(q.in()));
+    write_pod(out, static_cast<std::uint64_t>(q.packed_bytes()));
+    out.write(reinterpret_cast<const char*>(q.packed().data()),
+              static_cast<std::streamsize>(q.packed_bytes()));
+    write_pod(out, static_cast<std::uint64_t>(q.scales().size()));
+    out.write(reinterpret_cast<const char*>(q.scales().data()),
+              static_cast<std::streamsize>(q.scale_bytes()));
+  }
   if (!out) throw std::runtime_error("save_checkpoint: write failed for " + tmp_path);
   out.close();
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
@@ -89,7 +132,7 @@ void load_checkpoint(SpikingNetwork& net, const std::string& path) {
   }
   std::uint32_t version = 0;
   read_pod(in, version);
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     throw std::runtime_error("load_checkpoint: unsupported version " +
                              std::to_string(version));
   }
@@ -129,6 +172,49 @@ void load_checkpoint(SpikingNetwork& net, const std::string& path) {
             static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
     if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
   }
+
+  // Quantized-weight section: absent in version-1 files (calibration state
+  // simply clears); version 2 restores every stored matrix deterministically.
+  auto holders = quantized_holders(net);
+  for (QuantizedWeightHolder* holder : holders) holder->clear_quantized_weights();
+  if (version < 2) return;
+  std::uint64_t quant_count = 0;
+  read_pod(in, quant_count);
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+  for (std::uint64_t qi = 0; qi < quant_count; ++qi) {
+    std::uint64_t holder_index = 0;
+    std::uint32_t bits = 0;
+    std::uint64_t group_size = 0, out_dim = 0, in_dim = 0, packed_bytes = 0;
+    read_pod(in, holder_index);
+    read_pod(in, bits);
+    read_pod(in, group_size);
+    read_pod(in, out_dim);
+    read_pod(in, in_dim);
+    read_pod(in, packed_bytes);
+    if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+    if (holder_index >= holders.size()) {
+      throw util::QuantizationError(
+          util::QuantizationError::Kind::kBadCheckpoint,
+          "load_checkpoint: quantized entry for holder " +
+              std::to_string(holder_index) + " but model has " +
+              std::to_string(holders.size()) + " weight-bearing layers");
+    }
+    std::vector<std::uint8_t> packed(static_cast<std::size_t>(packed_bytes));
+    in.read(reinterpret_cast<char*>(packed.data()),
+            static_cast<std::streamsize>(packed.size()));
+    std::uint64_t scale_count = 0;
+    read_pod(in, scale_count);
+    std::vector<float> scales(static_cast<std::size_t>(scale_count));
+    in.read(reinterpret_cast<char*>(scales.data()),
+            static_cast<std::streamsize>(scales.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+    // from_raw validates sizes against dims; set_quantized_weights validates
+    // dims against the layer's float weights.
+    holders[holder_index]->set_quantized_weights(util::QuantizedMatrix::from_raw(
+        static_cast<std::size_t>(out_dim), static_cast<std::size_t>(in_dim),
+        static_cast<int>(bits), static_cast<std::size_t>(group_size),
+        std::move(packed), std::move(scales)));
+  }
 }
 
 void copy_network_state(SpikingNetwork& src, SpikingNetwork& dst) {
@@ -148,6 +234,23 @@ void copy_network_state(SpikingNetwork& src, SpikingNetwork& dst) {
     }
     std::copy(src_tensor->data(), src_tensor->data() + src_tensor->numel(),
               dst_tensor->data());
+  }
+  // Mirror calibrated quantized weights so replicas (parallel evaluation,
+  // serving pools) can run the quantized tier without re-calibration.
+  auto src_holders = quantized_holders(src);
+  auto dst_holders = quantized_holders(dst);
+  if (src_holders.size() != dst_holders.size()) {
+    throw std::runtime_error("copy_network_state: weight-layer count mismatch (src " +
+                             std::to_string(src_holders.size()) + ", dst " +
+                             std::to_string(dst_holders.size()) + ")");
+  }
+  for (std::size_t i = 0; i < src_holders.size(); ++i) {
+    const util::QuantizedMatrix& q = src_holders[i]->quantized_weights();
+    if (q.empty()) {
+      dst_holders[i]->clear_quantized_weights();
+    } else {
+      dst_holders[i]->set_quantized_weights(q);
+    }
   }
 }
 

@@ -6,6 +6,12 @@
 // Entries are the network's learnable parameters in params() order followed
 // by batch-norm running statistics in visit order. Loading requires an
 // architecturally identical network (names and shapes are checked).
+//
+// Version 2 appends a quantized-weight section (calibrated
+// util::QuantizedMatrix state per weight-bearing layer, keyed by visit
+// order; layout documented in serialize.cpp) so post-training quantization
+// checkpoints and restores deterministically. Version-1 files still load and
+// leave the network uncalibrated.
 
 #pragma once
 

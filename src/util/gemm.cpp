@@ -10,6 +10,8 @@
 
 #include "util/env.h"
 #include "util/gemm_internal.h"
+#include "util/logging.h"
+#include "util/quant.h"
 
 namespace dtsnn::util {
 
@@ -42,6 +44,31 @@ void GemmBackend::gemm_at(const float* a, const float* b, float* c, std::size_t 
 void GemmBackend::gemm_bt(const float* a, const float* b, float* c, std::size_t m,
                           std::size_t k, std::size_t n, bool accumulate) const {
   if (prepare_output(c, m, k, n, accumulate)) do_gemm_bt(a, b, c, m, k, n);
+}
+
+void QuantizedGemmBackend::qgemm(const float* a, const QuantizedMatrix& q, float* c,
+                                 std::size_t m, std::size_t k, std::size_t n,
+                                 bool accumulate) const {
+  if (q.bits() != weight_bits() && !(q.empty() && k == 0 && n == 0)) {
+    throw QuantizationError(
+        QuantizationError::Kind::kBitsMismatch,
+        format("GEMM backend '%.*s' consumes %d-bit weights but was given a "
+               "%d-bit QuantizedMatrix",
+               static_cast<int>(name().size()), name().data(), weight_bits(),
+               q.bits()));
+  }
+  if (q.out() != n || q.in() != k) {
+    throw QuantizationError(
+        QuantizationError::Kind::kShapeMismatch,
+        format("qgemm shape mismatch: op expects Q[%zu x %zu] but the "
+               "QuantizedMatrix is [%zu x %zu]",
+               n, k, q.out(), q.in()));
+  }
+  if (prepare_output(c, m, k, n, accumulate)) do_qgemm(a, q, c, m, k, n);
+}
+
+const QuantizedGemmBackend* as_quantized_backend(const GemmBackend* backend) {
+  return dynamic_cast<const QuantizedGemmBackend*>(backend);
 }
 
 // ------------------------------------------------------------------ kernels
@@ -328,6 +355,11 @@ std::span<const GemmBackend* const> gemm_backends() {
     std::vector<const GemmBackend*> v{&scalar_ref, &blocked_omp};
     if (const GemmBackend* avx2 = avx2_backend_or_null()) v.push_back(avx2);
     v.push_back(&sparse_spike);
+    // Quantized tier: listed and forceable by name, but never auto-selected
+    // (resolve_gemm_backend's automatic path considers bitwise backends only,
+    // since the quantized tier additionally requires calibrated weights).
+    v.push_back(int8_spike_backend());
+    v.push_back(int4_spike_backend());
     return v;
   }();
   return backends;
@@ -431,6 +463,20 @@ void GemmContext::gemm_bt(const float* a, const float* b, float* c, std::size_t 
                           std::size_t k, std::size_t n, bool accumulate) {
   record(&GemmStats::bt, a, m, k, n);
   backend_->gemm_bt(a, b, c, m, k, n, accumulate);
+}
+
+void GemmContext::qgemm(const float* a, const QuantizedMatrix& q, float* c,
+                        std::size_t m, std::size_t k, std::size_t n,
+                        bool accumulate) {
+  const QuantizedGemmBackend* qb = as_quantized_backend(backend_);
+  if (qb == nullptr) {
+    throw QuantizationError(
+        QuantizationError::Kind::kNotQuantized,
+        format("qgemm dispatched to non-quantized GEMM backend '%.*s'",
+               static_cast<int>(backend_->name().size()), backend_->name().data()));
+  }
+  record(&GemmStats::quant, a, m, k, n);
+  qb->qgemm(a, q, c, m, k, n, accumulate);
 }
 
 GemmStats GemmContext::stats() const {

@@ -18,14 +18,34 @@
 //                 (zeros skipped, binary spikes take a multiply-free path);
 //                 generalizes the eval-time zero-skip A-stationary kernel so
 //                 training-time convolutions benefit too.
+//   int8_spike    quantized inference tier: weights pre-quantized to INT8
+//   int4_spike    (or packed INT4) with group-wise symmetric scales
+//                 (util::QuantizedMatrix); binary {0,1} spike activations
+//                 take a multiply-free path (integer adds of selected
+//                 quantized weight rows, one dequantize per group per
+//                 output) with a graded-spike float fallback. Selected only
+//                 by explicit name, never by auto-selection, and usable only
+//                 on networks with calibrated scales (see snn/quantize.h).
 //
-// Bitwise identity contract: for every op, each output element accumulates
-// its contributions in ascending-k order with exact-zero A values skipped
-// (NN / A^T ops), and the B^T op sums each dot product sequentially into a
-// local accumulator before a single add into C. All backends follow this
-// contract exactly, so DT-SNN logits — and therefore early-exit decisions —
-// are bitwise identical no matter which backend runs, and the per-backend
-// identity suite enforces it against scalar_ref.
+// Identity contract tiers:
+//
+//   kBitwise (scalar_ref, blocked_omp, avx2, sparse_spike): for every op,
+//   each output element accumulates its contributions in ascending-k order
+//   with exact-zero A values skipped (NN / A^T ops), and the B^T op sums
+//   each dot product sequentially into a local accumulator before a single
+//   add into C. These backends follow the contract exactly, so DT-SNN
+//   logits — and therefore early-exit decisions — are bitwise identical no
+//   matter which backend runs, and the per-backend identity suite enforces
+//   it against scalar_ref.
+//
+//   kToleranceGated (int8_spike, int4_spike): quantized weights cannot
+//   reproduce float logits bitwise. These backends instead honor a
+//   tolerance gate versus the scalar_ref oracle: per dataset preset, the
+//   early-exit decision flip rate and accuracy delta are measured
+//   (core::calibrate_quantized / core::compare_decisions) and must stay
+//   within configured bounds. Their plain float ops (gemm / gemm_at /
+//   gemm_bt, used by training and non-weight GEMMs) delegate to the
+//   blocked kernels and so remain bitwise-tier.
 //
 // Selection: the DTSNN_GEMM_BACKEND environment variable forces a backend by
 // name (unknown or unavailable names throw); otherwise avx2 is chosen when
@@ -47,7 +67,15 @@
 
 namespace dtsnn::util {
 
+class QuantizedMatrix;  // util/quant.h
+
 // ------------------------------------------------------------------ backend
+
+/// Which identity contract a backend honors (see file comment).
+enum class GemmIdentityTier {
+  kBitwise,         ///< bitwise identical to scalar_ref, always
+  kToleranceGated,  ///< quantized: accuracy-delta / decision-flip-rate gate
+};
 
 class GemmBackend {
  public:
@@ -55,6 +83,11 @@ class GemmBackend {
 
   /// Stable identifier used by DTSNN_GEMM_BACKEND and reports.
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Identity contract tier. Bitwise unless overridden.
+  [[nodiscard]] virtual GemmIdentityTier identity_tier() const {
+    return GemmIdentityTier::kBitwise;
+  }
 
   /// Whether this backend can run on the current machine (runtime CPUID for
   /// ISA-specific backends). Unavailable backends stay listed but are never
@@ -87,10 +120,50 @@ class GemmBackend {
                           std::size_t k, std::size_t n) const = 0;
 };
 
+// ------------------------------------------------------------ quantized tier
+
+/// Base of the tolerance-gated quantized backends (int8_spike, int4_spike).
+/// Adds the quantized-weight op: C[m,n] (+)= A[m,k] * Q^T where Q is a
+/// QuantizedMatrix of shape [n, k] (output-channel major, like the layers'
+/// float weights). A carries spike activations; exact-zero entries are
+/// skipped, exact-1.0 entries take the multiply-free integer path, anything
+/// else falls back to graded float accumulation. Accumulation is ascending-k
+/// within each scale group and row-independent, so results are deterministic
+/// and batch-composition invariant — but NOT bitwise comparable to the float
+/// backends (identity_tier() == kToleranceGated).
+class QuantizedGemmBackend : public GemmBackend {
+ public:
+  [[nodiscard]] GemmIdentityTier identity_tier() const final {
+    return GemmIdentityTier::kToleranceGated;
+  }
+
+  /// Weight bit-width this backend consumes (8 or 4). Feeding it a
+  /// QuantizedMatrix of any other width throws
+  /// QuantizationError(kBitsMismatch).
+  [[nodiscard]] virtual int weight_bits() const = 0;
+
+  /// C[m,n] (+)= A[m,k] * Q^T, Q quantized [n, k]. Degenerate shapes
+  /// (m, k, or n == 0) are handled like the float ops: C is zeroed when not
+  /// accumulating and the kernel is never entered. Throws QuantizationError
+  /// for bit-width (kBitsMismatch) or dimension (kShapeMismatch) disagreements.
+  void qgemm(const float* a, const QuantizedMatrix& q, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate = false) const;
+
+ protected:
+  /// Same always-accumulate / nonzero-shapes contract as the float kernels.
+  virtual void do_qgemm(const float* a, const QuantizedMatrix& q, float* c,
+                        std::size_t m, std::size_t k, std::size_t n) const = 0;
+};
+
+/// Downcast helper: the backend as a quantized backend, or nullptr when it
+/// is a plain float (bitwise-tier) backend.
+const QuantizedGemmBackend* as_quantized_backend(const GemmBackend* backend);
+
 // ----------------------------------------------------------------- registry
 
 /// All compiled-in backends in registration order: scalar_ref, blocked_omp,
-/// avx2 (when the toolchain supported -mavx2), sparse_spike.
+/// avx2 (when the toolchain supported -mavx2), sparse_spike, int8_spike,
+/// int4_spike.
 std::span<const GemmBackend* const> gemm_backends();
 
 /// Lookup by name; nullptr when no such backend is compiled in.
@@ -126,16 +199,21 @@ struct GemmOpStats {
 };
 
 struct GemmStats {
-  GemmOpStats nn;  ///< gemm
-  GemmOpStats at;  ///< gemm_at
-  GemmOpStats bt;  ///< gemm_bt
-  [[nodiscard]] std::size_t calls() const { return nn.calls + at.calls + bt.calls; }
-  [[nodiscard]] double flops() const { return nn.flops + at.flops + bt.flops; }
+  GemmOpStats nn;     ///< gemm
+  GemmOpStats at;     ///< gemm_at
+  GemmOpStats bt;     ///< gemm_bt
+  GemmOpStats quant;  ///< qgemm (quantized-weight op; flops = dense equivalent)
+  [[nodiscard]] std::size_t calls() const {
+    return nn.calls + at.calls + bt.calls + quant.calls;
+  }
+  [[nodiscard]] double flops() const {
+    return nn.flops + at.flops + bt.flops + quant.flops;
+  }
   [[nodiscard]] double elements() const {
-    return nn.a_elements + at.a_elements + bt.a_elements;
+    return nn.a_elements + at.a_elements + bt.a_elements + quant.a_elements;
   }
   [[nodiscard]] double nonzeros() const {
-    return nn.a_nonzeros + at.a_nonzeros + bt.a_nonzeros;
+    return nn.a_nonzeros + at.a_nonzeros + bt.a_nonzeros + quant.a_nonzeros;
   }
   [[nodiscard]] double density() const {
     const double e = elements();
@@ -174,6 +252,12 @@ class GemmContext {
                std::size_t n, bool accumulate = false);
   void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate = false);
+
+  /// Quantized-weight op; valid only when the selected backend is a
+  /// QuantizedGemmBackend (throws QuantizationError(kNotQuantized)
+  /// otherwise — layers check as_quantized_backend before dispatching here).
+  void qgemm(const float* a, const QuantizedMatrix& q, float* c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate = false);
 
   [[nodiscard]] GemmStats stats() const DTSNN_EXCLUDES(mutex_);
   void reset_stats() DTSNN_EXCLUDES(mutex_);

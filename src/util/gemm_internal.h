@@ -15,6 +15,12 @@ class GemmBackend;
 /// separately through GemmBackend::available().
 const GemmBackend* avx2_backend_or_null();
 
+/// The quantized-tier backend singletons (gemm_quant.cpp). Always compiled
+/// in and available — their kernels are portable scalar/omp-simd code; what
+/// gates their use is calibrated weights, enforced at dispatch time.
+const GemmBackend* int8_spike_backend();
+const GemmBackend* int4_spike_backend();
+
 namespace internal {
 
 /// Column-block width of the packed B^T scheme shared by the blocked and

@@ -1,0 +1,128 @@
+#include "util/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace dtsnn::util {
+
+namespace {
+
+std::size_t default_group_size(int bits) { return bits == 4 ? 32 : 64; }
+
+}  // namespace
+
+void QuantSpec::validate() const {
+  if (bits != 8 && bits != 4) {
+    throw QuantizationError(
+        QuantizationError::Kind::kBadSpec,
+        format("QuantSpec.bits must be 8 or 4, got %d", bits));
+  }
+}
+
+std::size_t QuantSpec::resolved_group_size() const {
+  validate();
+  if (group_size != 0) return group_size;
+  if (const auto env = env_u64("DTSNN_QUANT_GROUP_SIZE", 1)) {
+    return static_cast<std::size_t>(*env);
+  }
+  return default_group_size(bits);
+}
+
+QuantizedMatrix QuantizedMatrix::quantize(const float* w, std::size_t out,
+                                          std::size_t in, const QuantSpec& spec) {
+  const std::size_t gs = spec.resolved_group_size();
+
+  QuantizedMatrix q;
+  q.out_ = out;
+  q.in_ = in;
+  q.bits_ = spec.bits;
+  q.group_size_ = gs;
+  q.groups_ = in == 0 ? 0 : (in + gs - 1) / gs;
+  q.row_stride_ = spec.bits == 4 ? (out + 1) / 2 : out;
+  q.data_.assign(q.row_stride_ * in, 0);
+  q.scales_.assign(q.groups_ * out, 0.0f);
+
+  const int qmax = q.qmax();
+  for (std::size_t j = 0; j < out; ++j) {
+    const float* wrow = w + j * in;
+    for (std::size_t g = 0; g < q.groups_; ++g) {
+      const std::size_t k0 = g * gs;
+      const std::size_t k1 = std::min(k0 + gs, in);
+      float maxabs = 0.0f;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        maxabs = std::max(maxabs, std::fabs(wrow[kk]));
+      }
+      const float scale = maxabs > 0.0f ? maxabs / static_cast<float>(qmax) : 0.0f;
+      q.scales_[g * out + j] = scale;
+      const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const long code = std::lround(static_cast<double>(wrow[kk]) *
+                                      static_cast<double>(inv));
+        const int v = static_cast<int>(
+            std::clamp(code, static_cast<long>(-qmax), static_cast<long>(qmax)));
+        if (q.bits_ == 4) {
+          // Offset-binary nibble (q + 8 in [1, 15]); low nibble = even j.
+          std::uint8_t& byte = q.data_[kk * q.row_stride_ + j / 2];
+          const auto nibble = static_cast<std::uint8_t>(v + 8);
+          if (j % 2 == 0) {
+            byte = static_cast<std::uint8_t>((byte & 0xF0u) | nibble);
+          } else {
+            byte = static_cast<std::uint8_t>((byte & 0x0Fu) |
+                                             static_cast<std::uint8_t>(nibble << 4));
+          }
+        } else {
+          q.data_[kk * q.row_stride_ + j] =
+              static_cast<std::uint8_t>(static_cast<std::int8_t>(v));
+        }
+      }
+    }
+  }
+  return q;
+}
+
+QuantizedMatrix QuantizedMatrix::from_raw(std::size_t out, std::size_t in, int bits,
+                                          std::size_t group_size,
+                                          std::vector<std::uint8_t> packed,
+                                          std::vector<float> scales) {
+  if (bits != 8 && bits != 4) {
+    throw QuantizationError(
+        QuantizationError::Kind::kBadCheckpoint,
+        format("quantized checkpoint entry has unsupported bit-width %d", bits));
+  }
+  if (group_size == 0 && in != 0) {
+    throw QuantizationError(QuantizationError::Kind::kBadCheckpoint,
+                            "quantized checkpoint entry has group_size 0");
+  }
+  QuantizedMatrix q;
+  q.out_ = out;
+  q.in_ = in;
+  q.bits_ = bits;
+  q.group_size_ = group_size;
+  q.groups_ = in == 0 ? 0 : (in + group_size - 1) / group_size;
+  q.row_stride_ = bits == 4 ? (out + 1) / 2 : out;
+  if (packed.size() != q.row_stride_ * in || scales.size() != q.groups_ * out) {
+    throw QuantizationError(
+        QuantizationError::Kind::kBadCheckpoint,
+        format("quantized checkpoint entry [%zu x %zu, %d-bit] has %zu packed "
+               "bytes / %zu scales, expected %zu / %zu",
+               out, in, bits, packed.size(), scales.size(), q.row_stride_ * in,
+               q.groups_ * out));
+  }
+  q.data_ = std::move(packed);
+  q.scales_ = std::move(scales);
+  return q;
+}
+
+int QuantizedMatrix::q(std::size_t j, std::size_t kk) const {
+  if (bits_ == 4) {
+    const std::uint8_t byte = data_[kk * row_stride_ + j / 2];
+    const int nibble = j % 2 == 0 ? (byte & 0x0F) : (byte >> 4);
+    return nibble - 8;
+  }
+  return static_cast<std::int8_t>(data_[kk * row_stride_ + j]);
+}
+
+}  // namespace dtsnn::util

@@ -60,11 +60,12 @@ const char* fill_name(Fill fill) {
 
 // ----------------------------------------------------------------- registry
 
-TEST(GemmRegistry, ShipsAllFourBackends) {
-  // scalar_ref, blocked_omp and sparse_spike are unconditional; avx2 is
-  // present whenever the toolchain could target it (this repo's CI always
-  // can), and must at least be consistently gated.
-  for (const char* name : {"scalar_ref", "blocked_omp", "sparse_spike"}) {
+TEST(GemmRegistry, ShipsAllBackends) {
+  // scalar_ref, blocked_omp, sparse_spike and the quantized tier are
+  // unconditional; avx2 is present whenever the toolchain could target it
+  // (this repo's CI always can), and must at least be consistently gated.
+  for (const char* name :
+       {"scalar_ref", "blocked_omp", "sparse_spike", "int8_spike", "int4_spike"}) {
     const util::GemmBackend* backend = util::find_gemm_backend(name);
     ASSERT_NE(backend, nullptr) << name;
     EXPECT_TRUE(backend->available()) << name;
@@ -74,6 +75,30 @@ TEST(GemmRegistry, ShipsAllFourBackends) {
     EXPECT_EQ(avx2->available(), util::cpu_supports_avx2());
   }
   EXPECT_EQ(util::find_gemm_backend("no_such_backend"), nullptr);
+}
+
+TEST(GemmRegistry, IdentityTiers) {
+  // The float backends honor the bitwise contract; only the quantized tier
+  // is tolerance-gated, and exactly those backends downcast to
+  // QuantizedGemmBackend.
+  for (const util::GemmBackend* backend : util::gemm_backends()) {
+    const bool quantized =
+        backend->identity_tier() == util::GemmIdentityTier::kToleranceGated;
+    EXPECT_EQ(util::as_quantized_backend(backend) != nullptr, quantized)
+        << backend->name();
+  }
+  EXPECT_EQ(util::find_gemm_backend("scalar_ref")->identity_tier(),
+            util::GemmIdentityTier::kBitwise);
+  const auto* int8 = util::as_quantized_backend(util::find_gemm_backend("int8_spike"));
+  const auto* int4 = util::as_quantized_backend(util::find_gemm_backend("int4_spike"));
+  ASSERT_NE(int8, nullptr);
+  ASSERT_NE(int4, nullptr);
+  EXPECT_EQ(int8->weight_bits(), 8);
+  EXPECT_EQ(int4->weight_bits(), 4);
+  // Auto-selection must never pick the quantized tier (it additionally
+  // requires calibrated weights).
+  EXPECT_EQ(util::resolve_gemm_backend(nullptr).identity_tier(),
+            util::GemmIdentityTier::kBitwise);
 }
 
 TEST(GemmRegistry, ResolutionRules) {
@@ -314,7 +339,9 @@ core::Experiment micro_experiment(const std::string& dataset, std::size_t timest
 
 /// Acceptance: BatchedSequentialEngine decisions — predictions, exit
 /// timesteps, entropies, and full logit trajectories — are identical under
-/// every registered backend, on all four dataset presets.
+/// every bitwise-tier backend, on all four dataset presets. The quantized
+/// tier is tolerance-gated instead (tests/test_quantized.cpp) and needs
+/// calibrated weights, so it is excluded here.
 TEST(GemmBackendEndToEnd, BatchedEngineDecisionsIdenticalUnderEveryBackend) {
   const core::EntropyExitPolicy policy(0.35);
   for (const std::string preset : {"sync10", "sync100", "syntin", "syndvs"}) {
@@ -333,7 +360,10 @@ TEST(GemmBackendEndToEnd, BatchedEngineDecisionsIdenticalUnderEveryBackend) {
     EXPECT_GT(ref_ctx.stats().calls(), 0u) << "context not threaded through " << preset;
 
     for (const util::GemmBackend* backend : util::gemm_backends()) {
-      if (!backend->available()) continue;
+      if (!backend->available() ||
+          backend->identity_tier() != util::GemmIdentityTier::kBitwise) {
+        continue;
+      }
       util::GemmContext ctx(*backend);
       e.net.set_gemm_context(&ctx);
       EXPECT_EQ(engine.gemm_backend(), backend->name());
