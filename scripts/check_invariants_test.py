@@ -45,6 +45,11 @@ EXPECTED_BAD = [
     ("src/dataplane.cpp", 12, "raw-thread-mmap"),  # mmap(
     ("src/dataplane.cpp", 13, "raw-thread-mmap"),  # munmap(
     ("src/kernels.cpp", 7, "omp-simd-reduction"),
+    # src/serve/ subtree: the fleet subsystem must not escape the
+    # determinism / annotated-locking / managed-thread rules.
+    ("src/serve/fleet_scheduler.cpp", 8, "naked-mutex"),
+    ("src/serve/fleet_scheduler.cpp", 11, "raw-thread-mmap"),
+    ("src/serve/fleet_scheduler.cpp", 16, "wall-clock"),
     ("bench/silent_bench.cpp", 1, "bench-report"),
     ("tests/test_quant_gate.cpp", 8, "quant-bitwise-oracle"),
 ]

@@ -1,0 +1,17 @@
+// Fixture for check_invariants_test.py: the serving-fleet subsystem lives
+// under src/serve/, so the wall-clock, naked-mutex, and raw-thread rules
+// must all fire on files in that subtree — a scheduler keyed on wall time,
+// a hand-rolled queue mutex, or a worker spawned as a bare std::thread are
+// exactly the regressions the fleet's determinism and annotated-locking
+// contracts forbid. Line numbers are asserted by the test — append only.
+
+std::mutex queue_mu;  // line 8: std::mutex outside util/sync.h
+
+void worker_pool() {
+  std::thread worker([] {});  // line 11: raw std::thread (use util::Thread)
+  worker.join();
+}
+
+long deadline_now_us() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // line 16
+}

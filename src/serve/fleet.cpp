@@ -1,0 +1,797 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "snn/layer.h"
+#include "snn/loss.h"
+#include "snn/quantize.h"
+#include "snn/serialize.h"
+#include "util/quant.h"
+
+namespace dtsnn::serve {
+
+namespace {
+
+double elapsed_us(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+/// Per-worker loop state: the live pool plus the row-reconciliation
+/// bookkeeping for this worker's network. Touched only by its own thread
+/// (the admission helpers mutate it while holding mu_, but always on
+/// behalf of — and called from — the owning worker).
+struct ServingFleet::Worker {
+  /// One live pool row.
+  struct Slot {
+    std::shared_ptr<Pending> owner;
+    std::size_t request_index = 0;
+    std::size_t sample = 0;
+    std::size_t t = 0;           ///< this sample's current 0-based timestep
+    std::vector<double> acc;     ///< [K] logit accumulators (oracle arithmetic)
+    std::vector<float> history;  ///< cum-logit trajectory when recording
+    TenantId tenant = kDefaultTenant;
+    ServeClock::time_point admitted_at;
+  };
+
+  std::size_t model = 0;
+  std::size_t max_pool = 0;
+  std::vector<Slot> pool;
+  bool active = false;            ///< the net holds single-step state for stepped_rows
+  std::size_t stepped_rows = 0;   ///< rows in the net's current inference state
+  std::vector<std::size_t> keep;  ///< surviving row indices into that state
+};
+
+ServingFleet::ServingFleet(std::vector<FleetModel> models, FleetConfig config)
+    : config_(std::move(config)),
+      scheduler_kind_(resolve_scheduler_kind(config_.scheduler)),
+      epoch_(ServeClock::now()) {
+  if (models.empty()) throw std::invalid_argument("ServingFleet: no models");
+  if (config_.max_queue == 0) throw std::invalid_argument("ServingFleet: max_queue == 0");
+  if (config_.latency_window == 0) {
+    throw std::invalid_argument("ServingFleet: latency_window == 0");
+  }
+  for (TenantSpec& spec : config_.tenants) tenants_.register_tenant(spec);
+  scheduler_ = make_scheduler(scheduler_kind_, &tenants_);
+
+  std::size_t max_budget = 1;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    FleetModel& m = models[i];
+    if (m.name.empty()) m.name = "model" + std::to_string(i);
+    const std::string who = "ServingFleet: model '" + m.name + "'";
+    if (m.network == nullptr) throw std::invalid_argument(who + ": null network");
+    if (m.dataset == nullptr) throw std::invalid_argument(who + ": null dataset");
+    if (m.default_policy == nullptr) {
+      throw std::invalid_argument(who + ": null default_policy");
+    }
+    if (m.max_timesteps == 0) throw std::invalid_argument(who + ": max_timesteps == 0");
+    if (m.max_pool == 0) throw std::invalid_argument(who + ": max_pool == 0");
+    if (m.workers == 0) throw std::invalid_argument(who + ": workers == 0");
+    if (m.workers > 1 && !m.make_replica) {
+      throw std::invalid_argument(who + ": workers > 1 needs a replica factory");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (models[j].name == m.name) {
+        throw std::invalid_argument("ServingFleet: duplicate model name '" + m.name + "'");
+      }
+    }
+    max_budget = std::max(max_budget, m.max_timesteps);
+  }
+
+  models_.reserve(models.size());
+  for (FleetModel& spec : models) {
+    Model m;
+    m.spec = std::move(spec);
+    if (!m.spec.gemm_backend.empty()) {
+      // Per-model tier selection, resolved loudly at construction: unknown /
+      // unavailable backends throw here, and a quantized backend demands
+      // weights calibrated at its bit-width — a misconfigured model must
+      // never fail on a worker thread mid-request.
+      const util::GemmBackend& backend =
+          util::resolve_gemm_backend(m.spec.gemm_backend.c_str());
+      if (const util::QuantizedGemmBackend* qb = util::as_quantized_backend(&backend)) {
+        const int bits = snn::network_quantized_bits(*m.spec.network);
+        if (bits != qb->weight_bits()) {
+          throw util::QuantizationError(
+              util::QuantizationError::Kind::kUncalibrated,
+              "ServingFleet: model '" + m.spec.name + "' gemm_backend '" +
+                  m.spec.gemm_backend + "' needs weights calibrated at " +
+                  std::to_string(qb->weight_bits()) + " bits, but the network " +
+                  (bits == 0   ? std::string("has no calibrated quantized weights")
+                   : bits == -1 ? std::string("is in a partial/mixed quantized state")
+                                : "is calibrated at " + std::to_string(bits) + " bits") +
+                  "; run core::calibrate_quantized first");
+        }
+      }
+      m.gemm_context = std::make_unique<util::GemmContext>(backend);
+      m.spec.network->set_gemm_context(m.gemm_context.get());
+    }
+    // Extra workers run on replicas with the trained (and, for quantized
+    // tiers, calibrated) state stamped in; all of a model's networks share
+    // its context (GemmContext is thread-safe for concurrent GEMM calls).
+    for (std::size_t w = 1; w < m.spec.workers; ++w) {
+      auto replica = std::make_unique<snn::SpikingNetwork>(m.spec.make_replica());
+      snn::copy_network_state(*m.spec.network, *replica);
+      if (m.gemm_context) replica->set_gemm_context(m.gemm_context.get());
+      m.replicas.push_back(std::move(replica));
+    }
+    m.prefetcher = std::make_unique<data::ShardPrefetcher>(*m.spec.dataset);
+    models_.push_back(std::move(m));
+  }
+
+  exit_hist_ = util::Histogram(max_budget);
+  queue_waits_us_ = util::BoundedSampleWindow(config_.latency_window);
+  latencies_us_ = util::BoundedSampleWindow(config_.latency_window);
+  tenant_counters_.resize(tenants_.size());
+  for (TenantCounters& tc : tenant_counters_) {
+    tc.queue_us = std::make_unique<util::BoundedSampleWindow>(config_.latency_window);
+    tc.latency_us = std::make_unique<util::BoundedSampleWindow>(config_.latency_window);
+  }
+
+  // Threads start last: everything above is immutable (or mu_-guarded) by
+  // the time any worker can observe it.
+  for (std::size_t mi = 0; mi < models_.size(); ++mi) {
+    for (std::size_t w = 0; w < models_[mi].spec.workers; ++w) {
+      snn::SpikingNetwork* net =
+          w == 0 ? models_[mi].spec.network : models_[mi].replicas[w - 1].get();
+      workers_.push_back(util::Thread([this, mi, w, net] { worker_loop(mi, w, *net); }));
+    }
+  }
+}
+
+ServingFleet::~ServingFleet() { drain(); }
+
+void ServingFleet::drain() {
+  {
+    util::MutexLock lk(mu_);
+    draining_ = true;
+  }
+  cv_workers_.notify_all();
+  // Serialize concurrent drainers: joinable()/join() on one thread handle
+  // from two threads is a race. mu_ cannot guard the joins (the workers
+  // take it), hence the dedicated mutex.
+  util::MutexLock lk(drain_mu_);
+  for (util::Thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // No worker steps the networks anymore; release the base networks back to
+  // the process default context ("after drain() the networks are free").
+  for (Model& m : models_) {
+    if (m.gemm_context) m.spec.network->set_gemm_context(nullptr);
+  }
+}
+
+const std::string& ServingFleet::model_name(std::size_t model) const {
+  if (model >= models_.size()) {
+    throw std::out_of_range("ServingFleet::model_name: model " + std::to_string(model));
+  }
+  return models_[model].spec.name;
+}
+
+std::size_t ServingFleet::model_max_timesteps(std::size_t model) const {
+  if (model >= models_.size()) {
+    throw std::out_of_range("ServingFleet::model_max_timesteps: model " +
+                            std::to_string(model));
+  }
+  return models_[model].spec.max_timesteps;
+}
+
+std::string ServingFleet::model_gemm_backend(std::size_t model) const {
+  if (model >= models_.size()) {
+    throw std::out_of_range("ServingFleet::model_gemm_backend: model " +
+                            std::to_string(model));
+  }
+  return std::string(models_[model].spec.network->gemm_context().backend().name());
+}
+
+std::size_t ServingFleet::model_index(const std::string& name) const {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].spec.name == name) return i;
+  }
+  std::string known;
+  for (const Model& m : models_) {
+    known += known.empty() ? "'" + m.spec.name + "'" : ", '" + m.spec.name + "'";
+  }
+  throw std::invalid_argument("ServingFleet: unknown model '" + name +
+                              "' (resident: " + known + ")");
+}
+
+Submission ServingFleet::submit(FleetRequest req) {
+  const std::size_t model = req.model.empty() ? 0 : model_index(req.model);
+  const Model& m = models_[model];
+  if (!tenants_.contains(req.tenant)) {
+    throw std::invalid_argument("ServingFleet::submit: unknown tenant id " +
+                                std::to_string(req.tenant) + " (registered: " +
+                                std::to_string(tenants_.size()) + ")");
+  }
+  core::InferenceRequest& r = req.request;
+  if (r.samples.empty()) {
+    r.samples.resize(m.spec.dataset->size());
+    std::iota(r.samples.begin(), r.samples.end(), 0);
+  }
+  // Clear errors at the submission site: bounds and duplicates per the
+  // shared core validator, and the budget override capped by the model's
+  // budget so the exit histogram's bin count stays a fleet invariant.
+  const std::size_t n_samples = core::validate_request_samples(
+      r.samples, m.spec.dataset->size(), "ServingFleet::submit",
+      /*allow_duplicates=*/false);
+  const std::size_t budget = r.max_timesteps ? r.max_timesteps : m.spec.max_timesteps;
+  if (budget > m.spec.max_timesteps) {
+    throw std::invalid_argument("ServingFleet::submit: per-request max_timesteps " +
+                                std::to_string(budget) + " exceeds model '" +
+                                m.spec.name + "' budget " +
+                                std::to_string(m.spec.max_timesteps));
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->model = model;
+  pending->tenant = req.tenant;
+  pending->policy = r.policy ? r.policy : m.spec.default_policy;
+  pending->budget = budget;
+  pending->record_logits = r.record_logits;
+  pending->deadline = req.deadline;
+  pending->on_result = std::move(req.on_result);
+  pending->submit_time = ServeClock::now();
+  pending->results.resize(n_samples);
+  pending->remaining.store(n_samples, std::memory_order_relaxed);
+  Submission out;
+  out.results = pending->promise.get_future();
+
+  // Scheduler key: the deadline as a microsecond offset from the fleet
+  // epoch (EDF orders on it); already-elapsed deadlines clamp to 0.
+  std::optional<std::uint64_t> deadline_us;
+  if (req.deadline.has_value()) {
+    const double us = elapsed_us(epoch_, *req.deadline);
+    deadline_us = us > 0.0 ? static_cast<std::uint64_t>(us) : 0;
+  }
+
+  {
+    util::MutexLock lk(mu_);
+    if (draining_) {
+      throw std::runtime_error("ServingFleet::submit: fleet is draining");
+    }
+    if (n_samples == 0) {
+      // Nothing to run (an empty dataset expands to an empty request):
+      // resolve now — workers only resolve promises as samples finish.
+      pending->settled.store(true, std::memory_order_release);
+      pending->promise.set_value({});
+      out.handle.id = next_request_id_++;
+      return out;
+    }
+    if (scheduler_->size() + n_samples > config_.max_queue) {
+      throw std::runtime_error("ServingFleet::submit: admission queue full (" +
+                               std::to_string(scheduler_->size()) +
+                               " waiting, capacity " +
+                               std::to_string(config_.max_queue) + ")");
+    }
+    const TenantSpec& ts = tenants_.spec(req.tenant);
+    TenantCounters& tc = tenant_counters_[req.tenant];
+    if (ts.max_queued > 0 && tc.queued + n_samples > ts.max_queued) {
+      ++tc.rejected_requests;
+      ++rejected_requests_;
+      throw TenantQuotaError(
+          req.tenant, "ServingFleet::submit: tenant '" + ts.name + "' over max_queued (" +
+                          std::to_string(tc.queued) + " waiting + " +
+                          std::to_string(n_samples) + " submitted > quota " +
+                          std::to_string(ts.max_queued) + ")");
+    }
+    pending->id = next_request_id_++;
+    out.handle.id = pending->id;
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      QueuedSample unit;
+      unit.owner = pending;
+      unit.request_index = i;
+      unit.sample = r.samples[i];
+      unit.model = model;
+      unit.tenant = req.tenant;
+      unit.seq = next_seq_++;
+      unit.deadline_us = deadline_us;
+      scheduler_->push(std::move(unit));
+    }
+    ++submitted_requests_;
+    submitted_samples_ += n_samples;
+    tc.submitted_samples += n_samples;
+    tc.queued += n_samples;
+    live_requests_.push_back(std::move(pending));
+  }
+  cv_workers_.notify_all();
+  return out;
+}
+
+bool ServingFleet::cancel(RequestHandle handle) {
+  if (handle.id == 0) return false;
+  std::shared_ptr<Pending> target;
+  {
+    util::MutexLock lk(mu_);
+    for (const std::shared_ptr<Pending>& p : live_requests_) {
+      if (p->id == handle.id) {
+        target = p;
+        break;
+      }
+    }
+    if (!target) return false;
+    if (target->settled.load(std::memory_order_acquire)) return false;
+    target->cancelled.store(true, std::memory_order_release);
+    ++cancelled_requests_;
+    // Queued samples leave right now; residents force-exit at their
+    // worker's next timestep boundary (purge_dead_slots), reported as
+    // cancelled_live there.
+    auto& counters = tenant_counters_;
+    auto& cancelled_queued = cancelled_queued_;
+    scheduler_->purge(
+        [&](const QueuedSample& u) { return u.owner.get() == target.get(); },
+        [&](QueuedSample& u) {
+          TenantCounters& tc = counters[u.tenant];
+          --tc.queued;
+          ++tc.cancelled_queued;
+          ++cancelled_queued;
+        });
+  }
+  // Settle the future outside the lock (promise machinery can run
+  // continuations); the exchange keeps it exactly-once against a racing
+  // final delivery.
+  if (!target->settled.exchange(true, std::memory_order_acq_rel)) {
+    target->promise.set_exception(std::make_exception_ptr(
+        CancelledError("ServingFleet: request " + std::to_string(handle.id) + " cancelled")));
+  }
+  cv_workers_.notify_all();
+  return true;
+}
+
+FleetStats ServingFleet::stats() const {
+  FleetStats s;
+  std::vector<double> queue_window;
+  std::vector<double> latency_window;
+  std::vector<std::vector<double>> tenant_queue_windows;
+  std::vector<std::vector<double>> tenant_latency_windows;
+  {
+    util::MutexLock lk(mu_);
+    snapshot_counters(s, queue_window, latency_window, tenant_queue_windows,
+                      tenant_latency_windows);
+  }
+  // Percentile sorts run outside the lock so a stats() poll never stalls
+  // admission or completion publishing.
+  s.queue_us = util::summarize_percentiles(queue_window);
+  s.latency_us = util::summarize_percentiles(latency_window);
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    s.tenants[i].queue_us = util::summarize_percentiles(tenant_queue_windows[i]);
+    s.tenants[i].latency_us = util::summarize_percentiles(tenant_latency_windows[i]);
+  }
+  return s;
+}
+
+void ServingFleet::snapshot_counters(
+    FleetStats& s, std::vector<double>& queue_window, std::vector<double>& latency_window,
+    std::vector<std::vector<double>>& tenant_queue_windows,
+    std::vector<std::vector<double>>& tenant_latency_windows) const {
+  s.submitted_requests = submitted_requests_;
+  s.submitted_samples = submitted_samples_;
+  s.completed_samples = completed_samples_;
+  s.failed_samples = failed_samples_;
+  s.cancelled_queued_samples = cancelled_queued_;
+  s.cancelled_live_samples = cancelled_live_;
+  s.cancelled_requests = cancelled_requests_;
+  s.deadline_forced_exits = deadline_forced_;
+  s.deadline_missed = deadline_missed_;
+  s.rejected_requests = rejected_requests_;
+  s.queue_depth = scheduler_->size();
+  s.live_samples = live_samples_;
+  s.peak_pool = peak_pool_;
+  s.exit_timesteps = exit_hist_;
+  s.mean_exit_timestep = completed_samples_ ? exit_hist_.mean() + 1.0 : 0.0;
+  queue_window = queue_waits_us_.snapshot();
+  latency_window = latencies_us_.snapshot();
+  s.tenants.resize(tenant_counters_.size());
+  tenant_queue_windows.resize(tenant_counters_.size());
+  tenant_latency_windows.resize(tenant_counters_.size());
+  for (std::size_t i = 0; i < tenant_counters_.size(); ++i) {
+    const TenantCounters& tc = tenant_counters_[i];
+    TenantStats& ts = s.tenants[i];
+    ts.name = tenants_.spec(static_cast<TenantId>(i)).name;
+    ts.submitted_samples = tc.submitted_samples;
+    ts.completed_samples = tc.completed_samples;
+    ts.failed_samples = tc.failed_samples;
+    ts.cancelled_queued_samples = tc.cancelled_queued;
+    ts.cancelled_live_samples = tc.cancelled_live;
+    ts.deadline_forced_exits = tc.deadline_forced;
+    ts.deadline_missed = tc.deadline_missed;
+    ts.rejected_requests = tc.rejected_requests;
+    ts.queue_depth = tc.queued;
+    ts.in_flight = tc.in_flight;
+    tenant_queue_windows[i] = tc.queue_us->snapshot();
+    tenant_latency_windows[i] = tc.latency_us->snapshot();
+  }
+}
+
+bool ServingFleet::has_admissible(std::size_t model) const {
+  const auto& counters = tenant_counters_;
+  const TenantRegistry& tenants = tenants_;
+  return scheduler_->any([&counters, &tenants, model](const QueuedSample& u) {
+    if (u.model != model) return false;
+    const TenantSpec& ts = tenants.spec(u.tenant);
+    return ts.max_in_flight == 0 || counters[u.tenant].in_flight < ts.max_in_flight;
+  });
+}
+
+bool ServingFleet::wait_for_work(util::MutexLock& lk, std::size_t model) {
+  while (true) {
+    if (has_admissible(model)) break;
+    if (draining_) {
+      // Drained for this worker only when nothing for its model remains
+      // queued at all. Quota-blocked units don't end the loop: the pools
+      // holding their tenant's in-flight samples will finish, decrement,
+      // and notify.
+      const bool any_for_model = scheduler_->any(
+          [model](const QueuedSample& u) { return u.model == model; });
+      if (!any_for_model) return false;
+    }
+    cv_workers_.wait(lk);
+  }
+  const std::size_t max_pool = models_[model].spec.max_pool;
+  if (config_.admission_window.count() > 0 && scheduler_->size() < max_pool) {
+    // Dynamic batching: an idle worker holds the first arrivals until its
+    // pool would launch full or the window expires.
+    const ServeClock::time_point deadline = ServeClock::now() + config_.admission_window;
+    while (!draining_ && scheduler_->size() < max_pool) {
+      if (cv_workers_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
+  }
+  return true;
+}
+
+void ServingFleet::purge_dead_slots(Worker& w) {
+  if (w.pool.empty()) return;
+  std::size_t dropped = 0;
+  std::size_t dst = 0;
+  for (std::size_t j = 0; j < w.pool.size(); ++j) {
+    Worker::Slot& slot = w.pool[j];
+    const bool failed = slot.owner->failed.load(std::memory_order_acquire);
+    const bool cancelled =
+        !failed && slot.owner->cancelled.load(std::memory_order_acquire);
+    if (failed || cancelled) {
+      // This is the resident half of cancellation: the slot force-exits at
+      // this timestep boundary, its row never steps again. (Failed slots'
+      // results would be discarded anyway — same reclamation.)
+      TenantCounters& tc = tenant_counters_[slot.tenant];
+      --tc.in_flight;
+      if (failed) {
+        ++failed_samples_;
+        ++tc.failed_samples;
+      } else {
+        ++cancelled_live_;
+        ++tc.cancelled_live;
+      }
+      ++dropped;
+      continue;
+    }
+    if (dst != j) {
+      w.pool[dst] = std::move(w.pool[j]);
+      w.keep[dst] = w.keep[j];
+    }
+    ++dst;
+  }
+  if (dropped > 0) {
+    w.pool.resize(dst);
+    w.keep.resize(dst);
+    live_samples_ -= dropped;
+  }
+}
+
+std::size_t ServingFleet::admit_waiting(Worker& w,
+                                        std::vector<std::size_t>& admitted_samples,
+                                        std::size_t classes) {
+  const ServeClock::time_point now = ServeClock::now();
+  const std::size_t model = w.model;
+  auto& counters = tenant_counters_;
+  const TenantRegistry& tenants = tenants_;
+  const AdmissionFilter admissible = [&counters, &tenants, model](const QueuedSample& u) {
+    if (u.model != model) return false;
+    const TenantSpec& ts = tenants.spec(u.tenant);
+    return ts.max_in_flight == 0 || counters[u.tenant].in_flight < ts.max_in_flight;
+  };
+  std::size_t admitted = 0;
+  while (w.pool.size() < w.max_pool) {
+    std::optional<QueuedSample> unit = scheduler_->pop(admissible);
+    if (!unit.has_value()) break;
+    auto owner = std::static_pointer_cast<Pending>(unit->owner);
+    TenantCounters& tc = tenant_counters_[unit->tenant];
+    --tc.queued;
+    if (owner->failed.load(std::memory_order_acquire)) {
+      // The request was already failed by a worker-side error; its promise
+      // holds the exception, so its stragglers are discarded.
+      ++failed_samples_;
+      ++tc.failed_samples;
+      continue;
+    }
+    if (owner->cancelled.load(std::memory_order_acquire)) {
+      // cancel() purges queued units under mu_, so this only covers a unit
+      // pushed-and-cancelled between our pop attempts; it never ran.
+      ++cancelled_queued_;
+      ++tc.cancelled_queued;
+      continue;
+    }
+    Worker::Slot slot;
+    slot.owner = std::move(owner);
+    slot.request_index = unit->request_index;
+    slot.sample = unit->sample;
+    slot.tenant = unit->tenant;
+    slot.acc.assign(classes, 0.0);
+    slot.admitted_at = now;
+    ++tc.in_flight;
+    admitted_samples.push_back(slot.sample);
+    w.pool.push_back(std::move(slot));
+    ++admitted;
+  }
+  live_samples_ += admitted;
+  peak_pool_ = std::max(peak_pool_, w.pool.size());
+  return admitted;
+}
+
+void ServingFleet::worker_loop(std::size_t model, std::size_t worker_index,
+                               snn::SpikingNetwork& net) {
+  (void)worker_index;
+  const Model& m = models_[model];
+  const data::Dataset& dataset = *m.spec.dataset;
+  const std::size_t k = net.num_classes();
+  const snn::Shape fs = dataset.frame_shape();
+  const std::size_t frame_numel = snn::shape_numel(fs);
+
+  Worker w;
+  w.model = model;
+  w.max_pool = m.spec.max_pool;
+  std::vector<float> cum(k);
+
+  struct Finished {
+    core::InferenceResult result;
+    std::shared_ptr<Pending> owner;
+    std::size_t exit_timestep = 0;  ///< copy that survives moving `result` out
+    TenantId tenant = kDefaultTenant;
+    double queue_wait_us = 0.0;
+    double latency_us = 0.0;
+    bool deadline_forced = false;
+    bool deadline_missed = false;
+    bool delivered = false;
+    enum class Discard { kNone, kFailed, kCancelled };
+    Discard discard = Discard::kNone;  ///< classified at delivery time
+  };
+  std::vector<Finished> done;
+
+  while (true) {
+    // ---- Admission. Waiting samples fill free slots at every timestep
+    // boundary, in scheduler-policy order; an idle worker first blocks for
+    // work (and optionally holds the admission window).
+    std::size_t admitted = 0;
+    std::vector<std::size_t> admitted_samples;
+    bool purged = false;
+    {
+      util::MutexLock lk(mu_);
+      // Reclaim slots whose request failed or was cancelled since the last
+      // boundary — the force-exit point of cancellation.
+      const std::size_t before = w.pool.size();
+      purge_dead_slots(w);
+      purged = w.pool.size() != before;
+      if (w.pool.empty() && !wait_for_work(lk, model)) break;
+      admitted = admit_waiting(w, admitted_samples, k);
+    }
+    // Purged slots released tenant in-flight quota: wake quota-blocked
+    // siblings.
+    if (purged) cv_workers_.notify_all();
+    if (w.pool.empty()) continue;
+    // Warm storage-backed datasets for the newly admitted samples outside
+    // the admission lock, overlapping this cycle's pool step when the
+    // background prefetcher is active.
+    if (!admitted_samples.empty()) {
+      if (m.prefetcher->active()) {
+        m.prefetcher->enqueue(admitted_samples);
+      } else {
+        dataset.prefetch(admitted_samples);
+      }
+    }
+
+    done.clear();
+    try {
+      // ---- Reconcile LIF state with the pool: survivors keep their rows
+      // (in order), admissions become fresh zero-state rows — mid-flight
+      // admission is a pure gather, so residents' trajectories are
+      // unaffected (the bitwise identity contract).
+      if (!w.active) {
+        net.begin_inference(w.pool.size());
+        w.active = true;
+      } else if (admitted > 0 || w.keep.size() != w.stepped_rows) {
+        w.keep.resize(w.keep.size() + admitted, snn::Layer::kFreshRow);
+        net.compact_inference_state(w.keep);
+      }
+      w.stepped_rows = w.pool.size();
+
+      // ---- One timestep for the whole pool, each sample at its own t.
+      snn::Tensor x({w.pool.size(), fs[0], fs[1], fs[2]});
+      for (std::size_t j = 0; j < w.pool.size(); ++j) {
+        dataset.write_frame(w.pool[j].sample, w.pool[j].t,
+                            {x.data() + j * frame_numel, frame_numel});
+      }
+      snn::Tensor y = net.step(x);  // [pool, K]
+
+      // ---- Exit decisions: same arithmetic and decision order as the
+      // offline engines (cumulative_mean_step, then budget → policy →
+      // deadline via one shared core::make_exit_result).
+      const ServeClock::time_point decided_at = ServeClock::now();
+      w.keep.clear();
+      std::size_t dst = 0;
+      for (std::size_t j = 0; j < w.pool.size(); ++j) {
+        Worker::Slot& s = w.pool[j];
+        const Pending& p = *s.owner;
+        snn::cumulative_mean_step(y.data() + j * k, s.acc.data(), cum.data(), k, s.t);
+        if (p.record_logits) s.history.insert(s.history.end(), cum.begin(), cum.end());
+        // Same short-circuit order as the offline engines (budget first,
+        // policy only when not exhausted), so a policy is consulted for
+        // exactly the same cum rows as on the batch-1 oracle; the deadline
+        // is consulted last and only breaks ties neither of them claimed.
+        const bool exhausted = s.t + 1 == p.budget;
+        const bool policy_exit = !exhausted && p.policy->should_exit(cum);
+        const bool past_deadline =
+            !exhausted && !policy_exit && p.deadline && decided_at >= *p.deadline;
+        if (exhausted || policy_exit || past_deadline) {
+          Finished f;
+          f.result = core::make_exit_result(cum, s.t, p.record_logits, s.history);
+          f.result.request_index = s.request_index;
+          f.result.sample = s.sample;
+          f.owner = std::move(s.owner);
+          f.exit_timestep = f.result.exit_timestep;
+          f.tenant = s.tenant;
+          f.queue_wait_us = elapsed_us(f.owner->submit_time, s.admitted_at);
+          f.latency_us = elapsed_us(f.owner->submit_time, decided_at);
+          f.deadline_forced = past_deadline;
+          f.deadline_missed = p.deadline && decided_at >= *p.deadline;
+          done.push_back(std::move(f));
+        } else {
+          s.t += 1;
+          w.keep.push_back(j);
+          if (dst != j) w.pool[dst] = std::move(w.pool[j]);
+          ++dst;
+        }
+      }
+      w.pool.resize(dst);
+    } catch (...) {
+      // A throw on a worker thread (user exit policy, encoding, OOM, ...)
+      // must never take the process down. This network's state is
+      // indeterminate mid-step, so every in-flight sample's trajectory on
+      // THIS worker is unrecoverable: fail their requests and keep serving
+      // with a fresh pool. Other workers' pools are untouched — they purge
+      // the failed requests' slots at their own next boundary.
+      const std::exception_ptr error = std::current_exception();
+      std::size_t failed = 0;
+      std::vector<TenantId> failed_tenants;
+      const auto fail_owner = [&](const std::shared_ptr<Pending>& owner, TenantId tenant) {
+        if (!owner) return;
+        ++failed;
+        failed_tenants.push_back(tenant);
+        owner->failed.store(true, std::memory_order_release);
+        if (!owner->settled.exchange(true, std::memory_order_acq_rel)) {
+          owner->promise.set_exception(error);
+        }
+      };
+      // Each live sample on this worker is exactly one non-null owner ref
+      // across pool ∪ done (the decision loop's moves leave nulls behind),
+      // so `failed` is also the live-sample count to release.
+      for (const Finished& f : done) fail_owner(f.owner, f.tenant);
+      for (const Worker::Slot& s : w.pool) fail_owner(s.owner, s.tenant);
+      w.pool.clear();
+      done.clear();
+      w.active = false;
+      w.stepped_rows = 0;
+      w.keep.clear();
+      {
+        util::MutexLock lk(mu_);
+        failed_samples_ += failed;
+        live_samples_ -= failed;
+        for (const TenantId t : failed_tenants) {
+          TenantCounters& tc = tenant_counters_[t];
+          ++tc.failed_samples;
+          --tc.in_flight;
+        }
+      }
+      cv_workers_.notify_all();
+      continue;
+    }
+    if (w.pool.empty()) {
+      // Fully drained pool: drop the stale state; the next admission begins
+      // a fresh inference sequence (matches the offline batched engine).
+      w.active = false;
+      w.stepped_rows = 0;
+      w.keep.clear();
+    }
+
+    if (done.empty()) continue;
+    // Deliver outside the lock: callbacks first (streaming), then the
+    // request future once its last sample has exited anywhere in the fleet
+    // (remaining is the cross-worker rendezvous; each worker decrements
+    // only after writing its disjoint results slots, so the finisher's
+    // acquire sees them all). Samples of a failed or cancelled request are
+    // discarded, not delivered.
+    std::size_t discarded_failed = 0;
+    std::size_t discarded_cancelled = 0;
+    for (Finished& f : done) {
+      Pending& p = *f.owner;
+      if (p.failed.load(std::memory_order_acquire)) {
+        f.discard = Finished::Discard::kFailed;
+        ++discarded_failed;
+        continue;
+      }
+      if (p.cancelled.load(std::memory_order_acquire)) {
+        f.discard = Finished::Discard::kCancelled;
+        ++discarded_cancelled;
+        continue;
+      }
+      try {
+        if (p.on_result) p.on_result(f.result);
+        p.results[f.result.request_index] = std::move(f.result);
+        if (p.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (!p.settled.exchange(true, std::memory_order_acq_rel)) {
+            p.promise.set_value(std::move(p.results));
+          }
+        }
+        f.delivered = true;
+      } catch (...) {
+        // A throwing result callback fails its own request only.
+        p.failed.store(true, std::memory_order_release);
+        if (!p.settled.exchange(true, std::memory_order_acq_rel)) {
+          p.promise.set_exception(std::current_exception());
+        }
+        f.discard = Finished::Discard::kFailed;
+        ++discarded_failed;
+      }
+    }
+    // Only delivered results enter the stats: completed, failed, and
+    // cancelled samples partition the submitted ones, and discarded work
+    // never skews the latency digests or the exit histogram.
+    {
+      util::MutexLock lk(mu_);
+      for (const Finished& f : done) {
+        TenantCounters& tc = tenant_counters_[f.tenant];
+        --tc.in_flight;
+        if (!f.delivered) {
+          if (f.discard == Finished::Discard::kCancelled) {
+            ++tc.cancelled_live;
+          } else {
+            ++tc.failed_samples;
+          }
+          continue;
+        }
+        ++completed_samples_;
+        ++tc.completed_samples;
+        if (f.deadline_forced) {
+          ++deadline_forced_;
+          ++tc.deadline_forced;
+        }
+        if (f.deadline_missed) {
+          ++deadline_missed_;
+          ++tc.deadline_missed;
+        }
+        exit_hist_.add(f.exit_timestep - 1);
+        queue_waits_us_.add(f.queue_wait_us);
+        latencies_us_.add(f.latency_us);
+        tc.queue_us->add(f.queue_wait_us);
+        tc.latency_us->add(f.latency_us);
+      }
+      failed_samples_ += discarded_failed;
+      cancelled_live_ += discarded_cancelled;
+      live_samples_ -= done.size();
+      // Fully settled requests with no remaining references anywhere in the
+      // fleet can leave the cancellation index.
+      live_requests_.erase(
+          std::remove_if(live_requests_.begin(), live_requests_.end(),
+                         [](const std::shared_ptr<Pending>& p) {
+                           return p->settled.load(std::memory_order_acquire) &&
+                                  p.use_count() == 1;
+                         }),
+          live_requests_.end());
+    }
+    // Completions freed pool slots and tenant quota: wake waiting workers.
+    cv_workers_.notify_all();
+  }
+}
+
+}  // namespace dtsnn::serve

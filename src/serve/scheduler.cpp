@@ -1,0 +1,255 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/env.h"
+
+namespace dtsnn::serve {
+
+std::string_view scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kEdf: return "edf";
+    case SchedulerKind::kWeightedFair: return "weighted_fair";
+  }
+  throw std::invalid_argument("scheduler_kind_name: corrupt SchedulerKind");
+}
+
+SchedulerKind scheduler_kind_from_name(std::string_view name) {
+  if (name == "fifo") return SchedulerKind::kFifo;
+  if (name == "edf") return SchedulerKind::kEdf;
+  if (name == "weighted_fair") return SchedulerKind::kWeightedFair;
+  throw std::invalid_argument("scheduler_kind_from_name: unknown scheduler '" +
+                              std::string(name) +
+                              "' (expected fifo, edf, or weighted_fair)");
+}
+
+SchedulerKind resolve_scheduler_kind(const std::string& configured) {
+  if (!configured.empty()) return scheduler_kind_from_name(configured);
+  if (const auto env = util::env_string("DTSNN_SERVE_SCHEDULER")) {
+    try {
+      return scheduler_kind_from_name(*env);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(
+          "DTSNN_SERVE_SCHEDULER='" + *env +
+          "': unknown scheduler (expected fifo, edf, or weighted_fair)");
+    }
+  }
+  return SchedulerKind::kFifo;
+}
+
+namespace {
+
+/// Strict arrival order; pop() takes the first admissible waiter so a
+/// quota-blocked or other-model head never wedges the queue.
+class FifoScheduler final : public Scheduler {
+ public:
+  void push(QueuedSample unit) override { queue_.push_back(std::move(unit)); }
+
+  std::optional<QueuedSample> pop(const AdmissionFilter& admissible) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!admissible(*it)) continue;
+      QueuedSample unit = std::move(*it);
+      queue_.erase(it);
+      return unit;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t purge(const std::function<bool(const QueuedSample&)>& victim,
+                    const std::function<void(QueuedSample&)>& on_removed) override {
+    std::size_t removed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (victim(*it)) {
+        if (on_removed) on_removed(*it);
+        it = queue_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  [[nodiscard]] bool any(const AdmissionFilter& admissible) const override {
+    return std::any_of(queue_.begin(), queue_.end(), admissible);
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kFifo; }
+
+ private:
+  std::deque<QueuedSample> queue_;
+};
+
+/// Earliest-deadline-first. Keyed by (absolute deadline, arrival seq):
+/// deadline-free samples sort as deadline = +inf, i.e. after every
+/// deadline-bound one, in arrival order among themselves.
+class EdfScheduler final : public Scheduler {
+ public:
+  void push(QueuedSample unit) override {
+    const std::uint64_t key =
+        unit.deadline_us ? *unit.deadline_us : std::numeric_limits<std::uint64_t>::max();
+    queue_.emplace(std::make_pair(key, unit.seq), std::move(unit));
+  }
+
+  std::optional<QueuedSample> pop(const AdmissionFilter& admissible) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!admissible(it->second)) continue;
+      QueuedSample unit = std::move(it->second);
+      queue_.erase(it);
+      return unit;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t purge(const std::function<bool(const QueuedSample&)>& victim,
+                    const std::function<void(QueuedSample&)>& on_removed) override {
+    std::size_t removed = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (victim(it->second)) {
+        if (on_removed) on_removed(it->second);
+        it = queue_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  [[nodiscard]] bool any(const AdmissionFilter& admissible) const override {
+    return std::any_of(queue_.begin(), queue_.end(),
+                       [&](const auto& kv) { return admissible(kv.second); });
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] SchedulerKind kind() const override { return SchedulerKind::kEdf; }
+
+ private:
+  std::multimap<std::pair<std::uint64_t, std::uint64_t>, QueuedSample> queue_;
+};
+
+/// Start-time weighted fair queuing over tenant classes. Every admitted
+/// sample charges its tenant 1/weight of virtual time; the backlogged
+/// tenant with the least virtual time (ties: lower id) is served next,
+/// FIFO within the tenant. A tenant that goes idle and returns has its
+/// clock caught up to the backlog's minimum, so it cannot bank credit
+/// while idle and then monopolize the pools.
+class WeightedFairScheduler final : public Scheduler {
+ public:
+  explicit WeightedFairScheduler(const TenantRegistry* tenants) : tenants_(tenants) {}
+
+  void push(QueuedSample unit) override {
+    Lane& lane = lane_for(unit.tenant);
+    if (lane.queue.empty()) {
+      // Fresh backlog: catch the lane's clock up to the least-served
+      // backlogged lane, so an idle tenant cannot bank virtual time and
+      // then lock out the others on return.
+      const double mv = min_backlogged_vtime();
+      if (mv != std::numeric_limits<double>::infinity()) {
+        lane.vtime = std::max(lane.vtime, mv);
+      }
+    }
+    lane.queue.push_back(std::move(unit));
+    ++size_;
+  }
+
+  std::optional<QueuedSample> pop(const AdmissionFilter& admissible) override {
+    // Tenants in (vtime, id) order; within a tenant, arrival order.
+    std::vector<std::pair<double, TenantId>> order;
+    order.reserve(lanes_.size());
+    for (const auto& [id, lane] : lanes_) {
+      if (!lane.queue.empty()) order.emplace_back(lane.vtime, id);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [vtime, id] : order) {
+      Lane& lane = lanes_.at(id);
+      for (auto it = lane.queue.begin(); it != lane.queue.end(); ++it) {
+        if (!admissible(*it)) continue;
+        QueuedSample unit = std::move(*it);
+        lane.queue.erase(it);
+        --size_;
+        lane.vtime += 1.0 / weight(id);
+        return unit;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t purge(const std::function<bool(const QueuedSample&)>& victim,
+                    const std::function<void(QueuedSample&)>& on_removed) override {
+    std::size_t removed = 0;
+    for (auto& [id, lane] : lanes_) {
+      for (auto it = lane.queue.begin(); it != lane.queue.end();) {
+        if (victim(*it)) {
+          if (on_removed) on_removed(*it);
+          it = lane.queue.erase(it);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    size_ -= removed;
+    return removed;
+  }
+
+  [[nodiscard]] bool any(const AdmissionFilter& admissible) const override {
+    for (const auto& [id, lane] : lanes_) {
+      if (std::any_of(lane.queue.begin(), lane.queue.end(), admissible)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] SchedulerKind kind() const override {
+    return SchedulerKind::kWeightedFair;
+  }
+
+ private:
+  struct Lane {
+    std::deque<QueuedSample> queue;
+    double vtime = 0.0;
+  };
+
+  Lane& lane_for(TenantId id) { return lanes_[id]; }
+
+  [[nodiscard]] double weight(TenantId id) const {
+    if (tenants_ != nullptr && tenants_->contains(id)) return tenants_->spec(id).weight;
+    return 1.0;
+  }
+
+  [[nodiscard]] double min_backlogged_vtime() const {
+    double mv = std::numeric_limits<double>::infinity();
+    for (const auto& [id, lane] : lanes_) {
+      if (!lane.queue.empty()) mv = std::min(mv, lane.vtime);
+    }
+    return mv;
+  }
+
+  const TenantRegistry* tenants_;
+  std::map<TenantId, Lane> lanes_;  ///< ordered: deterministic id tie-break
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const TenantRegistry* tenants) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kEdf: return std::make_unique<EdfScheduler>();
+    case SchedulerKind::kWeightedFair:
+      return std::make_unique<WeightedFairScheduler>(tenants);
+  }
+  throw std::invalid_argument("make_scheduler: corrupt SchedulerKind");
+}
+
+}  // namespace dtsnn::serve

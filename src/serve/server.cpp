@@ -1,20 +1,44 @@
 #include "serve/server.h"
 
-#include <algorithm>
-#include <numeric>
-#include <stdexcept>
-
-#include "snn/layer.h"
-#include "snn/loss.h"
-#include "snn/quantize.h"
-#include "util/quant.h"
+#include <utility>
 
 namespace dtsnn::serve {
 
 namespace {
 
-double elapsed_us(ServeClock::time_point from, ServeClock::time_point to) {
-  return std::chrono::duration<double, std::micro>(to - from).count();
+FleetModel single_model(snn::SpikingNetwork& net, const data::Dataset& dataset,
+                        const core::ExitPolicy& default_policy,
+                        std::size_t max_timesteps, const ServerConfig& config) {
+  if (max_timesteps == 0) {
+    throw std::invalid_argument("InferenceServer: max_timesteps == 0");
+  }
+  if (config.max_pool == 0) throw std::invalid_argument("InferenceServer: max_pool == 0");
+  if (config.max_queue == 0) {
+    throw std::invalid_argument("InferenceServer: max_queue == 0");
+  }
+  if (config.latency_window == 0) {
+    throw std::invalid_argument("InferenceServer: latency_window == 0");
+  }
+  FleetModel m;
+  m.name = "default";
+  m.network = &net;
+  m.dataset = &dataset;
+  m.default_policy = &default_policy;
+  m.max_timesteps = max_timesteps;
+  m.workers = 1;
+  m.max_pool = config.max_pool;
+  m.gemm_backend = config.gemm_backend;
+  return m;
+}
+
+FleetConfig fleet_config(const ServerConfig& config) {
+  FleetConfig fc;
+  fc.max_queue = config.max_queue;
+  fc.admission_window = config.admission_window;
+  fc.latency_window = config.latency_window;
+  fc.scheduler = config.scheduler;
+  fc.tenants = config.tenants;
+  return fc;
 }
 
 }  // namespace
@@ -22,424 +46,50 @@ double elapsed_us(ServeClock::time_point from, ServeClock::time_point to) {
 InferenceServer::InferenceServer(snn::SpikingNetwork& net, const data::Dataset& dataset,
                                  const core::ExitPolicy& default_policy,
                                  std::size_t max_timesteps, ServerConfig config)
-    : net_(net),
-      dataset_(dataset),
-      default_policy_(default_policy),
-      max_timesteps_(max_timesteps),
-      config_(config),
-      exit_hist_(std::max<std::size_t>(max_timesteps, 1)),
-      queue_waits_us_(std::max<std::size_t>(config.latency_window, 1)),
-      latencies_us_(std::max<std::size_t>(config.latency_window, 1)),
-      prefetcher_(dataset) {
-  if (max_timesteps_ == 0) {
-    throw std::invalid_argument("InferenceServer: max_timesteps == 0");
-  }
-  if (config_.max_pool == 0) throw std::invalid_argument("InferenceServer: max_pool == 0");
-  if (config_.max_queue == 0) {
-    throw std::invalid_argument("InferenceServer: max_queue == 0");
-  }
-  if (config_.latency_window == 0) {
-    throw std::invalid_argument("InferenceServer: latency_window == 0");
-  }
-  if (!config_.gemm_backend.empty()) {
-    // Per-model backend selection. Resolve loudly (unknown / unavailable
-    // names throw) and, for the quantized tier, verify calibrated weights at
-    // the right bit-width up front — a misconfigured model must fail at
-    // construction, not on the worker thread mid-request.
-    const util::GemmBackend& backend =
-        util::resolve_gemm_backend(config_.gemm_backend.c_str());
-    if (const util::QuantizedGemmBackend* qb = util::as_quantized_backend(&backend)) {
-      const int bits = snn::network_quantized_bits(net_);
-      if (bits != qb->weight_bits()) {
-        throw util::QuantizationError(
-            util::QuantizationError::Kind::kUncalibrated,
-            "InferenceServer: ServerConfig.gemm_backend '" + config_.gemm_backend +
-                "' needs weights calibrated at " +
-                std::to_string(qb->weight_bits()) + " bits, but the network " +
-                (bits == 0   ? std::string("has no calibrated quantized weights")
-                 : bits == -1 ? std::string("is in a partial/mixed quantized state")
-                              : "is calibrated at " + std::to_string(bits) + " bits") +
-                "; run core::calibrate_quantized first");
-      }
-    }
-    owned_gemm_context_.emplace(backend);
-    net_.set_gemm_context(&*owned_gemm_context_);
-  }
-  worker_ = util::Thread([this] { worker_loop(); });
-}
+    : config_(std::move(config)),
+      fleet_({single_model(net, dataset, default_policy, max_timesteps, config_)},
+             fleet_config(config_)) {}
 
-InferenceServer::~InferenceServer() { drain(); }
+InferenceServer::~InferenceServer() = default;
 
-void InferenceServer::drain() {
-  {
-    util::MutexLock lk(mu_);
-    draining_ = true;
-  }
-  cv_worker_.notify_all();
-  // Serialize concurrent drainers: joinable()/join() on one thread handle
-  // from two threads is a race. mu_ cannot guard the join (the worker
-  // takes it), hence the dedicated mutex.
-  util::MutexLock lk(drain_mu_);
-  if (worker_.joinable()) worker_.join();
-  // The worker no longer steps the network; release it back to the process
-  // default context ("after drain() the network is free for other users").
-  if (owned_gemm_context_.has_value()) net_.set_gemm_context(nullptr);
-}
-
-std::string InferenceServer::gemm_backend() const {
-  return std::string(net_.gemm_context().backend().name());
-}
+void InferenceServer::drain() { fleet_.drain(); }
 
 std::future<std::vector<core::InferenceResult>> InferenceServer::submit(ServeRequest req) {
-  core::InferenceRequest& r = req.request;
-  if (r.samples.empty()) {
-    r.samples.resize(dataset_.size());
-    std::iota(r.samples.begin(), r.samples.end(), 0);
-  }
-  // Clear errors at the submission site (instead of deep in the worker):
-  // bounds and duplicates per the shared core validator, and the budget
-  // override capped by the server budget so the exit histogram's bin count
-  // is an invariant of the server, not of its traffic.
-  const std::size_t n_samples = core::validate_request_samples(
-      r.samples, dataset_.size(), "InferenceServer::submit",
-      /*allow_duplicates=*/false);
-  const std::size_t budget = r.max_timesteps ? r.max_timesteps : max_timesteps_;
-  if (budget > max_timesteps_) {
-    throw std::invalid_argument("InferenceServer::submit: per-request max_timesteps " +
-                                std::to_string(budget) + " exceeds server budget " +
-                                std::to_string(max_timesteps_));
-  }
-
-  auto pending = std::make_shared<Pending>();
-  pending->policy = r.policy ? r.policy : &default_policy_;
-  pending->budget = budget;
-  pending->record_logits = r.record_logits;
-  pending->deadline = req.deadline;
-  pending->on_result = std::move(req.on_result);
-  pending->submit_time = ServeClock::now();
-  pending->results.resize(n_samples);
-  pending->remaining = n_samples;
-  std::future<std::vector<core::InferenceResult>> fut = pending->promise.get_future();
-
-  {
-    util::MutexLock lk(mu_);
-    if (draining_) {
-      throw std::runtime_error("InferenceServer::submit: server is draining");
-    }
-    if (n_samples == 0) {
-      // Nothing to run (an empty dataset expands to an empty request):
-      // resolve now — the worker only resolves promises as samples finish,
-      // and there are none.
-      pending->promise.set_value({});
-      return fut;
-    }
-    if (queue_.size() + n_samples > config_.max_queue) {
-      throw std::runtime_error("InferenceServer::submit: admission queue full (" +
-                               std::to_string(queue_.size()) + " waiting, capacity " +
-                               std::to_string(config_.max_queue) + ")");
-    }
-    for (std::size_t i = 0; i < n_samples; ++i) {
-      queue_.push_back(Unit{pending, i, r.samples[i]});
-    }
-    ++submitted_requests_;
-    submitted_samples_ += n_samples;
-  }
-  cv_worker_.notify_all();
-  return fut;
+  return submit_with_handle(std::move(req)).results;
 }
+
+Submission InferenceServer::submit_with_handle(ServeRequest req) {
+  FleetRequest fr;
+  fr.request = std::move(req.request);
+  fr.deadline = req.deadline;
+  fr.on_result = std::move(req.on_result);
+  fr.tenant = req.tenant;
+  return fleet_.submit(std::move(fr));
+}
+
+bool InferenceServer::cancel(RequestHandle handle) { return fleet_.cancel(handle); }
 
 ServerStats InferenceServer::stats() const {
+  const FleetStats fs = fleet_.stats();
   ServerStats s;
-  std::vector<double> queue_window;
-  std::vector<double> latency_window;
-  {
-    util::MutexLock lk(mu_);
-    snapshot_counters(s, queue_window, latency_window);
-  }
-  // The sorts run outside the lock so a stats() poll never stalls
-  // admission or the worker's completion publishing.
-  s.queue_us = util::summarize_percentiles(queue_window);
-  s.latency_us = util::summarize_percentiles(latency_window);
+  s.submitted_requests = fs.submitted_requests;
+  s.submitted_samples = fs.submitted_samples;
+  s.completed_samples = fs.completed_samples;
+  s.failed_samples = fs.failed_samples;
+  s.cancelled_queued_samples = fs.cancelled_queued_samples;
+  s.cancelled_live_samples = fs.cancelled_live_samples;
+  s.cancelled_requests = fs.cancelled_requests;
+  s.deadline_forced_exits = fs.deadline_forced_exits;
+  s.rejected_requests = fs.rejected_requests;
+  s.queue_depth = fs.queue_depth;
+  s.live_samples = fs.live_samples;
+  s.peak_pool = fs.peak_pool;
+  s.exit_timesteps = fs.exit_timesteps;
+  s.mean_exit_timestep = fs.mean_exit_timestep;
+  s.queue_us = fs.queue_us;
+  s.latency_us = fs.latency_us;
+  s.tenants = fs.tenants;
   return s;
-}
-
-void InferenceServer::snapshot_counters(ServerStats& s,
-                                        std::vector<double>& queue_window,
-                                        std::vector<double>& latency_window) const {
-  s.submitted_requests = submitted_requests_;
-  s.submitted_samples = submitted_samples_;
-  s.completed_samples = completed_samples_;
-  s.failed_samples = failed_samples_;
-  s.deadline_forced_exits = deadline_forced_;
-  s.queue_depth = queue_.size();
-  s.live_samples = live_samples_;
-  s.peak_pool = peak_pool_;
-  s.exit_timesteps = exit_hist_;
-  s.mean_exit_timestep = completed_samples_ ? exit_hist_.mean() + 1.0 : 0.0;
-  queue_window = queue_waits_us_.snapshot();
-  latency_window = latencies_us_.snapshot();
-}
-
-bool InferenceServer::wait_for_work(util::MutexLock& lk) {
-  while (!draining_ && queue_.empty()) cv_worker_.wait(lk);
-  if (queue_.empty()) return false;  // draining and fully drained
-  if (config_.admission_window.count() > 0 && queue_.size() < config_.max_pool) {
-    // Dynamic batching: an idle server holds the first arrivals until the
-    // pool would launch full or the window expires.
-    const ServeClock::time_point deadline = ServeClock::now() + config_.admission_window;
-    while (!draining_ && queue_.size() < config_.max_pool) {
-      if (cv_worker_.wait_until(lk, deadline) == std::cv_status::timeout) break;
-    }
-  }
-  return true;
-}
-
-void InferenceServer::purge_failed_slots(std::vector<Slot>& pool,
-                                         std::vector<std::size_t>& keep) {
-  if (pool.empty()) return;
-  std::size_t w = 0;
-  for (std::size_t j = 0; j < pool.size(); ++j) {
-    if (pool[j].owner->failed) {
-      ++failed_samples_;
-      continue;
-    }
-    if (w != j) {
-      pool[w] = std::move(pool[j]);
-      keep[w] = keep[j];
-    }
-    ++w;
-  }
-  if (w != pool.size()) {
-    pool.resize(w);
-    keep.resize(w);
-    live_samples_ = w;
-  }
-}
-
-std::size_t InferenceServer::admit_waiting(std::vector<Slot>& pool,
-                                           std::vector<std::size_t>& admitted_samples,
-                                           std::size_t classes) {
-  const ServeClock::time_point now = ServeClock::now();
-  std::size_t admitted = 0;
-  while (pool.size() < config_.max_pool && !queue_.empty()) {
-    Unit u = std::move(queue_.front());
-    queue_.pop_front();
-    if (u.owner->failed) {
-      // The request was already failed by a worker-side error; its
-      // promise holds the exception, so its stragglers are discarded.
-      ++failed_samples_;
-      continue;
-    }
-    Slot s;
-    s.owner = std::move(u.owner);
-    s.request_index = u.request_index;
-    s.sample = u.sample;
-    s.acc.assign(classes, 0.0);
-    s.admitted_at = now;
-    admitted_samples.push_back(s.sample);
-    pool.push_back(std::move(s));
-    ++admitted;
-  }
-  live_samples_ = pool.size();
-  peak_pool_ = std::max(peak_pool_, pool.size());
-  return admitted;
-}
-
-void InferenceServer::worker_loop() {
-  const std::size_t k = net_.num_classes();
-  const snn::Shape fs = dataset_.frame_shape();
-  const std::size_t frame_numel = snn::shape_numel(fs);
-
-  std::vector<Slot> pool;
-  bool active = false;           // the net holds single-step state for `stepped_rows`
-  std::size_t stepped_rows = 0;  // rows in the net's current inference state
-  std::vector<std::size_t> keep; // surviving row indices into that state
-  std::vector<float> cum(k);
-
-  struct Finished {
-    core::InferenceResult result;
-    std::shared_ptr<Pending> owner;
-    std::size_t exit_timestep = 0;  ///< copy that survives moving `result` out
-    double queue_wait_us = 0.0;
-    double latency_us = 0.0;
-    bool deadline_forced = false;
-    bool delivered = false;
-  };
-  std::vector<Finished> done;
-
-  while (true) {
-    // ---- Admission. Waiting samples fill free slots at every timestep
-    // boundary; an idle worker first blocks for work (and optionally holds
-    // the admission window so the initial batch launches fuller).
-    std::size_t admitted = 0;
-    std::vector<std::size_t> admitted_samples;
-    {
-      util::MutexLock lk(mu_);
-      // Purge slots whose request failed during last cycle's delivery (a
-      // throwing result callback): their results would be discarded anyway,
-      // so stop spending timesteps on them and free the slots.
-      purge_failed_slots(pool, keep);
-      if (pool.empty() && !wait_for_work(lk)) break;
-      admitted = admit_waiting(pool, admitted_samples, k);
-    }
-    if (pool.empty()) continue;
-    // Warm storage-backed datasets for the newly admitted samples outside the
-    // admission lock: requests may target samples in not-yet-resident shards,
-    // and prefetching turns the pool's per-timestep frame reads into cache
-    // hits instead of worker-blocking shard loads mid-step. With the
-    // background prefetcher active the warm overlaps this cycle's pool step;
-    // otherwise (fully-resident dataset or DTSNN_PREFETCH_DEPTH=0) fall back
-    // to the synchronous warm.
-    if (!admitted_samples.empty()) {
-      if (prefetcher_.active()) {
-        prefetcher_.enqueue(admitted_samples);
-      } else {
-        dataset_.prefetch(admitted_samples);
-      }
-    }
-
-    done.clear();
-    try {
-      // ---- Reconcile LIF state with the pool: survivors keep their rows
-      // (in order), admissions become fresh zero-state rows. Mid-flight
-      // admission is a pure gather — resident rows are copied untouched — so
-      // residents' trajectories are unaffected (the bitwise identity
-      // contract).
-      if (!active) {
-        net_.begin_inference(pool.size());
-        active = true;
-      } else if (admitted > 0 || keep.size() != stepped_rows) {
-        keep.resize(keep.size() + admitted, snn::Layer::kFreshRow);
-        net_.compact_inference_state(keep);
-      }
-      stepped_rows = pool.size();
-
-      // ---- One timestep for the whole pool, each sample at its own t.
-      snn::Tensor x({pool.size(), fs[0], fs[1], fs[2]});
-      for (std::size_t j = 0; j < pool.size(); ++j) {
-        dataset_.write_frame(pool[j].sample, pool[j].t,
-                             {x.data() + j * frame_numel, frame_numel});
-      }
-      snn::Tensor y = net_.step(x);  // [pool, K]
-
-      // ---- Exit decisions: same arithmetic and decision order as the
-      // offline engines (cumulative_mean_step, then Eq. 8 / forced exit —
-      // one shared core::make_exit_result), plus the serving-only deadline,
-      // which forces the same quantities a budget exhaustion would report
-      // at this timestep.
-      const ServeClock::time_point decided_at = ServeClock::now();
-      keep.clear();
-      std::size_t w = 0;
-      for (std::size_t j = 0; j < pool.size(); ++j) {
-        Slot& s = pool[j];
-        const Pending& p = *s.owner;
-        snn::cumulative_mean_step(y.data() + j * k, s.acc.data(), cum.data(), k, s.t);
-        if (p.record_logits) s.history.insert(s.history.end(), cum.begin(), cum.end());
-        // Same short-circuit order as the offline engines (budget first,
-        // policy only when not exhausted), so a policy is consulted for
-        // exactly the same cum rows as on the batch-1 oracle; the deadline
-        // is consulted last and only breaks ties neither of them claimed.
-        const bool exhausted = s.t + 1 == p.budget;
-        const bool policy_exit = !exhausted && p.policy->should_exit(cum);
-        const bool past_deadline =
-            !exhausted && !policy_exit && p.deadline && decided_at >= *p.deadline;
-        if (exhausted || policy_exit || past_deadline) {
-          Finished f;
-          f.result = core::make_exit_result(cum, s.t, p.record_logits, s.history);
-          f.result.request_index = s.request_index;
-          f.result.sample = s.sample;
-          f.owner = std::move(s.owner);
-          f.exit_timestep = f.result.exit_timestep;
-          f.queue_wait_us = elapsed_us(f.owner->submit_time, s.admitted_at);
-          f.latency_us = elapsed_us(f.owner->submit_time, decided_at);
-          f.deadline_forced = past_deadline;
-          done.push_back(std::move(f));
-        } else {
-          s.t += 1;
-          keep.push_back(j);
-          if (w != j) pool[w] = std::move(pool[j]);
-          ++w;
-        }
-      }
-      pool.resize(w);
-    } catch (...) {
-      // A throw on the worker thread (user exit policy, encoding, OOM, ...)
-      // must not leak out of the thread — that would std::terminate the
-      // process and abandon every client. The network state is indeterminate
-      // mid-step, so every in-flight sample's trajectory is unrecoverable:
-      // fail their requests via the promises and keep serving the queue
-      // with a fresh pool. (Moved-from slots belong to `done` entries,
-      // which carry the owner; both sets are failed exactly once.)
-      const std::exception_ptr error = std::current_exception();
-      std::size_t failed = 0;
-      const auto fail_owner = [&](const std::shared_ptr<Pending>& owner) {
-        if (!owner) return;
-        ++failed;
-        if (!owner->failed) {
-          owner->failed = true;
-          owner->promise.set_exception(error);
-        }
-      };
-      for (const Finished& f : done) fail_owner(f.owner);
-      for (const Slot& s : pool) fail_owner(s.owner);
-      pool.clear();
-      done.clear();
-      active = false;
-      stepped_rows = 0;
-      keep.clear();
-      util::MutexLock lk(mu_);
-      failed_samples_ += failed;
-      live_samples_ = 0;
-      continue;
-    }
-    if (pool.empty()) {
-      // Fully drained pool: drop the stale state; the next admission begins
-      // a fresh inference sequence (matches the offline batched engine).
-      active = false;
-      stepped_rows = 0;
-      keep.clear();
-    }
-
-    if (done.empty()) continue;
-    // Deliver outside the lock: callbacks first (streaming), then the
-    // request future once its last sample has exited. A throwing callback
-    // fails its own request only; samples of an already-failed request are
-    // discarded, not delivered.
-    std::size_t discarded = 0;
-    for (Finished& f : done) {
-      Pending& p = *f.owner;
-      if (p.failed) {
-        ++discarded;
-        continue;
-      }
-      try {
-        if (p.on_result) p.on_result(f.result);
-        p.results[f.result.request_index] = std::move(f.result);
-        if (--p.remaining == 0) p.promise.set_value(std::move(p.results));
-        f.delivered = true;
-      } catch (...) {
-        p.failed = true;
-        p.promise.set_exception(std::current_exception());
-        ++discarded;
-      }
-    }
-    // Only delivered results enter the stats: completed + failed samples
-    // partition the submitted ones, and discarded work never skews the
-    // latency digests or the exit histogram.
-    {
-      util::MutexLock lk(mu_);
-      for (const Finished& f : done) {
-        if (!f.delivered) continue;
-        ++completed_samples_;
-        if (f.deadline_forced) ++deadline_forced_;
-        exit_hist_.add(f.exit_timestep - 1);
-        queue_waits_us_.add(f.queue_wait_us);
-        latencies_us_.add(f.latency_us);
-      }
-      failed_samples_ += discarded;
-      live_samples_ = pool.size();
-    }
-  }
 }
 
 }  // namespace dtsnn::serve

@@ -4,11 +4,11 @@
 // completion. InferenceServer turns BatchedSequentialEngine's live-pool
 // execution into a long-running service:
 //
-//   client threads ──submit()──▶ admission queue ──▶ scheduler ──▶ live pool
-//                                                      │  (worker thread,
-//                                                      │   one net.step()
-//                                                      │   per timestep)
-//   futures/callbacks ◀──────── streaming results ◀────┘
+//   client threads ──submit()──▶ tenant quotas ──▶ scheduler ──▶ live pool
+//        │                       (fifo / edf /       │  (worker thread,
+//        └─cancel(handle)──▶     weighted_fair)      │   one net.step()
+//                                                    │   per timestep)
+//   futures/callbacks ◀──────── streaming results ◀──┘
 //
 // One worker thread owns the network. Each scheduling cycle it admits
 // waiting samples into free pool slots (snn::Layer::compact_state with
@@ -19,18 +19,19 @@
 // trajectory depends only on its own frames and per-row LIF state, served
 // results are bitwise identical — prediction, exit timestep, exit entropy,
 // recorded logits — to the offline batch-1 SequentialEngine oracle,
-// regardless of arrival order, pool composition, or client thread count.
+// regardless of arrival order, pool composition, scheduler policy, or
+// client thread count.
 //
-// Scheduling knobs (ServerConfig): max_pool bounds the live batch;
-// admission_window lets an idle server hold the first arrivals briefly so
-// the initial batch launches fuller (dynamic batching). While the pool is
-// busy, admission is free: every timestep boundary takes waiting samples.
+// InferenceServer is the single-model, single-worker view of the general
+// machine: it is a thin facade over serve::ServingFleet (fleet.h), which
+// adds multi-model routing and multi-worker pools on the same core loop.
+// Everything here — admission order, quotas, cancellation, stats — is the
+// fleet's behavior specialized to one model and one worker.
 
 #pragma once
 
 #include <chrono>
 #include <cstddef>
-#include <deque>
 #include <future>
 #include <memory>
 #include <optional>
@@ -40,16 +41,13 @@
 #include "core/exit_policy.h"
 #include "core/inference.h"
 #include "data/dataset.h"
-#include "data/prefetch.h"
+#include "serve/fleet.h"
+#include "serve/scheduler.h"
+#include "serve/tenant.h"
 #include "snn/network.h"
 #include "util/stats.h"
-#include "util/sync.h"
-#include "util/thread.h"
-#include "util/thread_annotations.h"
 
 namespace dtsnn::serve {
-
-using ServeClock = std::chrono::steady_clock;
 
 struct ServerConfig {
   /// Live-pool capacity: the maximum number of samples stepped together.
@@ -72,6 +70,14 @@ struct ServerConfig {
   /// quantized backend on a network without matching calibrated weights
   /// throws util::QuantizationError — all at construction, never mid-serve.
   std::string gemm_backend;
+  /// Admission-scheduling policy name ("fifo", "edf", "weighted_fair"); ""
+  /// defers to the DTSNN_SERVE_SCHEDULER environment knob, then fifo.
+  /// Unknown names throw std::invalid_argument at construction. Policies
+  /// reorder admission only — per-sample results are identical under all.
+  std::string scheduler;
+  /// Tenant classes beyond the implicit default tenant 0 (ids assigned in
+  /// order starting at 1): per-class quotas and fair-share weights.
+  std::vector<TenantSpec> tenants;
 };
 
 /// One client submission: which samples to run and how, plus serving-only
@@ -88,6 +94,9 @@ struct ServeRequest {
   /// each sample exits (before the request future resolves). Must not call
   /// drain() on the serving server (self-join); submit() is fine.
   core::ResultSink on_result;
+  /// Tenant class for quotas and fair-share weight; must exist in
+  /// ServerConfig::tenants (0 = the default class).
+  TenantId tenant = kDefaultTenant;
 };
 
 /// Snapshot of server counters (stats()). Latency digests are computed via
@@ -98,7 +107,15 @@ struct ServerStats {
   std::size_t submitted_samples = 0;
   std::size_t completed_samples = 0;
   std::size_t failed_samples = 0;  ///< samples of requests failed by a worker error
+  /// Cancellation is reported distinctly from completion and failure:
+  /// queued samples a cancel() removed before they ever entered the pool,
+  /// vs resident samples it force-exited at a timestep boundary.
+  std::size_t cancelled_queued_samples = 0;
+  std::size_t cancelled_live_samples = 0;
+  std::size_t cancelled_requests = 0;
   std::size_t deadline_forced_exits = 0;
+  /// Submissions bounced by a tenant's max_queued quota.
+  std::size_t rejected_requests = 0;
   std::size_t queue_depth = 0;   ///< samples waiting for admission now
   std::size_t live_samples = 0;  ///< samples in the pool now
   std::size_t peak_pool = 0;     ///< largest pool occupancy seen
@@ -109,6 +126,8 @@ struct ServerStats {
   util::PercentileSummary queue_us;
   /// submit() -> exit decision, microseconds (end-to-end latency).
   util::PercentileSummary latency_us;
+  /// Per-tenant-class slices of the same events (index = tenant id).
+  std::vector<TenantStats> tenants;
 };
 
 class InferenceServer {
@@ -136,131 +155,40 @@ class InferenceServer {
   /// the call site): empty samples expand to the whole dataset; out-of-range
   /// indices throw std::out_of_range; duplicate indices and budget overrides
   /// above max_timesteps() throw std::invalid_argument; submission after
-  /// drain() or onto a full queue throws std::runtime_error. The future
+  /// drain() or onto a full queue throws std::runtime_error; a submission
+  /// over its tenant's max_queued quota throws TenantQuotaError. The future
   /// resolves with the request's results ordered by request position once
   /// its last sample exits — or with the exception that failed the request:
   /// a throw on the worker thread (e.g. from a user ExitPolicy or result
   /// callback) fails the affected in-flight requests via their futures and
   /// the server keeps serving; it never takes the process down.
-  std::future<std::vector<core::InferenceResult>> submit(ServeRequest req)
-      DTSNN_EXCLUDES(mu_);
+  std::future<std::vector<core::InferenceResult>> submit(ServeRequest req);
+
+  /// submit() that also returns a cancellation handle (see cancel()).
+  Submission submit_with_handle(ServeRequest req);
+
+  /// Cancel a submitted request: queued samples are removed immediately,
+  /// resident ones force-exit at the next timestep boundary, and the
+  /// request future fails with CancelledError. Returns true when the
+  /// request was still live, false when already settled or unknown.
+  bool cancel(RequestHandle handle);
 
   /// Graceful shutdown: stop accepting, run everything already accepted to
   /// completion, then stop the worker. Idempotent; also called by the
   /// destructor. After drain() the network is free for other users.
-  void drain() DTSNN_EXCLUDES(mu_, drain_mu_);
+  void drain();
 
-  [[nodiscard]] ServerStats stats() const DTSNN_EXCLUDES(mu_);
-  [[nodiscard]] std::size_t max_timesteps() const { return max_timesteps_; }
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] std::size_t max_timesteps() const { return fleet_.model_max_timesteps(0); }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// Admission-scheduling policy in effect (after env resolution).
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return fleet_.scheduler_kind(); }
   /// GEMM backend the pool's network math dispatches through.
-  [[nodiscard]] std::string gemm_backend() const;
+  [[nodiscard]] std::string gemm_backend() const { return fleet_.model_gemm_backend(0); }
 
  private:
-  /// One ServeRequest in flight; shared by its queued/live samples.
-  struct Pending {
-    const core::ExitPolicy* policy = nullptr;
-    std::size_t budget = 0;
-    bool record_logits = false;
-    std::optional<ServeClock::time_point> deadline;
-    core::ResultSink on_result;
-    ServeClock::time_point submit_time;
-    std::vector<core::InferenceResult> results;  ///< by request position
-    std::size_t remaining = 0;  ///< worker-thread only after submission
-    /// Promise already satisfied with an exception; discard the request's
-    /// other samples. Worker-thread only.
-    bool failed = false;
-    std::promise<std::vector<core::InferenceResult>> promise;
-  };
-
-  /// One sample waiting for admission.
-  struct Unit {
-    std::shared_ptr<Pending> owner;
-    std::size_t request_index = 0;
-    std::size_t sample = 0;
-  };
-
-  /// One live pool row (worker-thread only).
-  struct Slot {
-    std::shared_ptr<Pending> owner;
-    std::size_t request_index = 0;
-    std::size_t sample = 0;
-    std::size_t t = 0;            ///< this sample's current 0-based timestep
-    std::vector<double> acc;      ///< [K] logit accumulators (oracle arithmetic)
-    std::vector<float> history;   ///< cum-logit trajectory when recording
-    ServeClock::time_point admitted_at;
-  };
-
-  void worker_loop() DTSNN_EXCLUDES(mu_);
-
-  // ---- mu_-protected internals. Each helper is a single critical-section
-  // step of the worker/stats paths, annotated DTSNN_REQUIRES(mu_) so clang
-  // verifies it is only ever entered with the admission lock held.
-
-  /// Block until there is work (or drain); false when draining and fully
-  /// drained. Holds the admission window on an idle start so the first batch
-  /// launches fuller. `lk` is the caller's held lock on mu_ (CondVar waits
-  /// release/reacquire it).
-  bool wait_for_work(util::MutexLock& lk) DTSNN_REQUIRES(mu_);
-
-  /// Drop pool slots whose request failed during the last delivery phase
-  /// (their results would be discarded anyway). pool[j] pairs with keep[j]:
-  /// both index last-stepped network rows.
-  void purge_failed_slots(std::vector<Slot>& pool, std::vector<std::size_t>& keep)
-      DTSNN_REQUIRES(mu_);
-
-  /// Move waiting samples into free pool slots (`classes`-wide logit
-  /// accumulators); returns how many were admitted and appends their sample
-  /// indices to `admitted_samples` for post-lock prefetching.
-  std::size_t admit_waiting(std::vector<Slot>& pool,
-                            std::vector<std::size_t>& admitted_samples,
-                            std::size_t classes) DTSNN_REQUIRES(mu_);
-
-  /// Copy the counters and latency windows out under the lock; the caller
-  /// runs the percentile sorts on the copies after releasing it.
-  void snapshot_counters(ServerStats& s, std::vector<double>& queue_window,
-                         std::vector<double>& latency_window) const
-      DTSNN_REQUIRES(mu_);
-
-  snn::SpikingNetwork& net_;
-  const data::Dataset& dataset_;
-  const core::ExitPolicy& default_policy_;
-  std::size_t max_timesteps_;
   ServerConfig config_;
-
-  /// Owned context when config.gemm_backend forces a backend: the network is
-  /// pointed at it for the serve lifetime (the server has exclusive use of
-  /// the net) and reverted to the process default at drain().
-  std::optional<util::GemmContext> owned_gemm_context_;
-
-  mutable util::Mutex mu_;
-  util::Mutex drain_mu_;  ///< serializes drain() callers around the join
-  util::CondVar cv_worker_;
-  std::deque<Unit> queue_ DTSNN_GUARDED_BY(mu_);
-  bool draining_ DTSNN_GUARDED_BY(mu_) = false;
-
-  std::size_t submitted_requests_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t submitted_samples_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t completed_samples_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t failed_samples_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t deadline_forced_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t live_samples_ DTSNN_GUARDED_BY(mu_) = 0;
-  std::size_t peak_pool_ DTSNN_GUARDED_BY(mu_) = 0;
-  util::Histogram exit_hist_ DTSNN_GUARDED_BY(mu_);
-  util::BoundedSampleWindow queue_waits_us_ DTSNN_GUARDED_BY(mu_);
-  util::BoundedSampleWindow latencies_us_ DTSNN_GUARDED_BY(mu_);
-
-  /// Warms storage-backed datasets for each admission cycle's samples off
-  /// the worker thread, so shard loads overlap the pool's timestep compute.
-  /// Inactive (and the admission prefetch falls back to synchronous) for
-  /// fully-resident datasets or DTSNN_PREFETCH_DEPTH=0. Declared before
-  /// worker_ so it outlives the thread that enqueues into it.
-  data::ShardPrefetcher prefetcher_;
-
-  /// Started last in the constructor (single-threaded), joined under
-  /// drain_mu_: joinable()/join() on one thread handle from two drainers is
-  /// itself a race.
-  util::Thread worker_ DTSNN_GUARDED_BY(drain_mu_);
+  ServingFleet fleet_;
 };
 
 }  // namespace dtsnn::serve

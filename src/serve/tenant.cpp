@@ -1,0 +1,28 @@
+#include "serve/tenant.h"
+
+#include <cmath>
+
+namespace dtsnn::serve {
+
+TenantRegistry::TenantRegistry() { specs_.push_back(TenantSpec{}); }
+
+TenantId TenantRegistry::register_tenant(TenantSpec spec) {
+  if (!std::isfinite(spec.weight) || spec.weight <= 0.0) {
+    throw std::invalid_argument("TenantRegistry::register_tenant: weight must be finite > 0 (tenant '" +
+                                spec.name + "')");
+  }
+  const auto id = static_cast<TenantId>(specs_.size());
+  if (spec.name.empty()) spec.name = "tenant" + std::to_string(id);
+  specs_.push_back(std::move(spec));
+  return id;
+}
+
+const TenantSpec& TenantRegistry::spec(TenantId id) const {
+  if (!contains(id)) {
+    throw std::out_of_range("TenantRegistry::spec: unknown tenant id " + std::to_string(id) +
+                            " (registered: " + std::to_string(specs_.size()) + ")");
+  }
+  return specs_[id];
+}
+
+}  // namespace dtsnn::serve

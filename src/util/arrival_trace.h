@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace dtsnn::util {
@@ -39,5 +40,56 @@ struct Arrival {
 /// traces. Throws std::invalid_argument for arrivals == 0, burst == 0,
 /// sample_limit == 0, or negative / non-finite mean_gap_us.
 std::vector<Arrival> make_arrival_trace(const ArrivalTraceSpec& spec);
+
+// ---------------------------------------------------------------- multi-class
+//
+// Production traffic is not one Poisson stream: it is several tenant
+// classes, each with its own rate, burstiness, and latency expectation
+// (an interactive class with a deadline, a bulk class submitting in
+// bursts, ...). A multi-class trace draws one independent seeded stream
+// per class and merges them on the shared timeline, tagging every arrival
+// with its class index so the serving fleet can route it to the right
+// tenant. Equal specs yield equal traces, bit for bit.
+
+/// One tenant class of a multi-class trace.
+struct ArrivalClassSpec {
+  /// Human-readable class name, carried into reports ("interactive", ...).
+  std::string name;
+  /// Arrivals this class contributes to the trace.
+  std::size_t arrivals = 16;
+  /// Mean inter-burst gap in microseconds (exponential, i.e. Poisson
+  /// bursts); 0 means the whole class arrives at t=0.
+  double mean_gap_us = 500.0;
+  /// Arrivals per burst (all sharing one timestamp).
+  std::size_t burst = 1;
+  /// Relative serving deadline in microseconds stamped on each arrival;
+  /// 0 means the class is not deadline-bound.
+  std::uint64_t deadline_us = 0;
+};
+
+struct MultiClassTraceSpec {
+  std::vector<ArrivalClassSpec> classes;
+  /// Sample indices are drawn uniformly from [0, sample_limit) for every
+  /// class (they share one dataset).
+  std::size_t sample_limit = 1;
+  std::uint64_t seed = 0x7ace7aceull;
+};
+
+/// One arrival of a multi-class trace.
+struct ClassedArrival {
+  std::uint64_t offset_us = 0;    ///< nondecreasing offset from trace start
+  std::size_t sample = 0;         ///< dataset sample index
+  std::size_t tenant_class = 0;   ///< index into MultiClassTraceSpec::classes
+  std::uint64_t deadline_us = 0;  ///< relative deadline; 0 = none
+};
+
+/// Generate a merged multi-class trace: each class draws its own
+/// deterministic substream (derived from spec.seed and the class index),
+/// then the streams are merged sorted by (offset, class, intra-class
+/// position) — fully deterministic, never touching the wall clock. Throws
+/// std::invalid_argument for an empty class list, sample_limit == 0, or any
+/// class with arrivals == 0, burst == 0, or negative / non-finite
+/// mean_gap_us.
+std::vector<ClassedArrival> make_arrival_trace(const MultiClassTraceSpec& spec);
 
 }  // namespace dtsnn::util

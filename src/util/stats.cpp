@@ -125,6 +125,7 @@ PercentileSummary summarize_percentiles(std::span<const double> sample) {
   s.p90 = sorted_quantile(sorted, 0.90);
   s.p95 = sorted_quantile(sorted, 0.95);
   s.p99 = sorted_quantile(sorted, 0.99);
+  s.p999 = sorted_quantile(sorted, 0.999);
   s.max = sorted.back();
   return s;
 }

@@ -61,8 +61,12 @@ double pearson(std::span<const double> x, std::span<const double> y);
 double quantile(std::span<const double> sample, double p);
 
 /// Latency-style percentile digest of a sample. The fixed percentile set is
-/// what the serving layer and its bench report (p50/p95/p99 is the
-/// conventional tail-latency triple); an empty sample yields all zeros.
+/// what the serving layer and its benches report (p50/p95/p99 plus the
+/// p99.9 extreme tail the fleet bench grades scheduler policies on); an
+/// empty sample yields all zeros. Quantiles use linear interpolation between
+/// order statistics (the same rule as quantile()): for N samples the
+/// p-quantile sits at fractional rank p*(N-1), so small windows interpolate
+/// exactly rather than snapping to the nearest sample.
 struct PercentileSummary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -71,6 +75,7 @@ struct PercentileSummary {
   double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
 };
 

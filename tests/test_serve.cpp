@@ -443,5 +443,88 @@ TEST(InferenceServer, DestructorDrains) {
   EXPECT_EQ(future.get().size(), std::min<std::size_t>(8, ds.size()));
 }
 
+/// Regression: a deadline landing exactly on the timestep-budget boundary
+/// must report ONE consistent forced-exit reason. The decision order is
+/// budget first, deadline only when the budget did not already claim the
+/// exit — so an expired deadline on a budget-1 request counts as budget
+/// exhaustion (deadline_forced_exits == 0), an expired deadline under a
+/// larger budget counts as a deadline force, and in both cases the exit
+/// histogram's total equals completed_samples exactly (never double
+/// counted).
+TEST(InferenceServer, DeadlineOnBudgetBoundaryCountsOnce) {
+  core::Experiment e = micro_experiment("sync10", 4);
+  const auto& ds = *e.bundle.test;
+  const core::NeverExitPolicy never;
+
+  {
+    // Both conditions true at the same boundary: budget 1 exhausts at t=1,
+    // and the deadline has already passed when the decision is made.
+    InferenceServer server(e.net, ds, never, 4);
+    ServeRequest req;
+    req.request = InferenceRequest::first_n(3);
+    req.request.max_timesteps = 1;
+    req.deadline = ServeClock::now() - std::chrono::seconds(1);
+    auto future = server.submit(std::move(req));
+    future.get();
+    server.drain();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed_samples, 3u);
+    EXPECT_EQ(stats.deadline_forced_exits, 0u)
+        << "budget exhaustion owns the boundary exit";
+    EXPECT_EQ(stats.exit_timesteps.total(), stats.completed_samples)
+        << "one histogram entry per completion, never two";
+    EXPECT_EQ(stats.exit_timesteps.count(0), 3u);
+  }
+  {
+    // Same deadline, room in the budget: now the deadline owns the exit,
+    // with the identical once-only histogram accounting.
+    InferenceServer server(e.net, ds, never, 4);
+    ServeRequest req;
+    req.request = InferenceRequest::first_n(3);
+    req.deadline = ServeClock::now() - std::chrono::seconds(1);
+    auto future = server.submit(std::move(req));
+    future.get();
+    server.drain();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed_samples, 3u);
+    EXPECT_EQ(stats.deadline_forced_exits, 3u);
+    EXPECT_EQ(stats.exit_timesteps.total(), stats.completed_samples);
+    EXPECT_EQ(stats.exit_timesteps.count(0), 3u) << "still a t=1 exit";
+  }
+}
+
+/// The scheduler, tenant, and cancellation surfaces ride through the
+/// single-model facade: ServerConfig selects the policy and tenant classes,
+/// submit_with_handle()/cancel() work, and ServerStats reports cancelled
+/// work distinctly from completions and failures.
+TEST(InferenceServer, SchedulerTenantsAndCancellationThroughFacade) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  const auto& ds = *e.bundle.test;
+  const core::EntropyExitPolicy policy(0.35);
+  ServerConfig config;
+  config.scheduler = "edf";
+  config.tenants = {TenantSpec{.name = "interactive", .weight = 2.0, .max_queued = 4}};
+  InferenceServer server(e.net, ds, policy, 3, config);
+  EXPECT_EQ(server.scheduler_kind(), SchedulerKind::kEdf);
+
+  ServeRequest tagged = {};
+  tagged.request.samples = {0, 1};
+  tagged.tenant = 1;
+  Submission sub = server.submit_with_handle(std::move(tagged));
+  EXPECT_NE(sub.handle.id, 0u);
+  sub.results.get();
+  EXPECT_FALSE(server.cancel(sub.handle)) << "already completed";
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed_samples, 2u);
+  EXPECT_EQ(stats.cancelled_requests, 0u);
+  EXPECT_EQ(stats.cancelled_queued_samples, 0u);
+  EXPECT_EQ(stats.cancelled_live_samples, 0u);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[1].name, "interactive");
+  EXPECT_EQ(stats.tenants[1].completed_samples, 2u);
+}
+
 }  // namespace
 }  // namespace dtsnn::serve

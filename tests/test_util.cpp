@@ -354,6 +354,40 @@ TEST(PercentileSummary, MatchesQuantileAndHandlesEmpty) {
   const util::PercentileSummary empty = util::summarize_percentiles({});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p999, 0.0);
+}
+
+TEST(PercentileSummary, P999MatchesQuantileAndOrdersWithTail) {
+  // 2000 points: enough that p99.9 sits strictly between p99 and max.
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(static_cast<double>(i));
+  const util::PercentileSummary s = util::summarize_percentiles(sample);
+  EXPECT_DOUBLE_EQ(s.p999, util::quantile(sample, 0.999));
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+  EXPECT_LT(s.p99, s.p999);  // distinguishable at this N
+  EXPECT_LT(s.p999, s.max);
+}
+
+TEST(PercentileSummary, SmallSampleInterpolationIsExact) {
+  // The estimator interpolates linearly at rank p*(n-1). Audit the exact
+  // arithmetic on a tiny sample where every value is hand-checkable:
+  // n = 11, values 0..10, so rank(p) = 10p.
+  std::vector<double> sample;
+  for (int i = 10; i >= 0; --i) sample.push_back(static_cast<double>(i));
+  const util::PercentileSummary s = util::summarize_percentiles(sample);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);    // rank 5.0 — exact data point
+  EXPECT_DOUBLE_EQ(s.p90, 9.0);    // rank 9.0 — exact data point
+  EXPECT_DOUBLE_EQ(s.p95, 9.5);    // rank 9.5 — midpoint of 9 and 10
+  EXPECT_DOUBLE_EQ(s.p99, 9.9);    // rank 9.9 — 0.1*9 + 0.9*10
+  EXPECT_DOUBLE_EQ(s.p999, 9.99);  // rank 9.99 — 0.01*9 + 0.99*10
+
+  // Degenerate single observation: every percentile collapses onto it.
+  const double one[] = {42.0};
+  const util::PercentileSummary single = util::summarize_percentiles(one);
+  EXPECT_DOUBLE_EQ(single.p50, 42.0);
+  EXPECT_DOUBLE_EQ(single.p999, 42.0);
+  EXPECT_DOUBLE_EQ(single.max, 42.0);
 }
 
 TEST(BoundedSampleWindow, KeepsOnlyTheMostRecentSamples) {
@@ -433,6 +467,101 @@ TEST(ArrivalTrace, BurstsShareTimestampsAndZeroGapIsImmediate) {
   spec.burst = 1;
   spec.mean_gap_us = -1.0;
   EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+}
+
+TEST(ArrivalTrace, MultiClassDeterministicTaggedAndBounded) {
+  util::MultiClassTraceSpec spec;
+  spec.classes.push_back({.name = "interactive",
+                          .arrivals = 40,
+                          .mean_gap_us = 200.0,
+                          .burst = 1,
+                          .deadline_us = 1500});
+  spec.classes.push_back({.name = "bulk",
+                          .arrivals = 24,
+                          .mean_gap_us = 800.0,
+                          .burst = 4,
+                          .deadline_us = 0});
+  spec.sample_limit = 13;
+  spec.seed = 7;
+
+  const auto a = util::make_arrival_trace(spec);
+  const auto b = util::make_arrival_trace(spec);
+  ASSERT_EQ(a.size(), 64u);  // sum over classes
+  std::size_t per_class[2] = {0, 0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset_us, b[i].offset_us) << i;  // bit-for-bit reproducible
+    EXPECT_EQ(a[i].sample, b[i].sample) << i;
+    EXPECT_EQ(a[i].tenant_class, b[i].tenant_class) << i;
+    EXPECT_LT(a[i].sample, spec.sample_limit);
+    ASSERT_LT(a[i].tenant_class, 2u);
+    ++per_class[a[i].tenant_class];
+    // Every arrival carries its class's deadline tag verbatim.
+    EXPECT_EQ(a[i].deadline_us, a[i].tenant_class == 0 ? 1500u : 0u);
+    if (i) {
+      EXPECT_GE(a[i].offset_us, a[i - 1].offset_us);  // merged timeline
+    }
+  }
+  EXPECT_EQ(per_class[0], 40u);
+  EXPECT_EQ(per_class[1], 24u);
+  EXPECT_EQ(a.front().offset_us, 0u);
+
+  // A different seed reshapes the merged workload.
+  spec.seed = 8;
+  const auto c = util::make_arrival_trace(spec);
+  EXPECT_NE(c.back().offset_us, a.back().offset_us);
+}
+
+TEST(ArrivalTrace, MultiClassSubstreamsAreIndependent) {
+  // Each class draws from its own substream keyed by (seed, class index),
+  // so adding a second class must not perturb the first class's stream.
+  util::ArrivalClassSpec interactive{.name = "interactive",
+                                     .arrivals = 32,
+                                     .mean_gap_us = 300.0,
+                                     .burst = 1,
+                                     .deadline_us = 2000};
+  util::MultiClassTraceSpec solo;
+  solo.classes = {interactive};
+  solo.sample_limit = 9;
+  solo.seed = 123;
+
+  util::MultiClassTraceSpec duo = solo;
+  duo.classes.push_back({.name = "bulk",
+                         .arrivals = 50,
+                         .mean_gap_us = 100.0,
+                         .burst = 2,
+                         .deadline_us = 0});
+
+  const auto alone = util::make_arrival_trace(solo);
+  std::vector<util::ClassedArrival> filtered;
+  for (const auto& arr : util::make_arrival_trace(duo)) {
+    if (arr.tenant_class == 0) filtered.push_back(arr);
+  }
+  ASSERT_EQ(alone.size(), filtered.size());
+  for (std::size_t i = 0; i < alone.size(); ++i) {
+    EXPECT_EQ(alone[i].offset_us, filtered[i].offset_us) << i;
+    EXPECT_EQ(alone[i].sample, filtered[i].sample) << i;
+  }
+}
+
+TEST(ArrivalTrace, MultiClassValidatesLoudly) {
+  util::MultiClassTraceSpec spec;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);  // empty
+
+  spec.classes.push_back({.name = "a", .arrivals = 4});
+  spec.sample_limit = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.sample_limit = 1;
+
+  spec.classes[0].arrivals = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.classes[0].arrivals = 4;
+  spec.classes[0].burst = 0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.classes[0].burst = 1;
+  spec.classes[0].mean_gap_us = -5.0;
+  EXPECT_THROW(util::make_arrival_trace(spec), std::invalid_argument);
+  spec.classes[0].mean_gap_us = 0.0;
+  EXPECT_EQ(util::make_arrival_trace(spec).size(), 4u);  // 0 gap is legal
 }
 
 // ------------------------------------------------------------------- Env
