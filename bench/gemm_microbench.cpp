@@ -15,16 +15,25 @@
 //     end-to-end decision gate below.
 //
 // Emits BENCH_gemm.json via bench::BenchReport: per-(shape, density,
-// backend) GFLOP/s, per-density backend totals, weight-footprint bytes per
-// backend with the headline footprint_ratio, the headline
-// sparse_spike/int8_spike/int4_spike-vs-blocked_omp speedups, and — at full
-// scale — the per-preset decision-flip-rate of the quantized tier versus
-// the scalar_ref oracle on trained models (core::calibrate_quantized).
+// backend) GFLOP/s, the per-shape observed A-operand density histogram,
+// per-density backend totals, weight-footprint bytes per backend (the LUT
+// tier additionally reports its derived table bytes) with the headline
+// footprint_ratio, the headline sparse_spike / quantized-tier vs blocked_omp
+// speedups, the LUT-vs-spike speedups, the per-preset adaptive routing
+// summary, and — at full scale — the per-preset decision-flip-rate of the
+// quantized tier versus the scalar_ref oracle on trained models
+// (core::calibrate_quantized).
 //
 // In-bench acceptance gates (nonzero exit on failure):
-//   * every float backend bitwise-identical to scalar_ref;
-//   * quantized kernels within tolerance of their dequantized product;
+//   * every float backend bitwise-identical to scalar_ref — including
+//     avx512 when this machine has it (a loud skip plus a report field
+//     otherwise, so CI's fallback leg is visibly not silently green);
+//   * quantized kernels within tolerance of their dequantized product, and
+//     the LUT backends bitwise-identical to their spike counterparts;
 //   * int8_spike >= 1.5x blocked_omp wall-clock at >= 70% spike sparsity;
+//   * int4_lut >= 1.3x int4_spike wall-clock at >= 70% spike sparsity;
+//   * adaptive dispatch: engine decisions identical to scalar_ref on every
+//     dataset preset (the dispatcher may only ever change speed);
 //   * weight-footprint reduction >= 4x (INT8) and >= 8x (INT4);
 //   * at full scale: INT8 prediction-flip-rate <= 1% and |accuracy delta|
 //     <= 2pp versus scalar_ref on every dataset preset (INT4 is reported
@@ -75,6 +84,7 @@ constexpr double kDensities[] = {1.0, 0.30, 0.10};  // dense, 70%, 90% sparse
 
 // Gate thresholds (see file comment).
 constexpr double kInt8SpeedupGate = 1.5;
+constexpr double kInt4LutSpeedupGate = 1.3;
 constexpr double kInt8FootprintGate = 4.0;
 constexpr double kInt4FootprintGate = 8.0;
 constexpr double kInt8FlipGate = 0.01;
@@ -123,6 +133,16 @@ int main(int argc, char** argv) {
   report.set("default_backend",
              std::string(util::default_gemm_backend().name()));
   report.set("avx2_cpu", util::cpu_supports_avx2() ? "yes" : "no");
+  report.set("avx512_cpu", util::cpu_supports_avx512() ? "yes" : "no");
+  const util::GemmBackend* avx512 = util::find_gemm_backend("avx512");
+  const bool avx512_measured = avx512 != nullptr && avx512->available();
+  report.set("avx512_backend", avx512_measured ? "measured"
+                                               : "SKIPPED (unavailable here)");
+  if (!avx512_measured) {
+    std::printf("NOTE: avx512 backend unavailable on this machine (%s) — its "
+                "bitwise identity gate is SKIPPED, not passed.\n",
+                avx512 == nullptr ? "not compiled in" : "no AVX-512F CPUID");
+  }
 
   const util::GemmBackend& scalar_ref = *util::find_gemm_backend("scalar_ref");
   // ~50ms per measurement, scaled down for smoke runs.
@@ -130,6 +150,7 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;        // float tier, bitwise
   bool quant_within_tolerance = true;  // quantized tier, relative bound
+  bool lut_bitwise_matches_spike = true;  // LUT tier vs its spike twin
   // wall-clock totals per (density, backend) across all shapes
   std::map<std::string, double> total_secs;
   // resident weight bytes per backend across all shapes (what each tier
@@ -147,6 +168,10 @@ int main(int argc, char** argv) {
     // Quantized copies of this shape's weights, built once per shape from
     // the dense density pass (weights do not depend on activation density).
     util::QuantizedMatrix q8, q4;
+    // Observed A-operand density histogram for this shape (10 bins of 0.1
+    // width) across all measured passes — what density regime this shape's
+    // activations actually put the backends in.
+    std::size_t density_hist[10] = {};
 
     for (const double density : kDensities) {
       util::Rng rng(42);
@@ -158,6 +183,13 @@ int main(int argc, char** argv) {
         // Binary spikes, like the LIF activations the eval path sees.
         for (auto& v : a) v = rng.bernoulli(density) ? 1.0f : 0.0f;
       }
+      std::size_t a_nonzeros = 0;
+      for (const float v : a) a_nonzeros += v != 0.0f ? 1 : 0;
+      const double observed =
+          static_cast<double>(a_nonzeros) / static_cast<double>(a.size());
+      report.set(std::string(s.tag) + "_" + density_tag(density) + "_a_density_observed",
+                 observed);
+      density_hist[std::min<std::size_t>(static_cast<std::size_t>(observed * 10.0), 9)]++;
       std::vector<float> expected(s.m * s.n);
       scalar_ref.gemm(a.data(), b.data(), expected.data(), s.m, s.k, s.n);
 
@@ -206,12 +238,14 @@ int main(int argc, char** argv) {
         }
         q8 = util::QuantizedMatrix::quantize(w_nk.data(), s.n, s.k, {.bits = 8});
         q4 = util::QuantizedMatrix::quantize(w_nk.data(), s.n, s.k, {.bits = 4});
+        // LUT tables are derived weight data, built once per matrix outside
+        // every timed region — exactly how the layers use them.
+        q8.ensure_lut();
+        q4.ensure_lut();
       }
-      for (const util::QuantizedMatrix* q : {&q8, &q4}) {
-        const util::QuantizedGemmBackend* qb = util::as_quantized_backend(
-            util::find_gemm_backend(q->bits() == 8 ? "int8_spike" : "int4_spike"));
+      for (util::QuantizedMatrix* q : {&q8, &q4}) {
         // Tolerance gate: the scalar float product of the dequantized
-        // weights is what the integer kernel computes up to summation order.
+        // weights is what the integer kernels compute up to summation order.
         std::vector<float> deq_b(s.k * s.n);
         for (std::size_t kk = 0; kk < s.k; ++kk) {
           for (std::size_t j = 0; j < s.n; ++j) {
@@ -220,36 +254,60 @@ int main(int argc, char** argv) {
         }
         std::vector<float> deq_expected(s.m * s.n);
         scalar_ref.gemm(a.data(), deq_b.data(), deq_expected.data(), s.m, s.k, s.n);
-        qb->qgemm(a.data(), *q, c.data(), s.m, s.k, s.n);
-        for (std::size_t i = 0; i < c.size(); ++i) {
-          const double bound =
-              kQuantRelTolerance * (1.0 + std::abs(static_cast<double>(deq_expected[i])));
-          if (std::abs(static_cast<double>(c[i]) -
-                       static_cast<double>(deq_expected[i])) > bound) {
-            quant_within_tolerance = false;
-            std::printf("QUANT TOLERANCE MISS: %s on %s %s elem %zu (%g vs %g)\n",
-                        std::string(qb->name()).c_str(), s.tag,
-                        density_tag(density).c_str(), i, static_cast<double>(c[i]),
-                        static_cast<double>(deq_expected[i]));
-            break;
+        // The spike backend's output doubles as the bitwise reference for
+        // the LUT backend: same integer group sums, same float ordering.
+        std::vector<float> spike_c;
+        for (const char* variant : {"spike", "lut"}) {
+          const std::string qname =
+              std::string(q->bits() == 8 ? "int8_" : "int4_") + variant;
+          const util::QuantizedGemmBackend* qb =
+              util::as_quantized_backend(util::find_gemm_backend(qname));
+          qb->qgemm(a.data(), *q, c.data(), s.m, s.k, s.n);
+          for (std::size_t i = 0; i < c.size(); ++i) {
+            const double bound = kQuantRelTolerance *
+                                 (1.0 + std::abs(static_cast<double>(deq_expected[i])));
+            if (std::abs(static_cast<double>(c[i]) -
+                         static_cast<double>(deq_expected[i])) > bound) {
+              quant_within_tolerance = false;
+              std::printf("QUANT TOLERANCE MISS: %s on %s %s elem %zu (%g vs %g)\n",
+                          qname.c_str(), s.tag, density_tag(density).c_str(), i,
+                          static_cast<double>(c[i]),
+                          static_cast<double>(deq_expected[i]));
+              break;
+            }
           }
-        }
+          if (variant[0] == 's') {
+            spike_c = c;
+          } else if (c != spike_c) {
+            lut_bitwise_matches_spike = false;
+            std::printf("LUT/SPIKE MISMATCH: %s on %s %s\n", qname.c_str(), s.tag,
+                        density_tag(density).c_str());
+          }
 
-        const double secs = measure_secs(
-            [&] { qb->qgemm(a.data(), *q, c.data(), s.m, s.k, s.n); }, target_secs);
-        const double gflops = flops / secs / 1e9;  // dense-equivalent FLOPs
-        const std::string key = std::string(s.tag) + "_" + density_tag(density) + "_" +
-                                std::string(qb->name());
-        report.set(key + "_gflops", gflops);
-        total_secs[density_tag(density) + "_" + std::string(qb->name())] += secs;
-        csv.row(s.tag, static_cast<double>(s.m), static_cast<double>(s.k),
-                static_cast<double>(s.n), density, std::string(qb->name()), gflops, secs);
-        table.row({s.tag, bench::fmt("%zux%zux%zu", s.m, s.k, s.n),
-                   bench::fmt("%.2f", density), std::string(qb->name()),
-                   bench::fmt("%.2f", gflops),
-                   blocked_gflops > 0.0 ? bench::fmt("%.2fx", gflops / blocked_gflops)
-                                        : std::string("-")});
+          const double secs = measure_secs(
+              [&] { qb->qgemm(a.data(), *q, c.data(), s.m, s.k, s.n); }, target_secs);
+          const double gflops = flops / secs / 1e9;  // dense-equivalent FLOPs
+          const std::string key =
+              std::string(s.tag) + "_" + density_tag(density) + "_" + qname;
+          report.set(key + "_gflops", gflops);
+          total_secs[density_tag(density) + "_" + qname] += secs;
+          csv.row(s.tag, static_cast<double>(s.m), static_cast<double>(s.k),
+                  static_cast<double>(s.n), density, qname, gflops, secs);
+          table.row({s.tag, bench::fmt("%zux%zux%zu", s.m, s.k, s.n),
+                     bench::fmt("%.2f", density), qname, bench::fmt("%.2f", gflops),
+                     blocked_gflops > 0.0 ? bench::fmt("%.2fx", gflops / blocked_gflops)
+                                          : std::string("-")});
+        }
       }
+    }
+    {
+      // Per-shape histogram of observed A densities, bins [0,0.1)..[0.9,1].
+      std::string hist;
+      for (const std::size_t count : density_hist) {
+        hist += hist.empty() ? "" : ",";
+        hist += std::to_string(count);
+      }
+      report.set(std::string(s.tag) + "_a_density_hist", hist);
     }
 
     // Weight footprint of this shape's weights per tier. Float backends all
@@ -265,6 +323,13 @@ int main(int argc, char** argv) {
     weight_bytes["int4_spike"] += static_cast<double>(q4.packed_bytes());
     weight_bytes["int8_spike_scales"] += static_cast<double>(q8.scale_bytes());
     weight_bytes["int4_spike_scales"] += static_cast<double>(q4.scale_bytes());
+    // The LUT tier holds the same packed codes + scales plus its derived
+    // per-chunk mask tables (the speed-for-memory trade, reported so the
+    // footprint headline stays honest).
+    weight_bytes["int8_lut"] += static_cast<double>(q8.packed_bytes());
+    weight_bytes["int4_lut"] += static_cast<double>(q4.packed_bytes());
+    weight_bytes["int8_lut_tables"] += static_cast<double>(q8.lut().bytes());
+    weight_bytes["int4_lut_tables"] += static_cast<double>(q4.lut().bytes());
   }
 
   // Per-backend weight-footprint bytes across all model shapes, and the
@@ -299,8 +364,27 @@ int main(int argc, char** argv) {
   report.set("int8_spike_vs_blocked_omp_speedup_90pct_sparse", int8_90);
   report.set("int4_spike_vs_blocked_omp_speedup_70pct_sparse", int4_70);
   report.set("int4_spike_vs_blocked_omp_speedup_90pct_sparse", int4_90);
+  // LUT tier vs its spike twin: wall-clock across all model shapes. The
+  // acceptance gate is INT4 (2 codes/byte makes per-spike unpacking dearest,
+  // so the table gather buys the most) in the >= 70%-sparse regime.
+  const auto lut_ratio = [&](const std::string& d, const std::string& bits) {
+    const auto spike = total_secs.find(d + "_" + bits + "_spike");
+    const auto lut = total_secs.find(d + "_" + bits + "_lut");
+    return spike != total_secs.end() && lut != total_secs.end() && lut->second > 0.0
+               ? spike->second / lut->second
+               : 0.0;
+  };
+  const double lut8_70 = lut_ratio("d30", "int8");
+  const double lut4_70 = lut_ratio("d30", "int4");
+  const double lut4_90 = lut_ratio("d10", "int4");
+  report.set("int8_lut_vs_int8_spike_speedup_70pct_sparse", lut8_70);
+  report.set("int4_lut_vs_int4_spike_speedup_70pct_sparse", lut4_70);
+  report.set("int4_lut_vs_int4_spike_speedup_90pct_sparse", lut4_90);
+  report.set("int8_lut_vs_blocked_omp_speedup_70pct_sparse", ratio("d30", "int8_lut"));
+  report.set("int4_lut_vs_blocked_omp_speedup_70pct_sparse", ratio("d30", "int4_lut"));
   report.set("bitwise_identical_to_scalar_ref", all_identical ? "yes" : "NO");
   report.set("quant_within_tolerance", quant_within_tolerance ? "yes" : "NO");
+  report.set("lut_bitwise_matches_spike", lut_bitwise_matches_spike ? "yes" : "NO");
 
   // ---- end-to-end decision gate: quantized tier vs the scalar_ref oracle
   // on trained models, per dataset preset (the tolerance-gated identity
@@ -309,6 +393,7 @@ int main(int argc, char** argv) {
   // full scale, where margins are real (a smoke-scale model is near chance
   // and its flips measure training, not quantization).
   bool flips_within_gate = true;
+  bool adaptive_identical = true;  // armed at every scale: routing is pure speed
   const bool gate_flips = options.scale >= 1.0;
   // Per-preset operating points, DT-SNN style (the paper tunes the exit
   // threshold per dataset): epochs is the training budget that saturates
@@ -338,6 +423,53 @@ int main(int argc, char** argv) {
     spec.loss = core::LossKind::kPerTimestep;
     core::Experiment e = bench::run(spec, options);
     const core::EntropyExitPolicy policy(stage.theta);
+
+    // ---- adaptive dispatch decision gate: on this trained model, engine
+    // outputs under the density-adaptive dispatcher must be identical to
+    // scalar_ref — predictions, exit timesteps, and entropies (the routing
+    // may only ever change speed). Armed at every bench scale.
+    {
+      util::reset_adaptive_gemm_state();
+      const core::InferenceRequest request = core::InferenceRequest::first_n(
+          std::min<std::size_t>(64, e.bundle.test->size()));
+      core::BatchedSequentialEngine engine(e.net, policy, spec.timesteps,
+                                           /*batch_size=*/8);
+      util::GemmContext ref_ctx(*util::find_gemm_backend("scalar_ref"));
+      e.net.set_gemm_context(&ref_ctx);
+      const auto ref_results = engine.run(*e.bundle.test, request);
+      util::GemmContext ada_ctx(*util::find_gemm_backend("adaptive"));
+      e.net.set_gemm_context(&ada_ctx);
+      const auto ada_results = engine.run(*e.bundle.test, request);
+      e.net.set_gemm_context(nullptr);
+      bool identical = ada_results.size() == ref_results.size();
+      for (std::size_t i = 0; identical && i < ada_results.size(); ++i) {
+        identical = ada_results[i].predicted_class == ref_results[i].predicted_class &&
+                    ada_results[i].exit_timestep == ref_results[i].exit_timestep &&
+                    ada_results[i].final_entropy == ref_results[i].final_entropy;
+      }
+      if (!identical) {
+        adaptive_identical = false;
+        std::printf("ADAPTIVE DECISION MISMATCH on %s\n", preset.c_str());
+      }
+      std::size_t sites = 0, sparse_sites = 0, switches = 0, routed_calls = 0;
+      for (const util::AdaptiveGemmDecision& d : util::adaptive_gemm_decisions()) {
+        ++sites;
+        sparse_sites += d.sparse ? 1 : 0;
+        switches += d.switches;
+        routed_calls += d.calls;
+      }
+      report.set("adaptive_" + preset + "_decisions_identical", identical ? "yes" : "NO");
+      report.set("adaptive_" + preset + "_call_sites", static_cast<double>(sites));
+      report.set("adaptive_" + preset + "_sparse_routed_sites",
+                 static_cast<double>(sparse_sites));
+      report.set("adaptive_" + preset + "_route_switches", static_cast<double>(switches));
+      report.set("adaptive_" + preset + "_routed_calls", static_cast<double>(routed_calls));
+      std::printf("\n%s: adaptive dispatch identical to scalar_ref: %s "
+                  "(%zu call sites, %zu sparse-routed, %zu switches, %zu NN calls)\n",
+                  preset.c_str(), identical ? "yes" : "NO", sites, sparse_sites,
+                  switches, routed_calls);
+      util::reset_adaptive_gemm_state();
+    }
 
     std::printf("\n%s: quantized-tier decision gate (%zu-timestep budget, "
                 "theta=%.2f)\n",
@@ -370,25 +502,36 @@ int main(int argc, char** argv) {
 
   // ---- acceptance gates -------------------------------------------------
   const bool speed_ok = int8_70 >= kInt8SpeedupGate;
+  const bool lut_speed_ok = lut4_70 >= kInt4LutSpeedupGate;
   const bool footprint_ok = footprint_ratio_int8 >= kInt8FootprintGate &&
                             footprint_ratio_int4 >= kInt4FootprintGate;
+  report.set("adaptive_decisions_identical", adaptive_identical ? "yes" : "NO");
   std::printf(
-      "\nFloat backends bitwise identical to scalar_ref on every measured shape: %s\n"
+      "\nFloat backends bitwise identical to scalar_ref on every measured shape: %s "
+      "(avx512: %s)\n"
       "Quantized kernels within %.0e of their dequantized product: %s\n"
+      "LUT backends bitwise identical to their spike counterparts: %s\n"
       "sparse_spike vs blocked_omp wall-clock: %.2fx at 70%% sparsity, %.2fx at 90%%\n"
       "int8_spike   vs blocked_omp wall-clock: %.2fx at 70%% sparsity, %.2fx at 90%% "
       "[gate >= %.1fx: %s]\n"
       "int4_spike   vs blocked_omp wall-clock: %.2fx at 70%% sparsity, %.2fx at 90%%\n"
+      "int4_lut     vs int4_spike  wall-clock: %.2fx at 70%% sparsity, %.2fx at 90%% "
+      "[gate >= %.1fx: %s]  (int8_lut: %.2fx at 70%%)\n"
+      "adaptive dispatch decisions identical on every preset: %s\n"
       "weight footprint: %.2fx (INT8) / %.2fx (INT4) smaller than float "
       "[gates >= %.0fx / >= %.0fx: %s]\n"
       "quantized decision gate: %s\n",
-      all_identical ? "yes" : "NO", kQuantRelTolerance,
-      quant_within_tolerance ? "yes" : "NO", sparse70, sparse90, int8_70, int8_90,
-      kInt8SpeedupGate, speed_ok ? "ok" : "FAIL", int4_70, int4_90,
-      footprint_ratio_int8, footprint_ratio_int4, kInt8FootprintGate,
-      kInt4FootprintGate, footprint_ok ? "ok" : "FAIL",
+      all_identical ? "yes" : "NO",
+      avx512_measured ? "measured" : "SKIPPED, unavailable here",
+      kQuantRelTolerance, quant_within_tolerance ? "yes" : "NO",
+      lut_bitwise_matches_spike ? "yes" : "NO", sparse70, sparse90, int8_70, int8_90,
+      kInt8SpeedupGate, speed_ok ? "ok" : "FAIL", int4_70, int4_90, lut4_70, lut4_90,
+      kInt4LutSpeedupGate, lut_speed_ok ? "ok" : "FAIL", lut8_70,
+      adaptive_identical ? "ok" : "FAIL", footprint_ratio_int8, footprint_ratio_int4,
+      kInt8FootprintGate, kInt4FootprintGate, footprint_ok ? "ok" : "FAIL",
       flips_within_gate ? "ok" : "FAIL");
-  return all_identical && quant_within_tolerance && speed_ok && footprint_ok &&
+  return all_identical && quant_within_tolerance && lut_bitwise_matches_spike &&
+                 speed_ok && lut_speed_ok && footprint_ok && adaptive_identical &&
                  flips_within_gate
              ? 0
              : 1;

@@ -44,6 +44,14 @@ with file:line diagnostics and a nonzero exit code on any finding:
                       that never names BenchReport silently drops out of the
                       measurement record.
 
+  avx512-isolation    AVX-512 intrinsics live only in src/util/gemm_avx512.cpp,
+                      the one TU compiled with -mavx512f (and -ffp-contract=off:
+                      AVX-512F implies FMA on GCC, and contraction breaks the
+                      bitwise identity contract). An _mm512_* / __m512 / __mmask
+                      token anywhere else either fails to compile or — worse —
+                      silently turns a portable TU into one that needs the flag,
+                      crashing on non-AVX-512 hosts that never dispatch it.
+
   quant-bitwise-oracle  The quantized GEMM tier (int8_spike / int4_spike) is
                       tolerance-gated, not bitwise (util/gemm.h): comparing
                       its floats bitwise against the scalar_ref oracle with
@@ -97,6 +105,8 @@ RULE_DESCRIPTIONS = {
     "raw-thread-mmap": "std::thread and mmap/munmap only inside src/util/",
     "omp-simd-reduction": "no '#pragma omp simd reduction' (float reassociation)",
     "bench-report": "every bench/*.cpp must emit through bench::BenchReport",
+    "avx512-isolation": "AVX-512 intrinsics only inside src/util/gemm_avx512.cpp "
+                        "(the one TU built with -mavx512f -ffp-contract=off)",
     "quant-bitwise-oracle": "quantized-tier tests must not EXPECT_EQ floats "
                             "against the scalar_ref oracle (tolerance gate "
                             "via core::compare_decisions / EXPECT_NEAR)",
@@ -162,6 +172,21 @@ OMP_SIMD_REDUCTION = Pattern(
     "simd reduction reassociates the accumulator across lanes; on float math "
     "this breaks the bitwise cross-backend identity contract (PR 3 gemm_bt "
     "lesson). Waive only for provably associative integer reductions.")
+
+AVX512_ISOLATION_PATTERNS = [
+    Pattern(r"\b_mm512_\w+",
+            "_mm512_* intrinsic outside the dedicated AVX-512 TU: only "
+            "src/util/gemm_avx512.cpp is compiled with -mavx512f "
+            "-ffp-contract=off; anywhere else this either breaks the build or "
+            "poisons a portable TU with illegal instructions"),
+    Pattern(r"\b__m512[id]?\b",
+            "__m512 vector type outside src/util/gemm_avx512.cpp; AVX-512 "
+            "lane layout (and the FMA-off contract) is confined to that TU"),
+    Pattern(r"\b__mmask(8|16|32|64)\b",
+            "AVX-512 mask type outside src/util/gemm_avx512.cpp; keep "
+            "opmask-register code in the dedicated TU"),
+]
+AVX512_ISOLATION_ALLOWED = {Path("src/util/gemm_avx512.cpp")}
 
 QUANT_BITWISE_ORACLE = Pattern(
     r"(EXPECT|ASSERT)_(EQ|FLOAT_EQ|DOUBLE_EQ)\s*\(.*\b(oracle|scalar_ref)",
@@ -288,6 +313,8 @@ def scan_file(path: Path, rel: Path) -> list[Finding]:
     ]
     if rel not in NAKED_MUTEX_ALLOWED:
         line_rules.append(("naked-mutex", NAKED_MUTEX_PATTERNS))
+    if rel not in AVX512_ISOLATION_ALLOWED:
+        line_rules.append(("avx512-isolation", AVX512_ISOLATION_PATTERNS))
     if rel.parts[:2] != RAW_THREAD_MMAP_ALLOWED_PREFIX:
         line_rules.append(("raw-thread-mmap", RAW_THREAD_MMAP_PATTERNS))
     if (rel.parts and rel.parts[0] == QUANT_TEST_DIR

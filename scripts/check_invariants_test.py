@@ -45,6 +45,9 @@ EXPECTED_BAD = [
     ("src/dataplane.cpp", 12, "raw-thread-mmap"),  # mmap(
     ("src/dataplane.cpp", 13, "raw-thread-mmap"),  # munmap(
     ("src/kernels.cpp", 7, "omp-simd-reduction"),
+    ("src/isa_leak.cpp", 6, "avx512-isolation"),   # __m512
+    ("src/isa_leak.cpp", 7, "avx512-isolation"),   # _mm512_*
+    ("src/isa_leak.cpp", 8, "avx512-isolation"),   # __mmask16
     # src/serve/ subtree: the fleet subsystem must not escape the
     # determinism / annotated-locking / managed-thread rules.
     ("src/serve/fleet_scheduler.cpp", 8, "naked-mutex"),
@@ -54,7 +57,7 @@ EXPECTED_BAD = [
     ("tests/test_quant_gate.cpp", 8, "quant-bitwise-oracle"),
 ]
 
-DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): error: \[(?P<rule>[a-z-]+)\] ")
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): error: \[(?P<rule>[a-z0-9-]+)\] ")
 
 failures: list[str] = []
 

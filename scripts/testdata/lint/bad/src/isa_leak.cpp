@@ -1,0 +1,14 @@
+// Fixture: AVX-512 tokens outside src/util/gemm_avx512.cpp. Each banned
+// token class appears exactly once, on the pinned line the selftest asserts.
+#include <cstddef>
+
+void leak(float* out, const float* in, std::size_t n) {
+  __m512 acc;                       // line 6: __m512 vector type
+  acc = _mm512_setzero_ps();        // line 7: _mm512_* intrinsic
+  __mmask16 lanes = 0xFFFF;         // line 8: __mmask16 opmask type
+  (void)acc;
+  (void)lanes;
+  (void)out;
+  (void)in;
+  (void)n;
+}

@@ -1,0 +1,15 @@
+// Fixture: the one path where AVX-512 intrinsics are legal (mirrors the real
+// src/util/gemm_avx512.cpp, the TU built with -mavx512f -ffp-contract=off).
+// Also proves the tokens stay silent inside comments and string literals
+// elsewhere in this file's prose: _mm512_add_ps, __m512, __mmask16.
+#include <cstddef>
+
+const char* kDoc = "uses _mm512_loadu_ps and __m512 tiles";  // string: silent
+
+void avx512_tile(float* out, std::size_t n) {
+  __m512 acc = _mm512_setzero_ps();
+  __mmask16 tail = static_cast<__mmask16>((1u << (n % 16)) - 1u);
+  (void)acc;
+  (void)tail;
+  (void)out;
+}

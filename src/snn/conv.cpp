@@ -10,10 +10,9 @@ namespace dtsnn::snn {
 
 namespace {
 
-/// Below this input spike density the A-stationary forms win: the direct
-/// scatter kernel at eval time, and the zero-skip / sparse_spike GEMM on the
-/// im2col matrix at training time.
-constexpr double kSparseDensityThreshold = 0.35;
+// The sparse/dense kernel decisions below key on snn::kSparseDensityThreshold
+// (snn/layer.h), shared with Linear and matched by the adaptive GEMM
+// backend's hysteresis enter threshold.
 
 /// [N*OHW, Cout] row-per-pixel layout -> NCHW [N, Cout, OH, OW].
 void pixels_to_nchw(const Tensor& pix, std::size_t n, std::size_t c, std::size_t oh,
@@ -205,6 +204,10 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
     // the float tier. Requires calibrated weights at this backend's
     // bit-width — fails loudly otherwise.
     require_quantized_weights(*qb, qweight_, "Conv2d");
+    // LUT backends run fastest off a cached spike-mask table; build it once
+    // per quantized weight matrix (derived data, same single-threaded
+    // dispatch discipline as the cached W^T below).
+    if (qb->prefers_lut()) qweight_.ensure_lut();
     im2col(x, geom_, col);
     gemm.qgemm(col.data(), qweight_, pix.data(), n * oh * ow, patch, out_channels_);
   } else {

@@ -24,6 +24,32 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias, uti
   }
 }
 
+void Linear::set_time(std::size_t timesteps, std::size_t batch) {
+  Layer::set_time(timesteps, batch);
+  wt_dirty_ = true;
+}
+
+void Linear::begin_steps(std::size_t batch) {
+  Layer::begin_steps(batch);
+  wt_dirty_ = true;
+}
+
+const float* Linear::ensure_weight_transpose() {
+  if (wt_dirty_ || wt_scratch_.numel() != in_features_ * out_features_) {
+    if (wt_scratch_.numel() != in_features_ * out_features_) {
+      wt_scratch_ = Tensor({in_features_, out_features_});
+    }
+    for (std::size_t c = 0; c < out_features_; ++c) {
+      const float* src = weight_.value.data() + c * in_features_;
+      for (std::size_t p = 0; p < in_features_; ++p) {
+        wt_scratch_[p * out_features_ + c] = src[p];
+      }
+    }
+    wt_dirty_ = false;
+  }
+  return wt_scratch_.data();
+}
+
 Tensor Linear::forward(const Tensor& x, bool train) {
   if (x.rank() != 2 || x.dim(1) != in_features_) {
     throw std::invalid_argument("Linear: bad input shape " + shape_to_string(x.shape()));
@@ -39,7 +65,21 @@ Tensor Linear::forward(const Tensor& x, bool train) {
     // Requires calibrated weights at this backend's bit-width — fails loudly
     // otherwise. Training forwards never take this path.
     require_quantized_weights(*qb, qweight_, "Linear");
+    // LUT backends run fastest off a cached spike-mask table; build it once
+    // per quantized weight matrix (derived data, single-threaded dispatch).
+    if (qb->prefers_lut()) qweight_.ensure_lut();
     gemm.qgemm(x.data(), qweight_, out.data(), n, in_features_, out_features_);
+  } else if (!train && x.density() < kSparseDensityThreshold) {
+    // out = x * W^T in the A-stationary zero-skip NN form against the cached
+    // W^T: bitwise identical to the dense dot-product form below for finite
+    // weights (same ascending-k accumulation from a zero start; skipped
+    // zero-spike terms only ever contribute ±0, and the final add into the
+    // zeroed output restores +0 in both forms), so — exactly as in
+    // Conv2d::forward — this is purely a speed decision, and it hands the
+    // sparse NN op to the backends (sparse_spike, adaptive routing) that
+    // exploit it.
+    gemm.gemm(x.data(), ensure_weight_transpose(), out.data(), n, in_features_,
+              out_features_);
   } else {
     // out = x * W^T
     gemm.gemm_bt(x.data(), weight_.value.data(), out.data(), n, in_features_,

@@ -14,6 +14,8 @@ class Linear final : public Layer, public QuantizedWeightHolder {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void set_time(std::size_t timesteps, std::size_t batch) override;
+  void begin_steps(std::size_t batch) override;
   std::vector<Param*> params() override;
   [[nodiscard]] std::string name() const override { return "Linear"; }
   [[nodiscard]] Shape infer_shape(const Shape& sample_shape) const override;
@@ -37,6 +39,11 @@ class Linear final : public Layer, public QuantizedWeightHolder {
   void clear_quantized_weights() override { qweight_ = util::QuantizedMatrix(); }
 
  private:
+  /// W^T [in, out], materialized lazily for the sparse eval form and cached
+  /// across the steps of one sequence (set_time / begin_steps mark it dirty;
+  /// weights only change between sequences). Mirrors Conv2d.
+  const float* ensure_weight_transpose();
+
   std::size_t in_features_, out_features_;
   bool has_bias_;
   Param weight_;
@@ -44,6 +51,8 @@ class Linear final : public Layer, public QuantizedWeightHolder {
   util::QuantizedMatrix qweight_;
   Tensor input_cache_;
   bool have_cache_ = false;
+  Tensor wt_scratch_;
+  bool wt_dirty_ = true;
 };
 
 /// Collapses [N, C, H, W] to [N, C*H*W]; identity on already-flat input.

@@ -1,0 +1,125 @@
+// AVX2 helpers for the LUT GEMM backends (gemm_lut.cpp): spike-mask
+// classification (8 A values per compare+movemask) and the group accumulate
+// that sums the selected int16 LUT rows into an int32 tile, 16 columns at a
+// time. The whole group is batched into one accumulate call so the tile is
+// loaded and stored once per 16 columns — inside the entry loop only the
+// selected table rows stream through registers (widen int16 -> int32, add).
+// Compiled with -mavx2 only when the toolchain supports it (CMake defines
+// DTSNN_HAVE_AVX2, as for gemm_avx2.cpp); runtime CPUID picks between these
+// and the scalar fallbacks. Integer adds are exact and the mask bits are a
+// pure function of the A values, so both variants produce identical bits —
+// vectorization here is purely a speed choice, unlike the float kernels
+// where lane layout is contract-relevant.
+
+#include "util/gemm_internal.h"
+
+#ifdef DTSNN_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "util/gemm.h"
+
+namespace dtsnn::util::internal {
+
+namespace {
+
+constexpr std::size_t kChunkWidth = 4;  // == kLutChunkWidth (quant.h)
+
+unsigned lut_mask_build_avx2(const float* a, std::size_t len, std::uint8_t* bin,
+                             std::uint8_t* graded) {
+  unsigned any_bin = 0, any_graded = 0;
+  std::size_t kc = 0, t = 0;
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  // 8 values = 2 chunks per iteration. NEQ_UQ / EQ_OQ match the scalar
+  // `v != 0.0f` / `v == 1.0f` semantics exactly (including for NaN).
+  for (; kc + 8 <= len; kc += 8, t += 2) {
+    const __m256 v = _mm256_loadu_ps(a + kc);
+    const unsigned nz = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_NEQ_UQ)));
+    const unsigned is_one = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, one, _CMP_EQ_OQ)));
+    const unsigned b = nz & is_one;
+    const unsigned g = nz & ~is_one;
+    bin[t] = static_cast<std::uint8_t>(b & 0xFu);
+    bin[t + 1] = static_cast<std::uint8_t>(b >> 4);
+    graded[t] = static_cast<std::uint8_t>(g & 0xFu);
+    graded[t + 1] = static_cast<std::uint8_t>((g >> 4) & 0xFu);
+    any_bin |= b;
+    any_graded |= g;
+  }
+  for (; kc < len; kc += kChunkWidth, ++t) {
+    const std::size_t w = std::min(kChunkWidth, len - kc);
+    unsigned b = 0, g = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const float v = a[kc + i];
+      const unsigned nz = v != 0.0f ? 1u : 0u;
+      const unsigned is_one = v == 1.0f ? 1u : 0u;
+      b |= (nz & is_one) << i;
+      g |= (nz & (1u - is_one)) << i;
+    }
+    bin[t] = static_cast<std::uint8_t>(b);
+    graded[t] = static_cast<std::uint8_t>(g);
+    any_bin |= b;
+    any_graded |= g;
+  }
+  return (any_bin != 0 ? kLutHasBinary : 0u) |
+         (any_graded != 0 ? kLutHasGraded : 0u);
+}
+
+void lut_group_accum_avx2(const std::int16_t* table, const std::uint32_t* entries,
+                          std::size_t count, std::int32_t* acc, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    auto* acc_lo = reinterpret_cast<__m256i*>(acc + j);
+    auto* acc_hi = reinterpret_cast<__m256i*>(acc + j + 8);
+    __m256i sum_lo = _mm256_loadu_si256(acc_lo);
+    __m256i sum_hi = _mm256_loadu_si256(acc_hi);
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::int16_t* row = table + entries[s] * n + j;
+      const __m256i r =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row));
+      sum_lo = _mm256_add_epi32(sum_lo,
+                                _mm256_cvtepi16_epi32(_mm256_castsi256_si128(r)));
+      sum_hi = _mm256_add_epi32(
+          sum_hi, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(r, 1)));
+    }
+    _mm256_storeu_si256(acc_lo, sum_lo);
+    _mm256_storeu_si256(acc_hi, sum_hi);
+  }
+  for (; j < n; ++j) {
+    std::int32_t sum = acc[j];
+    for (std::size_t s = 0; s < count; ++s) sum += table[entries[s] * n + j];
+    acc[j] = sum;
+  }
+}
+
+}  // namespace
+
+LutMaskBuildFn lut_mask_build_fn() {
+  static const LutMaskBuildFn fn =
+      cpu_supports_avx2() ? &lut_mask_build_avx2 : &lut_mask_build_scalar;
+  return fn;
+}
+
+LutGroupAccumFn lut_group_accum_fn() {
+  static const LutGroupAccumFn fn =
+      cpu_supports_avx2() ? &lut_group_accum_avx2 : &lut_group_accum_scalar;
+  return fn;
+}
+
+}  // namespace dtsnn::util::internal
+
+#else  // !DTSNN_HAVE_AVX2
+
+namespace dtsnn::util::internal {
+
+LutMaskBuildFn lut_mask_build_fn() { return &lut_mask_build_scalar; }
+
+LutGroupAccumFn lut_group_accum_fn() { return &lut_group_accum_scalar; }
+
+}  // namespace dtsnn::util::internal
+
+#endif  // DTSNN_HAVE_AVX2

@@ -174,4 +174,17 @@ const GemmBackend* int4_spike_backend() {
   return &backend;
 }
 
+namespace internal {
+
+void qgemm_spike_kernel(int bits, const float* a, const QuantizedMatrix& q, float* c,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  if (bits == 8) {
+    qgemm_kernel<8>(a, q, c, m, k, n);
+  } else {
+    qgemm_kernel<4>(a, q, c, m, k, n);
+  }
+}
+
+}  // namespace internal
+
 }  // namespace dtsnn::util

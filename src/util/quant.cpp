@@ -1,6 +1,7 @@
 #include "util/quant.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/env.h"
@@ -114,6 +115,66 @@ QuantizedMatrix QuantizedMatrix::from_raw(std::size_t out, std::size_t in, int b
   q.data_ = std::move(packed);
   q.scales_ = std::move(scales);
   return q;
+}
+
+QuantLut build_spike_lut(const QuantizedMatrix& q) {
+  QuantLut lut;
+  if (q.empty()) return lut;
+  const std::size_t out = q.out();
+  const std::size_t in = q.in();
+  const std::size_t gs = q.group_size();
+  std::size_t chunks = 0;
+  for (std::size_t g = 0; g < q.num_groups(); ++g) {
+    const std::size_t k0 = g * gs;
+    const std::size_t k1 = std::min(k0 + gs, in);
+    chunks += (k1 - k0 + kLutChunkWidth - 1) / kLutChunkWidth;
+  }
+  lut.chunks = chunks;
+  lut.out = out;
+  lut.table.assign(chunks * kLutMaskCount * out, 0);
+
+  // Per chunk: decode its (at most kLutChunkWidth) code rows once, then fill
+  // the 16 mask entries incrementally — entry[mask] = entry[mask minus its
+  // lowest bit] + codes[lowest bit] — so the build costs one add per table
+  // element instead of popcount(mask) adds.
+  std::vector<std::int16_t> codes(kLutChunkWidth * out);
+  std::size_t chunk = 0;
+  for (std::size_t g = 0; g < q.num_groups(); ++g) {
+    const std::size_t k0 = g * gs;
+    const std::size_t k1 = std::min(k0 + gs, in);
+    for (std::size_t kc = k0; kc < k1; kc += kLutChunkWidth, ++chunk) {
+      const std::size_t w = std::min(kLutChunkWidth, k1 - kc);
+      for (std::size_t b = 0; b < w; ++b) {
+        std::int16_t* crow = codes.data() + b * out;
+        for (std::size_t j = 0; j < out; ++j) {
+          crow[j] = static_cast<std::int16_t>(q.q(j, kc + b));
+        }
+      }
+      std::int16_t* base = lut.table.data() + chunk * kLutMaskCount * out;
+      for (std::size_t mask = 1; mask < kLutMaskCount; ++mask) {
+        const std::size_t low = mask & (~mask + 1);
+        const std::size_t bit = std::countr_zero(low);
+        const std::int16_t* prev = base + (mask ^ low) * out;
+        std::int16_t* dst = base + mask * out;
+        if (bit >= w) {
+          // Mask bit past a clipped chunk's width selects nothing; the
+          // kernels never form such masks, but keep the table total anyway.
+          std::copy(prev, prev + out, dst);
+          continue;
+        }
+        const std::int16_t* crow = codes.data() + bit * out;
+        for (std::size_t j = 0; j < out; ++j) {
+          dst[j] = static_cast<std::int16_t>(prev[j] + crow[j]);
+        }
+      }
+    }
+  }
+  return lut;
+}
+
+void QuantizedMatrix::ensure_lut() {
+  if (!lut_.empty() || empty()) return;
+  lut_ = build_spike_lut(*this);
 }
 
 int QuantizedMatrix::q(std::size_t j, std::size_t kk) const {

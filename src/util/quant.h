@@ -22,6 +22,14 @@
 //
 // Quantization is deterministic: std::lround (half away from zero), clamped
 // to [-qmax, qmax]; an all-zero group gets scale 0 and all-zero codes.
+//
+// Derived data: a QuantizedMatrix can additionally carry a spike-mask lookup
+// table (QuantLut) consumed by the int8_lut/int4_lut GEMM backends. The k
+// dimension is cut into chunks of kLutChunkWidth consecutive positions that
+// never cross a scale-group boundary; for every chunk and every 4-bit mask of
+// "these positions spiked", the table stores the per-output-column sum of the
+// selected integer codes. The LUT is pure derived data — rebuilt on demand
+// via ensure_lut(), never serialized, dropped by from_raw/quantize.
 
 #pragma once
 
@@ -75,6 +83,31 @@ struct QuantSpec {
 
   /// Throws QuantizationError(kBadSpec) unless bits is 8 or 4.
   void validate() const;
+};
+
+// ------------------------------------------------------------------- spike LUT
+
+/// k positions per LUT chunk (and bits per spike mask). Chunks are clipped at
+/// scale-group boundaries, so a group of width w contributes ceil(w / 4)
+/// chunks.
+inline constexpr std::size_t kLutChunkWidth = 4;
+/// Mask entries per chunk: 1 << kLutChunkWidth.
+inline constexpr std::size_t kLutMaskCount = 16;
+
+/// Precomputed per-chunk spike-mask sums for one QuantizedMatrix:
+/// table[(chunk * kLutMaskCount + mask) * out + j] is the sum of the integer
+/// codes q(j, kc + b) over the bits b set in mask, where kc is the chunk's
+/// first k position. int16 holds the worst case exactly (4 * 127 = 508).
+/// Entries for mask bits beyond a clipped chunk's width select nothing.
+struct QuantLut {
+  std::size_t chunks = 0;  ///< total chunks across all scale groups
+  std::size_t out = 0;     ///< output columns per entry
+  std::vector<std::int16_t> table;
+
+  [[nodiscard]] bool empty() const { return table.empty(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return table.size() * sizeof(std::int16_t);
+  }
 };
 
 // -------------------------------------------------------------- packed matrix
@@ -140,6 +173,15 @@ class QuantizedMatrix {
     return out_ * in_ * sizeof(float);
   }
 
+  /// Build the spike-mask LUT if not already built (no-op on an empty or
+  /// already-LUT'd matrix). Not synchronized: call from single-threaded layer
+  /// dispatch, like the layers' cached weight transposes. The LUT is derived
+  /// data — copies carry it, serialization does not.
+  void ensure_lut();
+  [[nodiscard]] bool has_lut() const { return !lut_.empty(); }
+  /// The spike-mask LUT; empty() unless ensure_lut() ran.
+  [[nodiscard]] const QuantLut& lut() const { return lut_; }
+
  private:
   std::size_t out_ = 0;
   std::size_t in_ = 0;
@@ -149,6 +191,11 @@ class QuantizedMatrix {
   std::size_t row_stride_ = 0;
   std::vector<std::uint8_t> data_;
   std::vector<float> scales_;
+  QuantLut lut_;
 };
+
+/// Build a QuantLut for `q` without caching it on the matrix — the LUT
+/// backends use this for per-call tables when no cached LUT is present.
+[[nodiscard]] QuantLut build_spike_lut(const QuantizedMatrix& q);
 
 }  // namespace dtsnn::util

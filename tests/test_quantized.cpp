@@ -248,13 +248,69 @@ TEST(QuantizedMatrix, FromRawRejectsCorruptSections) {
   expect_bad(out, in, 8, 0, packed, scales);   // zero group size
 }
 
+// ---------------------------------------------------------------- LUT tables
+
+TEST(QuantLut, BuildTablesAreExactCodeSums) {
+  // Odd group size (5): each group splits into one width-4 chunk plus one
+  // clipped width-1 chunk, and the last group is short — the table must clip
+  // at group boundaries and never sum codes across groups.
+  const std::size_t out = 5, in = 13, gs = 5;
+  const std::vector<float> w = random_weights(out * in, 201);
+  const util::QuantizedMatrix q =
+      util::QuantizedMatrix::quantize(w.data(), out, in, {.bits = 4, .group_size = gs});
+  const util::QuantLut lut = util::build_spike_lut(q);
+  // Groups cover k-ranges [0,5) [5,10) [10,13): chunk widths 4,1 / 4,1 / 3.
+  ASSERT_EQ(lut.chunks, 5u);
+  ASSERT_EQ(lut.out, out);
+  ASSERT_EQ(lut.table.size(), lut.chunks * util::kLutMaskCount * out);
+  EXPECT_EQ(lut.bytes(), lut.table.size() * sizeof(std::int16_t));
+
+  // Reconstruct every entry the slow way from the decoded codes. Mask bits
+  // past a clipped chunk's width select nothing by construction.
+  std::size_t chunk = 0;
+  for (std::size_t g = 0; g < q.num_groups(); ++g) {
+    const std::size_t k0 = g * gs, k1 = std::min(k0 + gs, in);
+    for (std::size_t kc = k0; kc < k1; kc += util::kLutChunkWidth, ++chunk) {
+      const std::size_t width = std::min(util::kLutChunkWidth, k1 - kc);
+      for (std::size_t mask = 0; mask < util::kLutMaskCount; ++mask) {
+        for (std::size_t j = 0; j < out; ++j) {
+          int expected = 0;
+          for (std::size_t b = 0; b < width; ++b) {
+            if ((mask & (std::size_t{1} << b)) != 0) expected += q.q(j, kc + b);
+          }
+          EXPECT_EQ(lut.table[(chunk * util::kLutMaskCount + mask) * out + j], expected)
+              << "chunk " << chunk << " mask " << mask << " j " << j;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(chunk, lut.chunks);
+}
+
+TEST(QuantLut, EnsureLutCachesOnceAndSkipsEmpty) {
+  const std::size_t out = 4, in = 20;
+  const std::vector<float> w = random_weights(out * in, 202);
+  util::QuantizedMatrix q = util::QuantizedMatrix::quantize(w.data(), out, in, {.bits = 8});
+  EXPECT_FALSE(q.has_lut());
+  q.ensure_lut();
+  ASSERT_TRUE(q.has_lut());
+  EXPECT_FALSE(q.lut().empty());
+  const std::int16_t* table = q.lut().table.data();
+  q.ensure_lut();  // idempotent: the cached table is not rebuilt
+  EXPECT_EQ(q.lut().table.data(), table);
+  // Uncalibrated matrices stay LUT-less (nothing to tabulate).
+  util::QuantizedMatrix uncalibrated;
+  uncalibrated.ensure_lut();
+  EXPECT_FALSE(uncalibrated.has_lut());
+}
+
 // ------------------------------------------------------------------- kernels
 
 TEST(QuantGemm, MatchesDequantizedProductBinarySpikes) {
   const std::size_t m = 9, k = 70, n = 13;  // spans multiple groups, odd n
   const std::vector<float> w = random_weights(n * k, 105);
   const std::vector<float> a = spike_matrix(m * k, 0.3, 0.0, 106);
-  for (const char* name : {"int8_spike", "int4_spike"}) {
+  for (const char* name : {"int8_spike", "int4_spike", "int8_lut", "int4_lut"}) {
     const util::QuantizedGemmBackend& qb = quant_backend(name);
     const util::QuantizedMatrix q =
         util::QuantizedMatrix::quantize(w.data(), n, k, {.bits = qb.weight_bits()});
@@ -272,7 +328,7 @@ TEST(QuantGemm, GradedSpikesTakeFloatFallback) {
   const std::size_t m = 5, k = 40, n = 8;
   const std::vector<float> w = random_weights(n * k, 107);
   const std::vector<float> a = spike_matrix(m * k, 0.5, 0.5, 108);
-  for (const char* name : {"int8_spike", "int4_spike"}) {
+  for (const char* name : {"int8_spike", "int4_spike", "int8_lut", "int4_lut"}) {
     const util::QuantizedGemmBackend& qb = quant_backend(name);
     const util::QuantizedMatrix q =
         util::QuantizedMatrix::quantize(w.data(), n, k, {.bits = qb.weight_bits()});
@@ -299,10 +355,13 @@ TEST(QuantGemm, BatchCompositionInvariant) {
   const std::size_t m = 6, k = 96, n = 10;
   const std::vector<float> w = random_weights(n * k, 109);
   const std::vector<float> a = spike_matrix(m * k, 0.4, 0.2, 110);
-  for (const char* name : {"int8_spike", "int4_spike"}) {
+  for (const char* name : {"int8_spike", "int4_spike", "int8_lut", "int4_lut"}) {
     const util::QuantizedGemmBackend& qb = quant_backend(name);
-    const util::QuantizedMatrix q =
+    util::QuantizedMatrix q =
         util::QuantizedMatrix::quantize(w.data(), n, k, {.bits = qb.weight_bits()});
+    // Exercise the real cached-table path for the LUT backends (these small
+    // batches would otherwise take their spike-kernel fallback).
+    if (qb.prefers_lut()) q.ensure_lut();
     std::vector<float> batched(m * n);
     qb.qgemm(a.data(), q, batched.data(), m, k, n);
     for (std::size_t i = 0; i < m; ++i) {
@@ -319,7 +378,7 @@ TEST(QuantGemm, DegenerateShapes) {
   const std::size_t k = 12, n = 6;
   const std::vector<float> w = random_weights(n * k, 111);
   const std::vector<float> a = spike_matrix(2 * k, 0.5, 0.0, 112);
-  for (const char* name : {"int8_spike", "int4_spike"}) {
+  for (const char* name : {"int8_spike", "int4_spike", "int8_lut", "int4_lut"}) {
     const util::QuantizedGemmBackend& qb = quant_backend(name);
     const util::QuantizedMatrix q =
         util::QuantizedMatrix::quantize(w.data(), n, k, {.bits = qb.weight_bits()});
@@ -345,6 +404,57 @@ TEST(QuantGemm, DegenerateShapes) {
     EXPECT_NO_THROW(qb.qgemm(a.data(), q0, acc.data(), 2, 0, n, /*accumulate=*/true))
         << name;
     for (const float v : acc) EXPECT_FLOAT_EQ(v, 3.0f) << name;
+  }
+}
+
+/// The LUT backends' defining property: bit-for-bit the same output as the
+/// corresponding *_spike backend — integer group sums are exact, and the
+/// graded-spike / flush float ordering is unchanged — across spike mixes,
+/// awkward group sizes (chunk clipping), and all three table-sourcing paths:
+/// cached LUT, per-call build (large batches), and spike-kernel fallback
+/// (small batches without a cached table).
+TEST(QuantGemm, LutBitwiseMatchesSpikeBackends) {
+  const std::size_t k = 70, n = 13;
+  const std::vector<float> w = random_weights(n * k, 203);
+  struct Mix {
+    double density, graded;
+  };
+  const std::vector<std::pair<const char*, const char*>> pairs{
+      {"int8_lut", "int8_spike"}, {"int4_lut", "int4_spike"}};
+  for (const auto& [lut_name, spike_name] : pairs) {
+    const util::QuantizedGemmBackend& lb = quant_backend(lut_name);
+    const util::QuantizedGemmBackend& sb = quant_backend(spike_name);
+    ASSERT_EQ(lb.weight_bits(), sb.weight_bits());
+    for (const std::size_t gs : {std::size_t{2}, std::size_t{5}, std::size_t{32}}) {
+      util::QuantizedMatrix q = util::QuantizedMatrix::quantize(
+          w.data(), n, k, {.bits = lb.weight_bits(), .group_size = gs});
+      const auto expect_bitwise_match = [&](const char* path) {
+        for (const Mix mix :
+             {Mix{0.1, 0.0}, Mix{0.3, 0.5}, Mix{1.0, 1.0}, Mix{0.0, 0.0}}) {
+          // m = 16 crosses the per-call table-build threshold; m = 3 stays
+          // below it (spike fallback unless a cached LUT exists).
+          for (const std::size_t m : {std::size_t{16}, std::size_t{3}}) {
+            const std::vector<float> a = spike_matrix(
+                m * k, mix.density, mix.graded,
+                205 + m * 17 + gs + static_cast<std::size_t>(mix.density * 10));
+            std::vector<float> via_lut(m * n, -1.0f), via_spike(m * n, -2.0f);
+            lb.qgemm(a.data(), q, via_lut.data(), m, k, n);
+            sb.qgemm(a.data(), q, via_spike.data(), m, k, n);
+            EXPECT_EQ(via_lut, via_spike)
+                << lut_name << " " << path << " gs=" << gs << " m=" << m
+                << " density=" << mix.density << " graded=" << mix.graded;
+            // And with accumulation on top of an existing C.
+            lb.qgemm(a.data(), q, via_lut.data(), m, k, n, /*accumulate=*/true);
+            sb.qgemm(a.data(), q, via_spike.data(), m, k, n, /*accumulate=*/true);
+            EXPECT_EQ(via_lut, via_spike)
+                << lut_name << " " << path << " accumulate gs=" << gs << " m=" << m;
+          }
+        }
+      };
+      expect_bitwise_match("uncached");
+      q.ensure_lut();
+      expect_bitwise_match("cached");
+    }
   }
 }
 
@@ -440,6 +550,46 @@ TEST(QuantNetwork, UncalibratedAndMismatchedDispatchFailLoudly) {
   EXPECT_EQ(snn::network_quantized_bits(e.net), 0);
   EXPECT_THROW(engine.run(*e.bundle.test, request), util::QuantizationError);
   e.net.set_gemm_context(nullptr);
+}
+
+/// End-to-end: dispatching a calibrated network through int4_lut produces
+/// decisions — predictions, exit timesteps, entropies, full logit
+/// trajectories — identical to int4_spike (the LUT tier is a pure speedup,
+/// bitwise-equal to the spike tier it accelerates). Also pins the layer-side
+/// hook: prefers_lut() makes the layers build the cached weight LUTs.
+TEST(QuantNetwork, LutBackendDecisionsMatchSpikeBackend) {
+  core::Experiment e = micro_experiment("sync10", 3);
+  ASSERT_GT(snn::quantize_network_weights(e.net, {.bits = 4}), 0u);
+  const core::EntropyExitPolicy policy(0.35);
+  core::InferenceRequest request = core::InferenceRequest::first_n(
+      std::min<std::size_t>(16, e.bundle.test->size()));
+  request.record_logits = true;
+  core::BatchedSequentialEngine engine(e.net, policy, 3, /*batch_size=*/4);
+
+  util::GemmContext spike_ctx(quant_backend("int4_spike"));
+  e.net.set_gemm_context(&spike_ctx);
+  const auto via_spike = engine.run(*e.bundle.test, request);
+
+  util::GemmContext lut_ctx(quant_backend("int4_lut"));
+  e.net.set_gemm_context(&lut_ctx);
+  const auto via_lut = engine.run(*e.bundle.test, request);
+  e.net.set_gemm_context(nullptr);
+
+  ASSERT_EQ(via_lut.size(), via_spike.size());
+  for (std::size_t i = 0; i < via_lut.size(); ++i) {
+    EXPECT_EQ(via_lut[i].predicted_class, via_spike[i].predicted_class) << i;
+    EXPECT_EQ(via_lut[i].exit_timestep, via_spike[i].exit_timestep) << i;
+    EXPECT_EQ(via_lut[i].final_entropy, via_spike[i].final_entropy) << i;
+    ASSERT_EQ(via_lut[i].timestep_logits.numel(), via_spike[i].timestep_logits.numel())
+        << i;
+    for (std::size_t j = 0; j < via_lut[i].timestep_logits.numel(); ++j) {
+      ASSERT_EQ(via_lut[i].timestep_logits[j], via_spike[i].timestep_logits[j])
+          << "sample " << i << " logit " << j;
+    }
+  }
+  // The quant-op accounting lands on the LUT context like any other backend.
+  EXPECT_GT(lut_ctx.stats().quant.calls, 0u);
+  EXPECT_EQ(lut_ctx.stats().quant.calls, spike_ctx.stats().quant.calls);
 }
 
 // ------------------------------------------------------------ tolerance gate
